@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	flux "github.com/flux-lang/flux"
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/servers/baseline/knotweb"
+	"github.com/flux-lang/flux/internal/servers/baseline/sedaweb"
+	"github.com/flux-lang/flux/internal/servers/webserver"
+)
+
+// webTarget abstracts "a web server listening somewhere" across the
+// Flux engines and the two baselines.
+type webTarget struct {
+	name  string
+	start func(files *loadgen.FileSet) (addr string, stop func(), err error)
+}
+
+// expFigure3 regenerates Figure 3: throughput and mean latency versus
+// simultaneous clients for the three Flux web servers, the knot-like
+// threaded baseline, and the haboob-like staged baseline.
+//
+// The paper's shape: flux-threadpool ~ flux-event ~ knot at the top,
+// haboob notably below, flux thread-per-client worst as clients grow;
+// the event server shows a latency hiccup at low client counts.
+func expFigure3(cfg benchConfig) error {
+	clients := []int{1, 4, 16, 64, 128}
+	duration := 4 * time.Second
+	warmup := time.Second
+	if cfg.quick {
+		clients = []int{1, 8, 32}
+		duration = 1500 * time.Millisecond
+		warmup = 300 * time.Millisecond
+	}
+
+	files := loadgen.NewFileSet(2)
+	targets := webTargets(files)
+
+	fmt.Printf("SPECweb99-like static load, 5 requests per keep-alive connection, corpus %d MB\n\n",
+		files.TotalBytes()>>20)
+	fmt.Printf("%-16s", "clients")
+	for _, c := range clients {
+		fmt.Printf("%14d", c)
+	}
+	fmt.Println()
+
+	type row struct {
+		tput []float64
+		lat  []time.Duration
+	}
+	results := make(map[string]*row)
+
+	for _, tgt := range targets {
+		r := &row{}
+		for _, c := range clients {
+			addr, stop, err := tgt.start(files)
+			if err != nil {
+				return fmt.Errorf("%s: %w", tgt.name, err)
+			}
+			res := loadgen.RunWebLoad(context.Background(), loadgen.WebClientConfig{
+				Addr:     addr,
+				Clients:  c,
+				Files:    files,
+				Duration: duration,
+				Warmup:   warmup,
+				Seed:     101,
+			})
+			stop()
+			r.tput = append(r.tput, res.Throughput)
+			r.lat = append(r.lat, res.Latency.Mean)
+		}
+		results[tgt.name] = r
+	}
+
+	fmt.Println("throughput (requests/sec):")
+	for _, tgt := range targets {
+		fmt.Printf("%-16s", tgt.name)
+		for _, v := range results[tgt.name].tput {
+			fmt.Printf("%14.0f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nmean latency:")
+	for _, tgt := range targets {
+		fmt.Printf("%-16s", tgt.name)
+		for _, v := range results[tgt.name].lat {
+			fmt.Printf("%14s", v.Round(10*time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Println("\npaper (Figure 3): knot ~ flux-threadpool ~ flux-event > haboob; flux-thread worst;")
+	fmt.Println("event server latency elevated at few clients (source poll timeout), converging under load")
+	return nil
+}
+
+func webTargets(files *loadgen.FileSet) []webTarget {
+	fluxStart := func(kind flux.EngineKind) func(*loadgen.FileSet) (string, func(), error) {
+		return func(files *loadgen.FileSet) (string, func(), error) {
+			srv, err := webserver.New(webserver.Config{
+				Files:         files,
+				Engine:        kind,
+				PoolSize:      64,
+				SourceTimeout: 20 * time.Millisecond,
+			})
+			if err != nil {
+				return "", nil, err
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { defer close(done); _ = srv.Run(ctx) }()
+			return srv.Addr(), func() { cancel(); <-done }, nil
+		}
+	}
+	return []webTarget{
+		{"flux-thread", fluxStart(flux.ThreadPerFlow)},
+		{"flux-threadpool", fluxStart(flux.ThreadPool)},
+		{"flux-event", fluxStart(flux.EventDriven)},
+		{"knot-like", func(files *loadgen.FileSet) (string, func(), error) {
+			srv, err := knotweb.New(knotweb.Config{Files: files})
+			if err != nil {
+				return "", nil, err
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { defer close(done); _ = srv.Run(ctx) }()
+			return srv.Addr(), func() { cancel(); <-done }, nil
+		}},
+		{"haboob-like", func(files *loadgen.FileSet) (string, func(), error) {
+			srv, err := sedaweb.New(sedaweb.Config{Files: files, WorkersPerStage: 4, QueueDepth: 64})
+			if err != nil {
+				return "", nil, err
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			go func() { defer close(done); _ = srv.Run(ctx) }()
+			return srv.Addr(), func() { cancel(); <-done }, nil
+		}},
+	}
+}

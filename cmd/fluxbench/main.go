@@ -1,0 +1,69 @@
+// Command fluxbench regenerates every table and figure of the paper's
+// evaluation (§4–§5) against this reproduction:
+//
+//	table1    servers and lines of code (Table 1)
+//	fig3      web server throughput + latency vs clients (Figure 3)
+//	fig4      BitTorrent latency, completions/s, network throughput (Figure 4)
+//	game      game server heartbeat health vs players (§4.4)
+//	fig5      compiler-generated simulator code for a node (Figure 5)
+//	fig6      predicted vs actual image-server throughput, 1..4 CPUs (Figure 6)
+//	profile   BitTorrent path profile: hot paths (§5.2)
+//	deadlock  the §3.1.1 constraint-hoisting example
+//	all       everything above
+//
+// Usage:
+//
+//	fluxbench -exp fig3 [-quick]
+//
+// -quick shrinks client counts and durations for a fast smoke run; the
+// default sizes produce the shapes reported in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchConfig struct {
+	quick bool
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig3, fig4, game, fig5, fig6, profile, deadlock, all")
+	quick := flag.Bool("quick", false, "shrink durations and client counts for a smoke run")
+	flag.Parse()
+
+	cfg := benchConfig{quick: *quick}
+	experiments := map[string]func(benchConfig) error{
+		"table1":   expTable1,
+		"fig3":     expFigure3,
+		"fig4":     expFigure4,
+		"game":     expGame,
+		"fig5":     expFigure5,
+		"fig6":     expFigure6,
+		"profile":  expProfile,
+		"deadlock": expDeadlock,
+	}
+	order := []string{"table1", "deadlock", "fig5", "fig3", "fig4", "game", "fig6", "profile"}
+
+	run := func(name string) {
+		fmt.Printf("\n================ %s ================\n", name)
+		if err := experiments[name](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "fluxbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := experiments[*exp]; !ok {
+		fmt.Fprintf(os.Stderr, "fluxbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	run(*exp)
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestFluxLoc(t *testing.T) {
+	src := `
+// comment
+A () => (int v);
+
+B (int v) => ();
+source A => F;
+F = B;
+`
+	if got := fluxLoc(src); got != 4 {
+		t.Errorf("fluxLoc = %d, want 4", got)
+	}
+	if got := fluxLoc(""); got != 0 {
+		t.Errorf("empty fluxLoc = %d", got)
+	}
+}
+
+func TestDirLocMissingDirectory(t *testing.T) {
+	n, note := dirLoc("no/such/dir")
+	if n != 0 || note == "" {
+		t.Errorf("dirLoc on missing dir = %d, %q", n, note)
+	}
+}
+
+func TestExperimentTableComplete(t *testing.T) {
+	// Every experiment named in main's order list must have a function;
+	// this guards the dispatch map against drift.
+	experiments := map[string]func(benchConfig) error{
+		"table1":   expTable1,
+		"fig3":     expFigure3,
+		"fig4":     expFigure4,
+		"game":     expGame,
+		"fig5":     expFigure5,
+		"fig6":     expFigure6,
+		"profile":  expProfile,
+		"deadlock": expDeadlock,
+	}
+	for name, fn := range experiments {
+		if fn == nil {
+			t.Errorf("experiment %q has nil function", name)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	flux "github.com/flux-lang/flux"
+)
+
+func testProgram(t *testing.T) *flux.Program {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/imageserver.flux")
+	if err != nil {
+		t.Fatalf("read testdata: %v", err)
+	}
+	prog, err := flux.Compile("imageserver.flux", string(src))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return prog
+}
+
+func TestListPaths(t *testing.T) {
+	out := listPaths(testProgram(t))
+	if !strings.Contains(out, "source Listen: 11 paths") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Listen -> ReadRequest -> CheckCache -> Write -> Complete") {
+		t.Errorf("hit path missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ERROR") {
+		t.Errorf("error paths missing:\n%s", out)
+	}
+}
+
+func TestSortedGraphs(t *testing.T) {
+	gs := sortedGraphs(testProgram(t))
+	if len(gs) != 1 {
+		t.Fatalf("graphs = %d", len(gs))
+	}
+	if _, ok := gs["Listen"]; !ok {
+		t.Error("Listen graph missing")
+	}
+}

@@ -1,0 +1,55 @@
+// The paper's heartbeat client/server application (§4.4): the
+// multiplayer Tag server with a swarm of simulated players, reporting
+// the 10 Hz heartbeat's health as the player count grows.
+//
+//	go run ./examples/gameserver [-players n] [-seconds s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	flux "github.com/flux-lang/flux"
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/servers/gameserver"
+)
+
+func main() {
+	players := flag.Int("players", 32, "simulated players")
+	seconds := flag.Int("seconds", 3, "run duration")
+	flag.Parse()
+
+	srv, err := gameserver.New(gameserver.Config{
+		Heartbeat: 100 * time.Millisecond, // the paper's 10 Hz
+		Engine:    flux.ThreadPool,
+		PoolSize:  8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	fmt.Printf("tag server on udp://%s, %d players joining...\n", srv.Addr(), *players)
+
+	res := loadgen.RunGameLoad(ctx, loadgen.GameClientConfig{
+		Addr:     srv.Addr(),
+		Players:  *players,
+		MoveHz:   10,
+		Duration: time.Duration(*seconds) * time.Second,
+		Warmup:   500 * time.Millisecond,
+		Seed:     11,
+	})
+	fmt.Printf("\nclients: %s\n", res)
+	turns, meanTurn := srv.TickStats()
+	fmt.Printf("server: %d turns, mean state computation %v (heartbeat budget 100ms)\n", turns, meanTurn)
+	if res.InterArrival.Count > 0 {
+		fmt.Printf("heartbeat p95 inter-arrival at clients: %v\n", res.InterArrival.P95)
+	}
+	cancel()
+	<-done
+}

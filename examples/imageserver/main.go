@@ -1,0 +1,96 @@
+// The paper's running example (§2, Figure 2): the image-compression
+// server, plus the §5.1 workflow — profile a run, derive simulator
+// parameters, and predict throughput on more CPUs.
+//
+//	go run ./examples/imageserver [-addr host:port] [-engine thread|pool|event] [-demo]
+//
+// With -demo (the default when no flags are given) the example starts
+// the server, drives a short load against it, prints the hot-path
+// profile, and compares measured throughput with the discrete-event
+// simulator's prediction for 1, 2, and 4 CPUs.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	flux "github.com/flux-lang/flux"
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/servers/imageserver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	engine := flag.String("engine", "pool", "runtime engine: thread, pool, or event")
+	demo := flag.Bool("demo", true, "run the built-in load + prediction demo, then exit")
+	flag.Parse()
+
+	prof := flux.NewProfiler()
+	srv, err := imageserver.New(imageserver.Config{
+		Addr:          *addr,
+		Engine:        engineKind(*engine),
+		SourceTimeout: 5 * time.Millisecond,
+		CompressWork:  2 * time.Millisecond, // calibrated compression cost
+		Profiler:      prof,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("image server (%s engine) listening on http://%s/img0/8\n", *engine, srv.Addr())
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	if !*demo {
+		log.Println("serving until interrupted; GET /img<0-4>/<1-8>")
+		<-done
+		return
+	}
+
+	// Drive a short fixed-rate load (the §5.1 load tester).
+	res := loadgen.RunImageLoad(ctx, loadgen.ImageClientConfig{
+		Addr:     srv.Addr(),
+		Rate:     60,
+		Duration: 3 * time.Second,
+		Warmup:   500 * time.Millisecond,
+		Seed:     1,
+	})
+	fmt.Printf("\nmeasured under load: %s\n", res)
+
+	// Hot paths (§5.2).
+	g := srv.Program().Graphs["Listen"]
+	fmt.Printf("\n%s\n", prof.Report(g, flux.ByTotalTime, 5))
+
+	// Predict performance on more CPUs from the observed parameters
+	// (§5.1, Figure 6 workflow).
+	params := flux.ParamsFromProfile(srv.Program(), prof)
+	params.Duration, params.Warmup, params.Seed = 20, 2, 1
+	params.Sources = map[string]flux.SimSourceParams{"Listen": {Rate: 200}}
+	fmt.Println("predicted throughput at offered load 200 req/s:")
+	for _, cpus := range []int{1, 2, 4} {
+		params.CPUs = cpus
+		r := flux.Simulate(srv.Program(), params)
+		fmt.Printf("  %d CPU(s): %6.1f req/s  (mean latency %.1fms, utilization %.0f%%)\n",
+			cpus, r.Throughput, 1000*r.MeanLatency, 100*r.Utilization)
+	}
+	cancel()
+	<-done
+}
+
+func engineKind(s string) flux.EngineKind {
+	switch s {
+	case "thread":
+		return flux.ThreadPerFlow
+	case "event":
+		return flux.EventDriven
+	default:
+		return flux.ThreadPool
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: a complete Flux program in one file.
+//
+// The program greets a bounded stream of requests, routing VIP names
+// through a different node than regular ones, with a shared counter
+// guarded by an atomicity constraint — no mutex in sight. Run it with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+
+	flux "github.com/flux-lang/flux"
+)
+
+// The Flux program: one source, a three-node flow with a predicate
+// dispatch, and a writer constraint serializing the counter.
+const program = `
+NextName () => (string name);
+Classify (string name) => (string name, string greeting);
+Count (string name, string greeting) => (string name, string greeting);
+Print (string name, string greeting) => ();
+VIPGreet (string name) => (string name, string greeting);
+
+source NextName => Greet;
+Greet = Router -> Count -> Print;
+
+typedef vip IsVIP;
+Router:[vip] = VIPGreet;
+Router:[_] = Classify;
+
+atomic Count:{total};
+`
+
+func main() {
+	prog, err := flux.Compile("quickstart.flux", program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range prog.Warnings {
+		log.Println(w)
+	}
+
+	names := []string{"ada", "grace", "ADMIRAL", "linus", "ken", "DENNIS"}
+	next := 0
+	total := 0 // guarded by the "total" constraint, not a mutex
+
+	b := flux.NewBindings().
+		BindSource("NextName", func(fl *flux.Flow) (flux.Record, error) {
+			if next >= len(names) {
+				return nil, flux.ErrStop
+			}
+			name := names[next]
+			next++
+			return flux.Record{name}, nil
+		}).
+		BindPredicate("IsVIP", func(v any) bool {
+			name := v.(string)
+			return name == strings.ToUpper(name)
+		}).
+		BindNode("Classify", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			return flux.Record{in[0], "hello, " + in[0].(string)}, nil
+		}).
+		BindNode("VIPGreet", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			return flux.Record{in[0], "WELCOME ABOARD, " + in[0].(string)}, nil
+		}).
+		BindNode("Count", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			total++ // safe: the atomicity constraint serializes this node
+			return in, nil
+		}).
+		BindNode("Print", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			fmt.Println(in[1].(string))
+			return nil, nil
+		})
+
+	// The same program runs on any engine; try flux.EventDriven or
+	// flux.ThreadPerFlow.
+	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPool, PoolSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Run(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Stats().Snapshot()
+	fmt.Printf("\n%d greetings delivered (%d flows, %d errors)\n", total, st.Completed, st.Errored)
+}

@@ -1,0 +1,79 @@
+// The paper's HTTP/1.1 web server (§4.2): SPECweb99-like static corpus
+// plus dynamic FScript pages, on any of the three Flux runtimes.
+//
+//	go run ./examples/webserver [-addr host:port] [-engine thread|pool|event] [-dirs n] [-demo]
+//
+// With -demo the example drives its own SPECweb-like client swarm and
+// prints throughput/latency, then exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	flux "github.com/flux-lang/flux"
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/servers/webserver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:0", "listen address")
+	engine := flag.String("engine", "pool", "runtime engine: thread, pool, or event")
+	dirs := flag.Int("dirs", 1, "SPECweb-like corpus directories (~5 MB each)")
+	demo := flag.Bool("demo", true, "drive a built-in load test, then exit")
+	flag.Parse()
+
+	files := loadgen.NewFileSet(*dirs)
+	srv, err := webserver.New(webserver.Config{
+		Addr:          *addr,
+		Files:         files,
+		Engine:        engineKind(*engine),
+		SourceTimeout: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("web server (%s engine) on http://%s%s  (corpus: %d MB; dynamic: /dynamic?n=5000)\n",
+		*engine, srv.Addr(), files.Path(0, 1, 1), files.TotalBytes()>>20)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+
+	if !*demo {
+		<-done
+		return
+	}
+
+	res := loadgen.RunWebLoad(ctx, loadgen.WebClientConfig{
+		Addr:            srv.Addr(),
+		Clients:         16,
+		Files:           files,
+		Duration:        3 * time.Second,
+		Warmup:          500 * time.Millisecond,
+		DynamicFraction: 0.1,
+		Seed:            7,
+	})
+	fmt.Printf("\n16-client SPECweb-like load: %s\n", res)
+	hits, misses, evictions := srv.CacheStats()
+	fmt.Printf("cache: %d hits, %d misses, %d evictions\n", hits, misses, evictions)
+	cancel()
+	<-done
+}
+
+func engineKind(s string) flux.EngineKind {
+	switch s {
+	case "thread":
+		return flux.ThreadPerFlow
+	case "event":
+		return flux.EventDriven
+	default:
+		return flux.ThreadPool
+	}
+}

@@ -1,0 +1,194 @@
+// Package flux is a Go implementation of the Flux coordination language
+// for building high-performance servers, reproducing Burns, Grimaldi,
+// Kostadinov, Berger, and Corner, "Flux: A Language for Programming
+// High-Performance Servers" (USENIX ATC 2006).
+//
+// A Flux program composes sequential functions ("concrete nodes") into
+// concurrent server data flows. The program declares:
+//
+//   - typed node signatures and source nodes (§2.1),
+//   - abstract nodes — chains of nodes joined by "->" (§2.2),
+//   - predicate types routing flows by runtime tests (§2.3),
+//   - error handlers (§2.4), and
+//   - atomicity constraints guarding shared state, with reader/writer
+//     modes and per-session scope (§2.5).
+//
+// Compile type-checks the composition, rejects cyclic flows, assigns
+// locks in a canonical deadlock-free order (hoisting out-of-order
+// constraints with warnings, §3.1.1), flattens each source's flow into
+// an executable graph, and numbers every path with the Ball-Larus
+// algorithm for profiling (§5.2).
+//
+// The compiled program runs unchanged on three runtimes (§3.2):
+// goroutine-per-flow, a fixed pool with FIFO admission, and an
+// event-driven engine whose dispatcher never blocks. It can also be fed
+// to the discrete-event simulator to predict server performance on
+// hypothetical hardware before deployment (§5.1).
+//
+// # Quick start
+//
+//	prog, err := flux.Compile("hello.flux", src)
+//	b := flux.NewBindings().
+//	        BindSource("Listen", listen).
+//	        BindNode("Handle", handle)
+//	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPool})
+//	err = srv.Run(ctx)
+//
+// See examples/ for complete servers: the paper's image-compression
+// server (Figure 2), an HTTP/1.1 web server, a BitTorrent peer
+// (Figure 7), and a multiplayer game server.
+package flux
+
+import (
+	"time"
+
+	"github.com/flux-lang/flux/internal/codegen"
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+	"github.com/flux-lang/flux/internal/profile"
+	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/sim"
+)
+
+// Program is a compiled Flux program: the analyzed graph, lock
+// assignment, flattened per-source flows, and Ball-Larus numbering.
+type Program = core.Program
+
+// Warning is a non-fatal compiler diagnostic (early lock acquisition,
+// reader-to-writer promotion, missing catch-all case).
+type Warning = core.Warning
+
+// FlatGraph is one source's flattened, path-numbered executable flow.
+type FlatGraph = core.FlatGraph
+
+// Compile parses and analyzes a Flux program. The name appears in
+// diagnostics. Compilation warnings are available on the returned
+// program's Warnings field.
+func Compile(name, src string) (*Program, error) {
+	astProg, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return core.Build(astProg)
+}
+
+// Runtime types, re-exported.
+type (
+	// Record is the value tuple flowing between nodes.
+	Record = runtime.Record
+	// Flow is the per-request execution context.
+	Flow = runtime.Flow
+	// NodeFunc implements a concrete node.
+	NodeFunc = runtime.NodeFunc
+	// SourceFunc implements a source node.
+	SourceFunc = runtime.SourceFunc
+	// PredicateFunc implements a predicate type.
+	PredicateFunc = runtime.PredicateFunc
+	// SessionFunc maps a source record to a session id.
+	SessionFunc = runtime.SessionFunc
+	// Bindings associates Flux names with Go implementations.
+	Bindings = runtime.Bindings
+	// Config selects and tunes a runtime engine.
+	Config = runtime.Config
+	// Server executes a compiled program on an engine.
+	Server = runtime.Server
+	// Stats holds a server's flow counters.
+	Stats = runtime.Stats
+	// EngineKind selects one of the three runtime systems of §3.2.
+	EngineKind = runtime.EngineKind
+)
+
+// Engine kinds (§3.2).
+const (
+	// ThreadPerFlow starts a goroutine per data flow.
+	ThreadPerFlow = runtime.ThreadPerFlow
+	// ThreadPool services flows with a fixed worker pool, FIFO admission.
+	ThreadPool = runtime.ThreadPool
+	// EventDriven runs node activations as events on a non-blocking
+	// dispatcher with an async-I/O offload pool.
+	EventDriven = runtime.EventDriven
+)
+
+// Sentinel errors for source functions.
+var (
+	// ErrStop tells the engine a source is exhausted.
+	ErrStop = runtime.ErrStop
+	// ErrNoData tells the engine a polling source found nothing before
+	// its deadline.
+	ErrNoData = runtime.ErrNoData
+)
+
+// NewBindings returns an empty binding set.
+func NewBindings() *Bindings { return runtime.NewBindings() }
+
+// NewServer validates the bindings against the program and prepares a
+// server; Run starts it.
+func NewServer(p *Program, b *Bindings, cfg Config) (*Server, error) {
+	return runtime.NewServer(p, b, cfg)
+}
+
+// IntervalSource builds a source firing every interval — deadline-aware
+// so timer flows never wedge the event engine's dispatcher.
+func IntervalSource(d time.Duration) SourceFunc { return runtime.IntervalSource(d) }
+
+// Profiling (§5.2).
+type (
+	// Profiler aggregates Ball-Larus path counts/times and per-node
+	// statistics from a running server.
+	Profiler = profile.Profiler
+	// PathReport is one ranked hot-path row.
+	PathReport = profile.PathReport
+	// SortBy selects the hot-path ranking criterion.
+	SortBy = profile.SortBy
+)
+
+// Hot-path rankings.
+const (
+	// ByCount ranks by execution frequency.
+	ByCount = profile.ByCount
+	// ByTotalTime ranks by cumulative time.
+	ByTotalTime = profile.ByTotalTime
+	// ByMeanTime ranks by per-execution cost.
+	ByMeanTime = profile.ByMeanTime
+)
+
+// NewProfiler returns an empty path profiler; pass it in Config.Profiler.
+func NewProfiler() *Profiler { return profile.New() }
+
+// Simulation (§5.1).
+type (
+	// SimParams parameterizes a discrete-event simulation.
+	SimParams = sim.Params
+	// SimSourceParams describes one source's arrival process.
+	SimSourceParams = sim.SourceParams
+	// SimResult reports simulated throughput, latency, utilization.
+	SimResult = sim.Result
+)
+
+// Simulate runs the discrete-event simulator over a compiled program,
+// predicting performance under the given parameters (CPU count, arrival
+// rates, per-node service times, branch probabilities).
+func Simulate(p *Program, params SimParams) SimResult {
+	return sim.New(p, params).Run()
+}
+
+// ParamsFromProfile derives simulator parameters (node means, branch
+// probabilities, error rates) from a profiling run — the observed-
+// parameter workflow of §5.1. The caller supplies arrival rates and the
+// CPU count.
+func ParamsFromProfile(p *Program, prof *Profiler) SimParams {
+	return sim.FromProfile(p, prof)
+}
+
+// Code generation (§3.1).
+
+// GenerateStubs renders Go binding stubs for every concrete node,
+// predicate, and session function of the program.
+func GenerateStubs(p *Program, pkg string) string { return codegen.Stubs(p, pkg) }
+
+// GenerateDOT renders the flattened program graphs in Graphviz format.
+func GenerateDOT(p *Program) string { return codegen.DOT(p) }
+
+// GenerateSimulatorSource renders per-node discrete-event-simulation
+// code in the style of the paper's Figure 5.
+func GenerateSimulatorSource(p *Program) string { return codegen.SimulatorSource(p) }

@@ -1,0 +1,161 @@
+package flux_test
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	flux "github.com/flux-lang/flux"
+)
+
+const apiProgram = `
+Gen () => (int v);
+Double (int v) => (int v);
+Route (int v) => (int v);
+Big (int v) => (int v);
+Sink (int v) => ();
+source Gen => Flow;
+Flow = Double -> Split -> Sink;
+typedef big IsBig;
+Split:[big] = Big;
+Split:[_] = Route;
+atomic Sink:{out};
+`
+
+func TestCompileAndRunPublicAPI(t *testing.T) {
+	prog, err := flux.Compile("api.flux", apiProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Sources) != 1 || prog.Sources[0].Node.Name != "Gen" {
+		t.Fatalf("sources = %v", prog.Sources)
+	}
+
+	var n atomic.Int64
+	var sunk atomic.Int64
+	b := flux.NewBindings().
+		BindSource("Gen", func(fl *flux.Flow) (flux.Record, error) {
+			v := n.Add(1)
+			if v > 20 {
+				return nil, flux.ErrStop
+			}
+			return flux.Record{int(v)}, nil
+		}).
+		BindPredicate("IsBig", func(v any) bool { return v.(any).(int) > 20 }).
+		BindNode("Double", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			return flux.Record{in[0].(int) * 2}, nil
+		}).
+		BindNode("Big", passthrough).
+		BindNode("Route", passthrough).
+		BindNode("Sink", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			sunk.Add(1)
+			return nil, nil
+		})
+	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPool, PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if sunk.Load() != 20 {
+		t.Errorf("sink executions = %d", sunk.Load())
+	}
+}
+
+func passthrough(fl *flux.Flow, in flux.Record) (flux.Record, error) { return in, nil }
+
+func TestCompileErrorsSurface(t *testing.T) {
+	_, err := flux.Compile("bad.flux", `source X => Y;`)
+	if err == nil || !strings.Contains(err.Error(), "undefined node") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestProfilerThroughPublicAPI(t *testing.T) {
+	prog, err := flux.Compile("p.flux", `
+Gen () => (int v);
+Sink (int v) => ();
+source Gen => Flow;
+Flow = Sink;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := flux.NewProfiler()
+	var n atomic.Int64
+	b := flux.NewBindings().
+		BindSource("Gen", func(fl *flux.Flow) (flux.Record, error) {
+			if n.Add(1) > 5 {
+				return nil, flux.ErrStop
+			}
+			return flux.Record{1}, nil
+		}).
+		BindNode("Sink", func(fl *flux.Flow, in flux.Record) (flux.Record, error) { return nil, nil })
+	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPerFlow, Profiler: prof})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g := prog.Graphs["Gen"]
+	rows := prof.HotPaths(g, flux.ByCount, 0)
+	if len(rows) != 1 || rows[0].Count != 5 {
+		t.Errorf("hot paths = %+v", rows)
+	}
+	if rows[0].Label != "Gen -> Sink" {
+		t.Errorf("label = %q", rows[0].Label)
+	}
+}
+
+func TestSimulateThroughPublicAPI(t *testing.T) {
+	prog, err := flux.Compile("s.flux", `
+Arrive () => (int v);
+Serve (int v) => ();
+source Arrive => Flow;
+Flow = Serve;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := flux.Simulate(prog, flux.SimParams{
+		CPUs: 1, Duration: 50, Warmup: 5, Seed: 1,
+		Sources:  map[string]flux.SimSourceParams{"Arrive": {Rate: 100, Exponential: true}},
+		NodeTime: map[string]float64{"Serve": 0.001},
+	})
+	if res.Throughput < 80 || res.Throughput > 120 {
+		t.Errorf("throughput = %.1f, want ~100", res.Throughput)
+	}
+}
+
+func TestCodegenThroughPublicAPI(t *testing.T) {
+	prog, err := flux.Compile("g.flux", apiProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := flux.GenerateStubs(prog, "pkg"); !strings.Contains(out, "package pkg") {
+		t.Error("stubs missing package clause")
+	}
+	if out := flux.GenerateDOT(prog); !strings.Contains(out, "digraph flux") {
+		t.Error("dot missing digraph")
+	}
+	if out := flux.GenerateSimulatorSource(prog); !strings.Contains(out, "processor->reserve()") {
+		t.Error("simulator source missing reserve")
+	}
+}
+
+func TestIntervalSourcePublicAPI(t *testing.T) {
+	src := flux.IntervalSource(10 * time.Millisecond)
+	fl := &flux.Flow{Ctx: context.Background()}
+	start := time.Now()
+	rec, err := src(fl)
+	if err != nil || len(rec) != 1 {
+		t.Fatalf("rec=%v err=%v", rec, err)
+	}
+	if time.Since(start) < 8*time.Millisecond {
+		t.Error("interval source fired early")
+	}
+}

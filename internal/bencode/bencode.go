@@ -1,0 +1,235 @@
+// Package bencode implements the BitTorrent bencoding format: byte
+// strings, integers, lists, and dictionaries. The BitTorrent peer and its
+// tracker use it for metainfo files and tracker responses.
+//
+// Values map to Go types as:
+//
+//	byte string -> string
+//	integer     -> int64
+//	list        -> []any
+//	dictionary  -> map[string]any (keys encoded in sorted order)
+package bencode
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ErrTrailingData reports extra bytes after a complete value.
+var ErrTrailingData = errors.New("bencode: trailing data after value")
+
+// Encode renders a value. Supported types: string, []byte, int, int64,
+// uint32, []any, map[string]any.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeTo(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeTo(buf *bytes.Buffer, v any) error {
+	switch v := v.(type) {
+	case string:
+		buf.WriteString(strconv.Itoa(len(v)))
+		buf.WriteByte(':')
+		buf.WriteString(v)
+	case []byte:
+		buf.WriteString(strconv.Itoa(len(v)))
+		buf.WriteByte(':')
+		buf.Write(v)
+	case int:
+		return encodeTo(buf, int64(v))
+	case uint32:
+		return encodeTo(buf, int64(v))
+	case int64:
+		buf.WriteByte('i')
+		buf.WriteString(strconv.FormatInt(v, 10))
+		buf.WriteByte('e')
+	case []any:
+		buf.WriteByte('l')
+		for _, e := range v {
+			if err := encodeTo(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	case map[string]any:
+		buf.WriteByte('d')
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if err := encodeTo(buf, k); err != nil {
+				return err
+			}
+			if err := encodeTo(buf, v[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('e')
+	default:
+		return fmt.Errorf("bencode: unsupported type %T", v)
+	}
+	return nil
+}
+
+// Decode parses a single bencoded value and requires the input to be
+// fully consumed.
+func Decode(data []byte) (any, error) {
+	d := &decoder{data: data}
+	v, err := d.value()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(data) {
+		return nil, ErrTrailingData
+	}
+	return v, nil
+}
+
+// DecodePrefix parses one value and returns it with the number of bytes
+// consumed, allowing values embedded in streams.
+func DecodePrefix(data []byte) (v any, n int, err error) {
+	d := &decoder{data: data}
+	v, err = d.value()
+	if err != nil {
+		return nil, 0, err
+	}
+	return v, d.pos, nil
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return fmt.Errorf("bencode: offset %d: %s", d.pos, fmt.Sprintf(format, args...))
+}
+
+func (d *decoder) peek() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, d.errf("unexpected end of input")
+	}
+	return d.data[d.pos], nil
+}
+
+func (d *decoder) value() (any, error) {
+	c, err := d.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case c == 'i':
+		return d.integer()
+	case c == 'l':
+		return d.list()
+	case c == 'd':
+		return d.dict()
+	case c >= '0' && c <= '9':
+		return d.str()
+	default:
+		return nil, d.errf("invalid type byte %q", c)
+	}
+}
+
+func (d *decoder) integer() (int64, error) {
+	d.pos++ // 'i'
+	start := d.pos
+	for d.pos < len(d.data) && d.data[d.pos] != 'e' {
+		d.pos++
+	}
+	if d.pos >= len(d.data) {
+		return 0, d.errf("unterminated integer")
+	}
+	lit := string(d.data[start:d.pos])
+	d.pos++ // 'e'
+	if lit == "" {
+		return 0, d.errf("empty integer")
+	}
+	if lit != "0" && (lit[0] == '0' || (lit[0] == '-' && (len(lit) < 2 || lit[1] == '0'))) {
+		return 0, d.errf("invalid integer %q (leading zero or negative zero)", lit)
+	}
+	v, err := strconv.ParseInt(lit, 10, 64)
+	if err != nil {
+		return 0, d.errf("invalid integer %q", lit)
+	}
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	start := d.pos
+	for d.pos < len(d.data) && d.data[d.pos] != ':' {
+		d.pos++
+	}
+	if d.pos >= len(d.data) {
+		return "", d.errf("unterminated string length")
+	}
+	n, err := strconv.Atoi(string(d.data[start:d.pos]))
+	if err != nil || n < 0 {
+		return "", d.errf("invalid string length %q", d.data[start:d.pos])
+	}
+	d.pos++ // ':'
+	if d.pos+n > len(d.data) {
+		return "", d.errf("string extends past end of input")
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+func (d *decoder) list() ([]any, error) {
+	d.pos++ // 'l'
+	out := []any{}
+	for {
+		c, err := d.peek()
+		if err != nil {
+			return nil, err
+		}
+		if c == 'e' {
+			d.pos++
+			return out, nil
+		}
+		v, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}
+
+func (d *decoder) dict() (map[string]any, error) {
+	d.pos++ // 'd'
+	out := map[string]any{}
+	var prevKey string
+	first := true
+	for {
+		c, err := d.peek()
+		if err != nil {
+			return nil, err
+		}
+		if c == 'e' {
+			d.pos++
+			return out, nil
+		}
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		if !first && k <= prevKey {
+			return nil, d.errf("dictionary keys out of order: %q after %q", k, prevKey)
+		}
+		first, prevKey = false, k
+		v, err := d.value()
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+}

@@ -1,0 +1,195 @@
+package bencode
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeBasics(t *testing.T) {
+	cases := []struct {
+		in   any
+		want string
+	}{
+		{"spam", "4:spam"},
+		{"", "0:"},
+		{[]byte{0x01, 0x02}, "2:\x01\x02"},
+		{42, "i42e"},
+		{int64(-7), "i-7e"},
+		{uint32(8), "i8e"},
+		{[]any{"a", 1}, "l1:ai1ee"},
+		{map[string]any{"b": 2, "a": "x"}, "d1:a1:x1:bi2ee"}, // sorted keys
+		{[]any{}, "le"},
+		{map[string]any{}, "de"},
+	}
+	for _, tc := range cases {
+		got, err := Encode(tc.in)
+		if err != nil {
+			t.Errorf("Encode(%v): %v", tc.in, err)
+			continue
+		}
+		if string(got) != tc.want {
+			t.Errorf("Encode(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEncodeUnsupported(t *testing.T) {
+	if _, err := Encode(3.14); err == nil {
+		t.Error("expected error for float")
+	}
+}
+
+func TestDecodeBasics(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"4:spam", "spam"},
+		{"i42e", int64(42)},
+		{"i-7e", int64(-7)},
+		{"i0e", int64(0)},
+		{"l1:ai1ee", []any{"a", int64(1)}},
+		{"d1:a1:x1:bi2ee", map[string]any{"a": "x", "b": int64(2)}},
+		{"le", []any{}},
+		{"de", map[string]any{}},
+	}
+	for _, tc := range cases {
+		got, err := Decode([]byte(tc.in))
+		if err != nil {
+			t.Errorf("Decode(%q): %v", tc.in, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"", "x", "i42", "ie", "i--1e", "i01e", "i-0e", "5:abc", "l1:a",
+		"d1:a", "d1:bi1e1:ai2ee" /* out of order keys */, "4:spamX",
+		"-1:x", "i42ee",
+	}
+	for _, in := range bad {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) should fail", in)
+		}
+	}
+}
+
+func TestDecodePrefix(t *testing.T) {
+	v, n, err := DecodePrefix([]byte("i42eXYZ"))
+	if err != nil || v != int64(42) || n != 4 {
+		t.Errorf("DecodePrefix = %v, %d, %v", v, n, err)
+	}
+}
+
+func TestRoundTripNested(t *testing.T) {
+	in := map[string]any{
+		"announce": "http://tracker/announce",
+		"info": map[string]any{
+			"length":       int64(54 << 20),
+			"name":         "test.bin",
+			"piece length": int64(262144),
+			"pieces":       "aaaaaaaaaaaaaaaaaaaa",
+		},
+		"list": []any{int64(1), "two", []any{"three"}},
+	}
+	enc, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip mismatch:\nin  %#v\nout %#v", in, out)
+	}
+}
+
+// TestQuickRoundTripStrings: any byte string round-trips.
+func TestQuickRoundTripStrings(t *testing.T) {
+	f := func(s string) bool {
+		enc, err := Encode(s)
+		if err != nil {
+			return false
+		}
+		v, err := Decode(enc)
+		return err == nil && v == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundTripInts: any int64 round-trips.
+func TestQuickRoundTripInts(t *testing.T) {
+	f := func(i int64) bool {
+		enc, err := Encode(i)
+		if err != nil {
+			return false
+		}
+		v, err := Decode(enc)
+		return err == nil && v == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds arbitrary bytes to the decoder.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEncodeDecodeDicts round-trips random flat dictionaries.
+func TestQuickRoundTripDicts(t *testing.T) {
+	f := func(keys []string, vals []int64) bool {
+		m := map[string]any{}
+		for i, k := range keys {
+			if i < len(vals) {
+				m[k] = vals[i]
+			}
+		}
+		enc, err := Encode(m)
+		if err != nil {
+			return false
+		}
+		v, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(v, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryStringsPreserved(t *testing.T) {
+	raw := make([]byte, 256)
+	for i := range raw {
+		raw[i] = byte(i)
+	}
+	enc, err := Encode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(v.(string)), raw) {
+		t.Error("binary data corrupted")
+	}
+}

@@ -1,0 +1,107 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+)
+
+const src = `
+Listen () => (int s);
+ReadRequest (int s) => (int s, bool c);
+Fast (int s, bool c) => (int s, bool c);
+Slow (int s, bool c) => (int s, bool c);
+Done (int s, bool c) => ();
+H404 (int s) => ();
+source Listen => Flow;
+Flow = ReadRequest -> Route -> Done;
+typedef fast IsFast;
+Route:[_, fast] = Fast;
+Route:[_, _] = Slow;
+handle error ReadRequest => H404;
+atomic Fast:{cache?};
+atomic Slow:{cache};
+session Listen SessOf;
+`
+
+func compile(t *testing.T) *core.Program {
+	t.Helper()
+	astProg, err := parser.Parse("gen.flux", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestStubs(t *testing.T) {
+	out := Stubs(compile(t), "mysrv")
+	for _, want := range []string{
+		"package mysrv",
+		"func listen(fl *runtime.Flow) (runtime.Record, error)",
+		"func readRequest(fl *runtime.Flow, in runtime.Record)",
+		"func isFast(v any) bool",
+		"func sessOf(rec runtime.Record) uint64",
+		`BindSource("Listen", listen)`,
+		`BindNode("Done", done)`,
+		`BindPredicate("IsFast", isFast)`,
+		`BindSession("SessOf", sessOf)`,
+		"func BuildBindings() *runtime.Bindings",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stubs missing %q", want)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT(compile(t))
+	for _, want := range []string{
+		"digraph flux",
+		`label="source Listen"`,
+		"shape=box",     // exec vertices
+		"shape=diamond", // the Route branch
+		"style=dashed",  // error edges
+		"ERROR",
+		`label="case 0"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimulatorSource(t *testing.T) {
+	out := SimulatorSource(compile(t))
+	for _, want := range []string{
+		"void ReadRequest()",
+		"processor->reserve();",
+		"hold(exponential(CPU_TIME_FAST));",
+		"processor->release();",
+		"rw_read_lock(cache);",  // Fast has a reader constraint
+		"rw_write_lock(cache);", // Slow has a writer constraint
+		"rw_write_unlock(cache);",
+		"// Call the next Node",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("simulator source missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStubsCompileShape(t *testing.T) {
+	// The generated file must at least be balanced Go-ish text: every
+	// stub ends with a closing brace and the bindings chain is intact.
+	out := Stubs(compile(t), "x")
+	if strings.Count(out, "{") != strings.Count(out, "}") {
+		t.Error("unbalanced braces in generated stubs")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Error("stubs do not end with BuildBindings closing brace")
+	}
+}

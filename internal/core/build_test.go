@@ -1,0 +1,348 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+	"github.com/flux-lang/flux/internal/lang/parser"
+)
+
+// imageServerSrc is the complete Figure 2 program.
+const imageServerSrc = `
+Listen () => (int socket);
+ReadRequest (int socket) => (int socket, bool close, image_tag *request);
+CheckCache (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request);
+ReadInFromDisk (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request, __u8 *rgb_data);
+StoreInCache (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request);
+Compress (int socket, bool close, image_tag *request, __u8 *rgb_data)
+  => (int socket, bool close, image_tag *request);
+Write (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request);
+Complete (int socket, bool close, image_tag *request) => ();
+FourOhFour (int socket, bool close, image_tag *request) => ();
+
+source Listen => Image;
+Image = ReadRequest -> CheckCache -> Handler -> Write -> Complete;
+
+typedef hit TestInCache;
+Handler:[_, _, hit] = ;
+Handler:[_, _, _] = ReadInFromDisk -> Compress -> StoreInCache;
+
+handle error ReadInFromDisk => FourOhFour;
+
+atomic CheckCache:{cache};
+atomic StoreInCache:{cache};
+atomic Complete:{cache};
+`
+
+func compile(t *testing.T, src string) *Program {
+	t.Helper()
+	astProg, err := parser.Parse("test.flux", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Build(astProg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+func compileErr(t *testing.T, src string) error {
+	t.Helper()
+	astProg, err := parser.Parse("test.flux", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Build(astProg)
+	if err == nil {
+		t.Fatal("expected a build error")
+	}
+	return err
+}
+
+func TestBuildImageServer(t *testing.T) {
+	p := compile(t, imageServerSrc)
+
+	if len(p.Sources) != 1 {
+		t.Fatalf("sources = %d", len(p.Sources))
+	}
+	if p.Sources[0].Node.Name != "Listen" || p.Sources[0].Target.Name != "Image" {
+		t.Errorf("source = %s => %s", p.Sources[0].Node.Name, p.Sources[0].Target.Name)
+	}
+
+	img := p.Node("Image")
+	if img == nil || img.Kind != Abstract || len(img.Body) != 5 {
+		t.Fatalf("Image node = %+v", img)
+	}
+	h := p.Node("Handler")
+	if h == nil || h.Kind != Conditional || len(h.Cases) != 2 {
+		t.Fatalf("Handler node = %+v", h)
+	}
+	if !h.Cases[0].PassThrough() {
+		t.Error("hit case should be pass-through")
+	}
+	if len(h.Cases[1].Body) != 3 {
+		t.Errorf("miss case body = %v", h.Cases[1].Body)
+	}
+
+	rd := p.Node("ReadInFromDisk")
+	if rd.Handler == nil || rd.Handler.Name != "FourOhFour" {
+		t.Errorf("error handler = %v", rd.Handler)
+	}
+
+	if len(p.Node("CheckCache").Declared) != 1 || p.Node("CheckCache").Declared[0].Name != "cache" {
+		t.Errorf("CheckCache constraints = %v", p.Node("CheckCache").Declared)
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	p := compile(t, imageServerSrc)
+
+	img := p.Node("Image")
+	if got := typeString(img.In); got != "(int)" {
+		t.Errorf("Image input = %s", got)
+	}
+	if len(img.Out) != 0 {
+		t.Errorf("Image output = %s", typeString(img.Out))
+	}
+
+	h := p.Node("Handler")
+	if got := typeString(h.In); got != "(int, bool, image_tag*)" {
+		t.Errorf("Handler input = %s", got)
+	}
+	if got := typeString(h.Out); got != "(int, bool, image_tag*)" {
+		t.Errorf("Handler output = %s", got)
+	}
+}
+
+func TestUndefinedNodeReference(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+source Listen => Missing;
+`)
+	if !strings.Contains(err.Error(), "undefined node") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestUndefinedPredicateType(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s);
+B (int s) => (int s);
+source Listen => Flow;
+Flow = A -> H -> B;
+H:[nosuchtype] = ;
+H:[_] = A;
+`)
+	if !strings.Contains(err.Error(), "undefined predicate type") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestTypeMismatch(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s, bool b);
+B (int s) => ();
+source Listen => Flow;
+Flow = A -> B;
+`)
+	if !strings.Contains(err.Error(), `output of "A"`) {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s);
+source Listen => F;
+F = A -> G;
+G = A -> F;
+`)
+	if !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSourceMustBeNullary(t *testing.T) {
+	err := compileErr(t, `
+Listen (int x) => (int s);
+A (int s) => ();
+source Listen => A;
+`)
+	if !strings.Contains(err.Error(), "must take no inputs") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSinkInMiddleOfFlowRejected(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => ();
+B (int s) => ();
+source Listen => F;
+F = A -> B;
+`)
+	if !strings.Contains(err.Error(), "sink") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestHandlerTypeMismatch(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s);
+H (bool b) => ();
+source Listen => F;
+F = A;
+handle error A => H;
+`)
+	if !strings.Contains(err.Error(), "error handler") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestSelfHandlerRejected(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s);
+source Listen => F;
+F = A;
+handle error A => A;
+`)
+	if !strings.Contains(err.Error(), "cannot handle its own errors") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRedeclarationRejected(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+Listen () => (int t);
+A (int s) => ();
+source Listen => A;
+`)
+	if !strings.Contains(err.Error(), "redeclared") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNoSourceRejected(t *testing.T) {
+	err := compileErr(t, `A () => (int s);`)
+	if !strings.Contains(err.Error(), "no source") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPassThroughTypeMismatch(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s, bool b);
+B (int s, bool b) => (bool b);
+C (bool b) => ();
+source Listen => F;
+F = A -> H -> C;
+typedef p P;
+H:[_, p] = ;
+H:[_, _] = B;
+`)
+	if !strings.Contains(err.Error(), "pass-through") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestPatternArityMismatch(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s);
+source Listen => F;
+F = A -> H;
+typedef p P;
+H:[p, _] = ;
+H:[_] = A;
+`)
+	if !strings.Contains(err.Error(), "pattern") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestNoCatchAllWarning(t *testing.T) {
+	p := compile(t, `
+Listen () => (int s);
+A (int s) => (int s);
+source Listen => F;
+F = A -> H;
+typedef p P;
+H:[p] = A;
+`)
+	var found bool
+	for _, w := range p.Warnings {
+		if strings.Contains(w.Msg, "catch-all") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected catch-all warning, got %v", p.Warnings)
+	}
+}
+
+func TestConstraintModesParsedIntoIR(t *testing.T) {
+	p := compile(t, `
+Listen () => (int s);
+A (int s) => (int s);
+B (int s) => ();
+source Listen => F;
+F = A -> B;
+atomic A:{stats?};
+atomic B:{stats};
+`)
+	a := p.Node("A")
+	if a.Effective[0].Mode != ast.Reader {
+		t.Errorf("A mode = %v", a.Effective[0].Mode)
+	}
+	b := p.Node("B")
+	if b.Effective[0].Mode != ast.Writer {
+		t.Errorf("B mode = %v", b.Effective[0].Mode)
+	}
+}
+
+func TestSessionScopeConflictRejected(t *testing.T) {
+	err := compileErr(t, `
+Listen () => (int s);
+A (int s) => (int s);
+B (int s) => ();
+source Listen => F;
+F = A -> B;
+atomic A:{state(session)};
+atomic B:{state};
+`)
+	if !strings.Contains(err.Error(), "session-scoped and global") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestConstraintNames(t *testing.T) {
+	p := compile(t, imageServerSrc)
+	names := p.ConstraintNames()
+	if len(names) != 1 || names[0] != "cache" {
+		t.Errorf("constraint names = %v", names)
+	}
+}
+
+func TestConcreteNodes(t *testing.T) {
+	p := compile(t, imageServerSrc)
+	nodes := p.ConcreteNodes()
+	if len(nodes) != 9 {
+		t.Errorf("concrete nodes = %d", len(nodes))
+	}
+	if nodes[0].Name != "Listen" {
+		t.Errorf("first concrete node = %s", nodes[0].Name)
+	}
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+// FlatKind classifies vertices of the flattened executable graph.
+type FlatKind int
+
+const (
+	// FlatExec runs a concrete node's function.
+	FlatExec FlatKind = iota
+	// FlatBranch evaluates a conditional node's dispatch patterns in
+	// order and follows the first matching case edge.
+	FlatBranch
+	// FlatAcquire acquires a constraint set in canonical order.
+	FlatAcquire
+	// FlatRelease releases a constraint set in reverse order.
+	FlatRelease
+	// FlatExit terminates a flow normally.
+	FlatExit
+	// FlatError terminates a flow after an error (handled or not).
+	FlatError
+)
+
+func (k FlatKind) String() string {
+	switch k {
+	case FlatExec:
+		return "exec"
+	case FlatBranch:
+		return "branch"
+	case FlatAcquire:
+		return "acquire"
+	case FlatRelease:
+		return "release"
+	case FlatExit:
+		return "exit"
+	case FlatError:
+		return "error"
+	default:
+		return fmt.Sprintf("flat(%d)", int(k))
+	}
+}
+
+// FlatEdge is a directed edge of the flat graph. Inc carries the
+// Ball-Larus increment added to a flow's path register when the edge is
+// traversed.
+type FlatEdge struct {
+	From, To *FlatNode
+	// CaseIndex identifies the dispatch case for branch out-edges; -1
+	// otherwise.
+	CaseIndex int
+	// Err marks the error edge out of an exec vertex.
+	Err bool
+	Inc uint64
+}
+
+// FlatNode is a vertex of the flattened executable graph.
+type FlatNode struct {
+	ID   int
+	Kind FlatKind
+	// Node is the program-graph node this vertex came from: the concrete
+	// node for exec, the conditional node for branch, and the owning
+	// node for acquire/release. Nil for exit/error terminals.
+	Node *Node
+	// Cons is the constraint set for acquire/release vertices, in
+	// acquisition order.
+	Cons []ast.Constraint
+	// Out lists ordinary out-edges: one for exec/acquire/release, one
+	// per case for branch (in dispatch order), none for terminals.
+	Out []*FlatEdge
+	// ErrEdge, on exec vertices, is taken when the node function returns
+	// an error. It leads to the innermost error handler's exec vertex,
+	// or straight to the error terminal.
+	ErrEdge *FlatEdge
+}
+
+// Label returns a display name for the vertex.
+func (f *FlatNode) Label() string {
+	switch f.Kind {
+	case FlatExec:
+		return f.Node.Name
+	case FlatBranch:
+		return f.Node.Name + "?"
+	case FlatAcquire:
+		return "acquire" + consLabel(f.Cons)
+	case FlatRelease:
+		return "release" + consLabel(f.Cons)
+	case FlatExit:
+		return "EXIT"
+	case FlatError:
+		return "ERROR"
+	}
+	return "?"
+}
+
+func consLabel(cs []ast.Constraint) string {
+	s := "{"
+	for i, c := range cs {
+		if i > 0 {
+			s += ","
+		}
+		s += c.String()
+	}
+	return s + "}"
+}
+
+// Edges enumerates every out-edge, error edge last. The order defines the
+// Ball-Larus increment assignment and must be deterministic.
+func (f *FlatNode) Edges() []*FlatEdge {
+	if f.ErrEdge == nil {
+		return f.Out
+	}
+	es := make([]*FlatEdge, 0, len(f.Out)+1)
+	es = append(es, f.Out...)
+	es = append(es, f.ErrEdge)
+	return es
+}
+
+// FlatGraph is the executable form of one source's data flow: an acyclic
+// graph of exec/branch/acquire/release vertices between a single entry
+// and the exit/error terminals.
+type FlatGraph struct {
+	// Source is the source node whose outputs feed this graph.
+	Source *Node
+	// SessionFunc names the session-id function for session-scoped
+	// constraints, or "" (§2.5.1).
+	SessionFunc string
+	Entry       *FlatNode
+	Exit        *FlatNode
+	ErrExit     *FlatNode
+	// Nodes lists every vertex; Entry is Nodes[0] unless the flow is
+	// empty. IDs index into this slice.
+	Nodes []*FlatNode
+	// NumPaths is the number of distinct root-to-terminal paths, i.e.
+	// the Ball-Larus path-ID space (§5.2).
+	NumPaths uint64
+
+	program *Program
+}
+
+// Program returns the program this graph was flattened from.
+func (g *FlatGraph) Program() *Program { return g.program }
+
+func (g *FlatGraph) newNode(kind FlatKind, n *Node) *FlatNode {
+	fn := &FlatNode{ID: len(g.Nodes), Kind: kind, Node: n}
+	g.Nodes = append(g.Nodes, fn)
+	return fn
+}
+
+func edge(from, to *FlatNode) *FlatEdge {
+	return &FlatEdge{From: from, To: to, CaseIndex: -1}
+}
+
+// flattenAll builds and path-numbers one flat graph per source.
+func flattenAll(p *Program) error {
+	var errs ErrorList
+	for _, s := range p.Sources {
+		if _, dup := p.Graphs[s.Node.Name]; dup {
+			errs = append(errs, &Error{Pos: s.Pos, Msg: fmt.Sprintf(
+				"node %q declared as a source more than once", s.Node.Name)})
+			continue
+		}
+		g := flatten(p, s)
+		numberPaths(g)
+		p.Graphs[s.Node.Name] = g
+	}
+	return errs.Err()
+}
+
+// flattener builds one flat graph; handler exec chains are shared so that
+// many protected nodes can route errors to one handler vertex.
+type flattener struct {
+	g        *FlatGraph
+	handlers map[*Node]*FlatNode
+	// building guards against handler cycles (A handles B, B handles A):
+	// a handler whose expansion is in progress routes errors straight to
+	// the error terminal instead of recursing forever.
+	building map[*Node]bool
+}
+
+func flatten(p *Program, s *Source) *FlatGraph {
+	g := &FlatGraph{Source: s.Node, SessionFunc: p.Sessions[s.Node.Name], program: p}
+	f := &flattener{g: g, handlers: make(map[*Node]*FlatNode), building: make(map[*Node]bool)}
+	g.Exit = g.newNode(FlatExit, nil)
+	g.ErrExit = g.newNode(FlatError, nil)
+	g.Entry = f.build(s.Target, g.Exit, nil)
+	return g
+}
+
+// build flattens node n so that normal completion continues to next.
+// hstack is the stack of enclosing error handlers, innermost last.
+func (f *flattener) build(n *Node, next *FlatNode, hstack []*Node) *FlatNode {
+	// A constrained node executes inside an acquire/release bracket: the
+	// whole expansion runs holding the constraint set (two-phase).
+	inner := next
+	var release *FlatNode
+	if len(n.Effective) > 0 {
+		release = f.g.newNode(FlatRelease, n)
+		release.Cons = n.Effective
+		release.Out = []*FlatEdge{edge(release, next)}
+		inner = release
+	}
+
+	if n.Handler != nil {
+		hstack = append(hstack[:len(hstack):len(hstack)], n.Handler)
+	}
+
+	var entry *FlatNode
+	switch n.Kind {
+	case Concrete:
+		ex := f.g.newNode(FlatExec, n)
+		ex.Out = []*FlatEdge{edge(ex, inner)}
+		// Omit the error edge when it would parallel the normal edge
+		// (a handler whose success and failure both terminate at the
+		// error terminal); parallel edges would create distinct path
+		// IDs for indistinguishable paths.
+		if et := f.errTarget(n, hstack); et != inner {
+			errEdge := edge(ex, et)
+			errEdge.Err = true
+			ex.ErrEdge = errEdge
+		}
+		entry = ex
+
+	case Abstract:
+		entry = f.buildChain(n.Body, inner, hstack)
+
+	case Conditional:
+		br := f.g.newNode(FlatBranch, n)
+		for i, cs := range n.Cases {
+			var to *FlatNode
+			if cs.PassThrough() {
+				to = inner
+			} else {
+				to = f.buildChain(cs.Body, inner, hstack)
+			}
+			e := edge(br, to)
+			e.CaseIndex = i
+			br.Out = append(br.Out, e)
+		}
+		entry = br
+	}
+
+	if release != nil {
+		acq := f.g.newNode(FlatAcquire, n)
+		acq.Cons = n.Effective
+		acq.Out = []*FlatEdge{edge(acq, entry)}
+		return acq
+	}
+	return entry
+}
+
+// buildChain flattens a sequential flow right-to-left.
+func (f *flattener) buildChain(chain []*Node, next *FlatNode, hstack []*Node) *FlatNode {
+	cur := next
+	for i := len(chain) - 1; i >= 0; i-- {
+		cur = f.build(chain[i], cur, hstack)
+	}
+	return cur
+}
+
+// errTarget resolves where an error in node n sends the flow: the node's
+// own handler, else the innermost enclosing handler, else the error
+// terminal. Handler vertices are shared per handler node.
+func (f *flattener) errTarget(n *Node, hstack []*Node) *FlatNode {
+	h := n.Handler
+	if h == nil && len(hstack) > 0 {
+		h = hstack[len(hstack)-1]
+	}
+	if h == nil {
+		return f.g.ErrExit
+	}
+	if fe, ok := f.handlers[h]; ok {
+		return fe
+	}
+	if f.building[h] {
+		return f.g.ErrExit
+	}
+	// The handler runs and then the flow terminates on the error
+	// terminal (§2.4). A failing handler also terminates.
+	f.building[h] = true
+	fe := f.build(h, f.g.ErrExit, nil)
+	delete(f.building, h)
+	f.handlers[h] = fe
+	return fe
+}

@@ -1,0 +1,12 @@
+package core
+
+import (
+	"github.com/flux-lang/flux/internal/lang/ast"
+	"github.com/flux-lang/flux/internal/lang/parser"
+)
+
+// parserQuick parses Flux source for property tests, returning errors
+// instead of failing a *testing.T (quick.Check closures have none).
+func parserQuick(src string) (*ast.Program, error) {
+	return parser.Parse("quick.flux", src)
+}

@@ -1,0 +1,239 @@
+// Package core implements the Flux compiler's middle end: the program
+// graph intermediate representation, type checking, deadlock-free lock
+// assignment, graph flattening, and Ball-Larus path numbering.
+//
+// The pipeline mirrors §3.1 of the paper:
+//
+//  1. Build links every node referenced in the program's data flows and
+//     merges conditional (predicate-dispatch) flows.
+//  2. Typecheck decorates nodes with input/output types, connects error
+//     handlers, and verifies that each node's outputs match the inputs of
+//     its successors.
+//  3. AssignLocks imposes the canonical constraint ordering and hoists
+//     out-of-order constraints to parent nodes until no out-of-order
+//     constraint list remains (§3.1.1), then promotes reader acquisitions
+//     that are later reacquired as writers.
+//  4. Flatten expands every source's data flow into an acyclic executable
+//     graph with explicit acquire/release/branch/error vertices.
+//  5. NumberPaths runs the Ball-Larus algorithm over each flat graph so
+//     runtimes can profile hot paths with one addition per edge (§5.2).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+	"github.com/flux-lang/flux/internal/lang/token"
+)
+
+// NodeKind classifies nodes in the hierarchical program graph.
+type NodeKind int
+
+const (
+	// Concrete nodes are implemented by user-supplied functions.
+	Concrete NodeKind = iota
+	// Abstract nodes are flows: chains of other nodes.
+	Abstract
+	// Conditional nodes dispatch on predicate types (§2.3).
+	Conditional
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case Concrete:
+		return "concrete"
+	case Abstract:
+		return "abstract"
+	case Conditional:
+		return "conditional"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Node is a vertex in the hierarchical program graph.
+type Node struct {
+	Name string
+	Kind NodeKind
+	Pos  token.Position
+
+	// In and Out are the resolved input and output types. For concrete
+	// nodes they come from the declared signature; for abstract and
+	// conditional nodes they are inferred during type checking.
+	In  []ast.Param
+	Out []ast.Param
+
+	// Body is the flow chain for abstract nodes.
+	Body []*Node
+
+	// Cases are the dispatch alternatives for conditional nodes, in
+	// declaration order (the order predicates are tried, §2.3).
+	Cases []*Case
+
+	// Handler, when non-nil, receives the flow if this node (or, for
+	// abstract nodes, any node inside it without a nearer handler)
+	// returns an error (§2.4).
+	Handler *Node
+
+	// Declared holds the constraints written in the program's atomic
+	// declarations. Effective holds the constraint set after deadlock
+	// avoidance, sorted in canonical (acquisition) order.
+	Declared  []ast.Constraint
+	Effective []ast.Constraint
+
+	// hasSig records that a concrete signature was declared; resolved
+	// types for abstract/conditional nodes are filled in by typecheck.
+	hasSig bool
+}
+
+// IsSink reports whether the node produces no output.
+func (n *Node) IsSink() bool { return len(n.Out) == 0 }
+
+// Case is one alternative of a conditional node.
+type Case struct {
+	Pattern []ast.PatternElem
+	Body    []*Node // empty means pass-through
+	Pos     token.Position
+}
+
+// PassThrough reports whether the case forwards its input unchanged.
+func (c *Case) PassThrough() bool { return len(c.Body) == 0 }
+
+// Typedef binds a predicate type name to its boolean function (§2.3).
+type Typedef struct {
+	Name string // predicate type, e.g. "hit"
+	Func string // user function, e.g. "TestInCache"
+	Pos  token.Position
+}
+
+// Source pairs a source node with the flow it feeds (§2.1).
+type Source struct {
+	Node   *Node
+	Target *Node
+	Pos    token.Position
+}
+
+// Warning is a non-fatal compiler diagnostic, e.g. an early lock
+// acquisition introduced by deadlock avoidance (§3.1.1).
+type Warning struct {
+	Pos token.Position
+	Msg string
+}
+
+func (w Warning) String() string {
+	if w.Pos.IsValid() {
+		return w.Pos.String() + ": warning: " + w.Msg
+	}
+	return "warning: " + w.Msg
+}
+
+// Program is the fully analyzed Flux program.
+type Program struct {
+	Name  string
+	Nodes map[string]*Node
+	// Order lists node names in first-declaration order, for
+	// deterministic iteration.
+	Order    []string
+	Sources  []*Source
+	Typedefs map[string]*Typedef
+	// Sessions maps a source node name to its session-id function (§2.5.1).
+	Sessions map[string]string
+	Warnings []Warning
+	// Graphs holds the flattened, path-numbered executable graph for each
+	// source, keyed by source node name.
+	Graphs map[string]*FlatGraph
+}
+
+// Node returns the named node, or nil.
+func (p *Program) Node(name string) *Node { return p.Nodes[name] }
+
+// ConstraintNames returns the sorted set of distinct constraint names
+// declared anywhere in the program.
+func (p *Program) ConstraintNames() []string {
+	set := make(map[string]bool)
+	for _, name := range p.Order {
+		for _, c := range p.Nodes[name].Declared {
+			set[c.Name] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ConcreteNodes returns the concrete nodes in declaration order.
+func (p *Program) ConcreteNodes() []*Node {
+	var out []*Node
+	for _, name := range p.Order {
+		if n := p.Nodes[name]; n.Kind == Concrete {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Error is a positioned semantic diagnostic.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return e.Pos.String() + ": " + e.Msg
+	}
+	return e.Msg
+}
+
+// ErrorList collects semantic diagnostics.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	b.WriteString(l[0].Error())
+	fmt.Fprintf(&b, " (and %d more errors)", len(l)-1)
+	return b.String()
+}
+
+// Err returns nil when the list is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+func paramTypes(ps []ast.Param) []string {
+	ts := make([]string, len(ps))
+	for i, p := range ps {
+		ts[i] = p.TypeKey()
+	}
+	return ts
+}
+
+func typesEqual(a, b []ast.Param) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].TypeKey() != b[i].TypeKey() {
+			return false
+		}
+	}
+	return true
+}
+
+func typeString(ps []ast.Param) string {
+	return "(" + strings.Join(paramTypes(ps), ", ") + ")"
+}

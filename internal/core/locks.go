@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+// assignLocks performs the deadlock-avoidance pass of §3.1.1.
+//
+// Locks are acquired in a canonical order: alphabetically by constraint
+// name. Each node acquires its (effective) constraints in that order,
+// holds them for the duration of its execution — including, for abstract
+// and conditional nodes, the execution of everything inside them — and
+// releases them in reverse order (two-phase locking).
+//
+// Nesting can still acquire constraints out of canonical order: an outer
+// node holding "y" whose inner node needs "x" acquires y before x. The
+// compiler detects each such out-of-order acquisition by walking every
+// execution path and hoists the late constraint into the parent of the
+// node that requires it, forcing earlier acquisition. The process repeats
+// until no out-of-order acquisition remains; each hoist emits a warning
+// because early acquisition can reduce concurrency.
+//
+// A second pass finds constraints held as a reader and reacquired as a
+// writer on the same path and promotes the first acquisition to a writer.
+func assignLocks(p *Program) error {
+	var errs ErrorList
+
+	// Constraint identity is its name; a name must be consistently
+	// session-scoped or global across all declarations.
+	session := make(map[string]bool)
+	seen := make(map[string]bool)
+	for _, name := range p.Order {
+		n := p.Nodes[name]
+		for _, c := range n.Declared {
+			if seen[c.Name] && session[c.Name] != c.Session {
+				errs = append(errs, &Error{Pos: n.Pos, Msg: fmt.Sprintf(
+					"constraint %q is declared both session-scoped and global", c.Name)})
+			}
+			seen[c.Name] = true
+			session[c.Name] = c.Session
+		}
+	}
+	if err := errs.Err(); err != nil {
+		return err
+	}
+
+	// Start from the declared sets, canonically sorted.
+	for _, name := range p.Order {
+		n := p.Nodes[name]
+		n.Effective = append([]ast.Constraint(nil), n.Declared...)
+		sortConstraints(n.Effective)
+	}
+
+	roots := lockRoots(p)
+
+	// Hoisting fixpoint. Each iteration either finds no violation and
+	// stops, or adds one constraint to one node that lacked it; the
+	// number of (node, constraint) pairs bounds the iteration count.
+	maxIter := (len(p.Order) + 1) * (len(seen) + 1)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return ErrorList{{Msg: "internal error: lock hoisting did not converge"}}
+		}
+		v := findViolation(roots)
+		if v == nil {
+			break
+		}
+		hoisted := v.c
+		v.parent.Effective = append(v.parent.Effective, hoisted)
+		sortConstraints(v.parent.Effective)
+		p.Warnings = append(p.Warnings, Warning{Pos: v.parent.Pos, Msg: fmt.Sprintf(
+			"potential deadlock: constraint %q (required by %q) acquired early at %q to preserve canonical lock order",
+			hoisted.Name, v.at.Name, v.parent.Name)})
+	}
+
+	// Reader/writer unification fixpoint (promotions cannot introduce
+	// ordering violations; they only strengthen modes).
+	for promoteReaders(p, roots) {
+	}
+	return nil
+}
+
+// sortConstraints orders a constraint set canonically (alphabetically).
+func sortConstraints(cs []ast.Constraint) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Name < cs[j].Name })
+}
+
+// lockRoots returns the entry points for path enumeration: every source
+// target plus any node not referenced inside another node (covers program
+// fragments used in tests and tools).
+func lockRoots(p *Program) []*Node {
+	referenced := make(map[*Node]bool)
+	for _, name := range p.Order {
+		n := p.Nodes[name]
+		for _, m := range n.Body {
+			referenced[m] = true
+		}
+		for _, cs := range n.Cases {
+			for _, m := range cs.Body {
+				referenced[m] = true
+			}
+		}
+	}
+	var roots []*Node
+	added := make(map[*Node]bool)
+	for _, s := range p.Sources {
+		for _, n := range []*Node{s.Node, s.Target} {
+			if !added[n] {
+				roots = append(roots, n)
+				added[n] = true
+			}
+		}
+	}
+	for _, name := range p.Order {
+		n := p.Nodes[name]
+		if !referenced[n] && !added[n] {
+			roots = append(roots, n)
+			added[n] = true
+		}
+	}
+	return roots
+}
+
+// violation reports one out-of-order acquisition: constraint c, required
+// by node at, must be hoisted into parent.
+type violation struct {
+	c      ast.Constraint
+	at     *Node
+	parent *Node
+}
+
+// held tracks the lock state along one execution path.
+type heldLock struct {
+	c    ast.Constraint
+	site *Node
+}
+
+// findViolation walks every execution path from every root and returns the
+// first out-of-order acquisition found, or nil.
+func findViolation(roots []*Node) *violation {
+	w := &lockWalker{}
+	for _, r := range roots {
+		if v := w.walk(r, nil); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	held []heldLock
+}
+
+func (w *lockWalker) holds(name string) bool {
+	for _, h := range w.held {
+		if h.c.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// walk explores node n with the current held set; ancestors is the chain
+// of enclosing nodes on this path (immediate parent last). It returns the
+// first violation found, restoring the held stack before returning.
+func (w *lockWalker) walk(n *Node, ancestors []*Node) *violation {
+	depth := len(w.held)
+	defer func() { w.held = w.held[:depth] }()
+
+	for _, c := range n.Effective {
+		if w.holds(c.Name) {
+			continue // reentrant acquisition (§3.1.1)
+		}
+		// Out-of-order: some held constraint is canonically after c.
+		for _, h := range w.held {
+			if h.c.Name > c.Name {
+				if len(ancestors) == 0 {
+					// A root's own set is sorted, so a violation here
+					// means an inconsistent program; hoist to self is
+					// meaningless. This cannot occur: the conflicting
+					// holder h.site is an ancestor, so ancestors is
+					// non-empty whenever held is.
+					continue
+				}
+				return &violation{c: c, at: n, parent: ancestors[len(ancestors)-1]}
+			}
+		}
+		w.held = append(w.held, heldLock{c: c, site: n})
+	}
+
+	anc := append(ancestors, n)
+	switch n.Kind {
+	case Abstract:
+		for _, m := range n.Body {
+			if v := w.walk(m, anc); v != nil {
+				return v
+			}
+		}
+	case Conditional:
+		for _, cs := range n.Cases {
+			for _, m := range cs.Body {
+				if v := w.walk(m, anc); v != nil {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// promoteReaders finds a constraint held as a reader and reacquired as a
+// writer on the same path, promotes the first acquisition to a writer, and
+// reports whether it changed anything.
+func promoteReaders(p *Program, roots []*Node) bool {
+	pw := &promoteWalker{p: p}
+	for _, r := range roots {
+		if pw.walk(r) {
+			return true
+		}
+	}
+	return false
+}
+
+type promoteWalker struct {
+	p    *Program
+	held []heldLock
+}
+
+// walk returns true as soon as it performs one promotion; the caller
+// re-runs until quiescent.
+func (w *promoteWalker) walk(n *Node) bool {
+	depth := len(w.held)
+	defer func() { w.held = w.held[:depth] }()
+
+	for i := range n.Effective {
+		c := n.Effective[i]
+		reacq := false
+		for hi := range w.held {
+			h := &w.held[hi]
+			if h.c.Name != c.Name {
+				continue
+			}
+			reacq = true
+			if h.c.Mode == ast.Reader && c.Mode == ast.Writer {
+				// Promote the first acquisition site to writer.
+				site := h.site
+				for si := range site.Effective {
+					if site.Effective[si].Name == c.Name {
+						site.Effective[si].Mode = ast.Writer
+					}
+				}
+				w.p.Warnings = append(w.p.Warnings, Warning{Pos: site.Pos, Msg: fmt.Sprintf(
+					"constraint %q acquired as reader at %q but as writer at %q; first acquisition promoted to writer",
+					c.Name, site.Name, n.Name)})
+				return true
+			}
+			break
+		}
+		if !reacq {
+			w.held = append(w.held, heldLock{c: c, site: n})
+		}
+	}
+
+	switch n.Kind {
+	case Abstract:
+		for _, m := range n.Body {
+			if w.walk(m) {
+				return true
+			}
+		}
+	case Conditional:
+		for _, cs := range n.Cases {
+			for _, m := range cs.Body {
+				if w.walk(m) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

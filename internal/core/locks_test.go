@@ -1,0 +1,318 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+	"github.com/flux-lang/flux/internal/lang/parser"
+)
+
+// TestPaperHoistExample reproduces the exact example of §3.1.1:
+//
+//	A = B;  C = D;
+//	atomic A:{x}; atomic B:{y}; atomic C:{y}; atomic D:{x};
+//
+// A flow through C acquires y then x — out of canonical order — so the
+// compiler must add x to C, yielding C:{x,y}.
+func TestPaperHoistExample(t *testing.T) {
+	p := compile(t, `
+SrcA () => (int v);
+SrcC () => (int v);
+B (int v) => ();
+D (int v) => ();
+source SrcA => A;
+source SrcC => C;
+A = B;
+C = D;
+atomic A:{x};
+atomic B:{y};
+atomic C:{y};
+atomic D:{x};
+`)
+	c := p.Node("C")
+	names := constraintNames(c.Effective)
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("C effective constraints = %v, want [x y]", names)
+	}
+	// A and B keep their original sets.
+	if got := constraintNames(p.Node("A").Effective); len(got) != 1 || got[0] != "x" {
+		t.Errorf("A = %v", got)
+	}
+	if got := constraintNames(p.Node("B").Effective); len(got) != 1 || got[0] != "y" {
+		t.Errorf("B = %v", got)
+	}
+	// A hoist must produce a warning (§3.1.1: "it generates a warning
+	// message").
+	var warned bool
+	for _, w := range p.Warnings {
+		if strings.Contains(w.Msg, "acquired early") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("expected early-acquisition warning, got %v", p.Warnings)
+	}
+}
+
+func constraintNames(cs []ast.Constraint) []string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// TestHoistCascades checks a two-level hoist: the out-of-order constraint
+// must propagate up through nested abstract nodes until order is restored.
+func TestHoistCascades(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+Leaf (int v) => ();
+source Src => Outer;
+Outer = Mid;
+Mid = Inner;
+Inner = Leaf;
+atomic Outer:{z};
+atomic Leaf:{a};
+`)
+	// Outer holds z; Leaf needs a with z held: out of order. a hoists to
+	// Inner, still out of order (z held), then to Mid, then to Outer.
+	// At Outer, {a,z} sorts canonically and the violation disappears.
+	outer := p.Node("Outer")
+	names := constraintNames(outer.Effective)
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Errorf("Outer constraints = %v, want [a z]", names)
+	}
+}
+
+// TestNoHoistWhenInOrder verifies that canonically ordered acquisitions
+// are left untouched and produce no warnings.
+func TestNoHoistWhenInOrder(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+B (int v) => ();
+source Src => A;
+A = B;
+atomic A:{a};
+atomic B:{b};
+`)
+	if len(p.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", p.Warnings)
+	}
+	if got := constraintNames(p.Node("A").Effective); len(got) != 1 {
+		t.Errorf("A gained constraints: %v", got)
+	}
+}
+
+// TestReaderPromotedToWriter checks the reader/writer unification pass:
+// holding a constraint as a reader while an inner node reacquires it as a
+// writer promotes the outer acquisition.
+func TestReaderPromotedToWriter(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+B (int v) => ();
+source Src => A;
+A = B;
+atomic A:{cache?};
+atomic B:{cache};
+`)
+	a := p.Node("A")
+	if a.Effective[0].Mode != ast.Writer {
+		t.Errorf("A's cache constraint = %v, want writer", a.Effective[0].Mode)
+	}
+	var warned bool
+	for _, w := range p.Warnings {
+		if strings.Contains(w.Msg, "promoted to writer") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("expected promotion warning, got %v", p.Warnings)
+	}
+}
+
+// TestWriterThenReaderNotChanged: reacquiring as a reader while holding as
+// a writer is allowed and requires no change (§3.1.1).
+func TestWriterThenReaderNotChanged(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+B (int v) => ();
+source Src => A;
+A = B;
+atomic A:{cache};
+atomic B:{cache?};
+`)
+	a := p.Node("A")
+	if a.Effective[0].Mode != ast.Writer {
+		t.Errorf("A mode = %v", a.Effective[0].Mode)
+	}
+	b := p.Node("B")
+	if b.Effective[0].Mode != ast.Reader {
+		t.Errorf("B mode = %v", b.Effective[0].Mode)
+	}
+}
+
+// TestSequentialAcquisitionsNeedNoHoist: two sibling nodes acquiring
+// different constraints release between executions, so no ordering
+// conflict exists even when the second is canonically earlier.
+func TestSequentialAcquisitionsNeedNoHoist(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+A (int v) => (int v);
+B (int v) => ();
+source Src => F;
+F = A -> B;
+atomic A:{z};
+atomic B:{a};
+`)
+	if len(p.Warnings) != 0 {
+		t.Errorf("unexpected warnings: %v", p.Warnings)
+	}
+	if got := constraintNames(p.Node("F").Effective); len(got) != 0 {
+		t.Errorf("F gained constraints: %v", got)
+	}
+}
+
+// TestHoistThroughConditional: a constraint needed inside a dispatch case
+// hoists into the conditional node.
+func TestHoistThroughConditional(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+A (int v) => (int v);
+B (int v) => (int v);
+Z (int v) => ();
+source Src => F;
+F = A -> H -> Z;
+typedef fast IsFast;
+H:[fast] = ;
+H:[_] = B;
+atomic F:{z};
+atomic B:{a};
+`)
+	// F holds z for the whole flow; B (inside H's miss case) needs a.
+	// a must propagate up: B -> H -> F.
+	f := p.Node("F")
+	names := constraintNames(f.Effective)
+	if len(names) != 2 || names[0] != "a" || names[1] != "z" {
+		t.Errorf("F constraints = %v, want [a z]", names)
+	}
+}
+
+// lockOrderProperty is the deadlock-freedom invariant: after lock
+// assignment, every acquisition along every execution path happens in
+// canonical order (skipping reentrant reacquisitions). This is the
+// property that makes the canonical-order argument sound.
+func lockOrderProperty(p *Program) bool {
+	roots := lockRoots(p)
+	var ok = true
+	var walk func(n *Node, held []string)
+	walk = func(n *Node, held []string) {
+		depth := len(held)
+		for _, c := range n.Effective {
+			already := false
+			for _, h := range held {
+				if h == c.Name {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			for _, h := range held {
+				if h > c.Name {
+					ok = false
+				}
+			}
+			held = append(held, c.Name)
+		}
+		switch n.Kind {
+		case Abstract:
+			for _, m := range n.Body {
+				walk(m, held)
+			}
+		case Conditional:
+			for _, cs := range n.Cases {
+				for _, m := range cs.Body {
+					walk(m, held)
+				}
+			}
+		}
+		held = held[:depth]
+		_ = held
+	}
+	for _, r := range roots {
+		walk(r, nil)
+	}
+	return ok
+}
+
+// TestLockOrderPropertyRandomPrograms generates random constraint
+// assignments over a fixed nested program shape and verifies that lock
+// assignment always restores canonical order.
+func TestLockOrderPropertyRandomPrograms(t *testing.T) {
+	// The shape: Outer = A -> Mid -> B; Mid = C -> Inner; Inner = D.
+	// Each of the six nodes gets a random subset of constraints {a..e}.
+	f := func(masks [6]uint8) bool {
+		names := []string{"Outer", "Mid", "Inner", "A", "B", "C"}
+		consNames := []string{"a", "b", "c", "d", "e"}
+		var sb strings.Builder
+		sb.WriteString(`
+Src () => (int v);
+A (int v) => (int v);
+B (int v) => ();
+C (int v) => (int v);
+D (int v) => (int v);
+source Src => Outer;
+Outer = A -> Mid -> B;
+Mid = C -> Inner;
+Inner = D;
+`)
+		for i, node := range names {
+			var cs []string
+			for bit, cn := range consNames {
+				if masks[i]&(1<<bit) != 0 {
+					cs = append(cs, cn)
+				}
+			}
+			if len(cs) > 0 {
+				sb.WriteString("atomic " + node + ":{" + strings.Join(cs, ", ") + "};\n")
+			}
+		}
+		astProg, err := parser.Parse("quick.flux", sb.String())
+		if err != nil {
+			return false
+		}
+		p, err := Build(astProg)
+		if err != nil {
+			return false
+		}
+		return lockOrderProperty(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEffectiveAlwaysSorted: every node's effective constraint set is in
+// canonical order after assignment.
+func TestEffectiveAlwaysSorted(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+B (int v) => ();
+source Src => A;
+A = B;
+atomic A:{z, m, a};
+atomic B:{q};
+`)
+	for _, name := range p.Order {
+		n := p.Nodes[name]
+		names := constraintNames(n.Effective)
+		if !sort.StringsAreSorted(names) {
+			t.Errorf("%s effective constraints not sorted: %v", name, names)
+		}
+	}
+}

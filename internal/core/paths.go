@@ -1,0 +1,129 @@
+package core
+
+// Ball-Larus path numbering (§5.2).
+//
+// Because Flux graphs are acyclic, the Ball-Larus algorithm assigns each
+// edge an increment such that summing the increments along any
+// entry-to-terminal path yields a unique integer in [0, NumPaths). A
+// runtime profiles paths with a single addition per edge plus two timer
+// reads per node; DecodePath recovers the vertex sequence from an ID for
+// reporting.
+
+// numberPaths computes edge increments and the graph's path count.
+func numberPaths(g *FlatGraph) {
+	if g.Entry == nil {
+		g.NumPaths = 0
+		return
+	}
+	counts := make(map[*FlatNode]uint64, len(g.Nodes))
+	order := topoFrom(g.Entry)
+	// Process in reverse topological order so successors are counted
+	// before predecessors.
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		edges := v.Edges()
+		if len(edges) == 0 {
+			counts[v] = 1
+			continue
+		}
+		var sum uint64
+		for _, e := range edges {
+			e.Inc = sum
+			sum += counts[e.To]
+		}
+		counts[v] = sum
+	}
+	g.NumPaths = counts[g.Entry]
+}
+
+// topoFrom returns the vertices reachable from entry in topological order
+// (entry first). The graph is guaranteed acyclic by the type checker.
+func topoFrom(entry *FlatNode) []*FlatNode {
+	var order []*FlatNode
+	seen := make(map[*FlatNode]bool)
+	var visit func(v *FlatNode)
+	visit = func(v *FlatNode) {
+		if seen[v] {
+			return
+		}
+		seen[v] = true
+		for _, e := range v.Edges() {
+			visit(e.To)
+		}
+		order = append(order, v)
+	}
+	visit(entry)
+	// Reverse the postorder to get a topological order.
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// DecodePath recovers the vertex sequence for a Ball-Larus path ID. It
+// returns nil if the ID is out of range.
+func (g *FlatGraph) DecodePath(id uint64) []*FlatNode {
+	if g.Entry == nil || id >= g.NumPaths {
+		return nil
+	}
+	// Recompute per-vertex path counts; decode is a reporting operation,
+	// not a hot path.
+	counts := make(map[*FlatNode]uint64, len(g.Nodes))
+	order := topoFrom(g.Entry)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		edges := v.Edges()
+		if len(edges) == 0 {
+			counts[v] = 1
+			continue
+		}
+		var sum uint64
+		for _, e := range edges {
+			sum += counts[e.To]
+		}
+		counts[v] = sum
+	}
+
+	var path []*FlatNode
+	v := g.Entry
+	rem := id
+	for {
+		path = append(path, v)
+		edges := v.Edges()
+		if len(edges) == 0 {
+			return path
+		}
+		// Choose the last edge whose increment does not exceed the
+		// remaining value.
+		chosen := edges[0]
+		for _, e := range edges {
+			if e.Inc <= rem {
+				chosen = e
+			} else {
+				break
+			}
+		}
+		rem -= chosen.Inc
+		v = chosen.To
+	}
+}
+
+// PathLabel renders a decoded path as the sequence of executed node names
+// with the source node prepended, matching the presentation in §5.2
+// ("Listen → GetClients → ... → ERROR").
+func (g *FlatGraph) PathLabel(id uint64) string {
+	nodes := g.DecodePath(id)
+	if nodes == nil {
+		return ""
+	}
+	label := g.Source.Name
+	for _, v := range nodes {
+		switch v.Kind {
+		case FlatExec:
+			label += " -> " + v.Node.Name
+		case FlatError:
+			label += " -> ERROR"
+		}
+	}
+	return label
+}

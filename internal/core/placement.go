@@ -1,0 +1,142 @@
+package core
+
+import "sort"
+
+// Cluster placement analysis — the future-work direction of §8:
+// "Because concurrency constraints identify nodes that share state, we
+// plan to use these constraints to guide the placement of nodes across a
+// cluster to minimize communication."
+//
+// Nodes that share an atomicity constraint touch the same state and must
+// be co-located (or pay distributed locking); nodes with no constraints
+// can be placed anywhere. PlacementPlan computes the connected
+// components of the node-constraint bipartite graph.
+
+// Placement is a co-location plan for a Flux program's concrete nodes.
+type Placement struct {
+	// Groups lists sets of concrete nodes that must be co-located
+	// because they transitively share constraints. Each group also
+	// names the constraints binding it. Groups are sorted by first
+	// node name; nodes and constraints within a group are sorted.
+	Groups []PlacementGroup
+	// Free lists concrete nodes with no constraints: they can run on
+	// any cluster node.
+	Free []string
+}
+
+// PlacementGroup is one co-location set.
+type PlacementGroup struct {
+	Nodes       []string
+	Constraints []string
+}
+
+// PlacementPlan partitions the program's concrete nodes by shared
+// constraints. Constraints attached to abstract or conditional nodes
+// bind every concrete node inside them (the constraint is held across
+// their execution).
+func (p *Program) PlacementPlan() Placement {
+	// Union-find over node names and constraint names (prefixed to
+	// avoid collisions).
+	parent := make(map[string]string)
+	var find func(x string) string
+	find = func(x string) string {
+		if parent[x] == "" {
+			parent[x] = x
+			return x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	nodeKey := func(n string) string { return "n:" + n }
+	consKey := func(c string) string { return "c:" + c }
+
+	// Attribute each node's effective constraints to the concrete
+	// nodes that execute under them.
+	var collect func(n *Node, inherited []string)
+	seenWith := make(map[*Node]map[string]bool)
+	collect = func(n *Node, inherited []string) {
+		cs := append([]string(nil), inherited...)
+		for _, c := range n.Effective {
+			cs = append(cs, c.Name)
+		}
+		if n.Kind == Concrete {
+			if seenWith[n] == nil {
+				seenWith[n] = make(map[string]bool)
+			}
+			for _, c := range cs {
+				if !seenWith[n][c] {
+					seenWith[n][c] = true
+					union(nodeKey(n.Name), consKey(c))
+				}
+			}
+			// Register the node even when unconstrained.
+			find(nodeKey(n.Name))
+			return
+		}
+		for _, m := range n.Body {
+			collect(m, cs)
+		}
+		for _, cse := range n.Cases {
+			for _, m := range cse.Body {
+				collect(m, cs)
+			}
+		}
+	}
+	for _, s := range p.Sources {
+		collect(s.Node, nil)
+		collect(s.Target, nil)
+	}
+
+	// Gather components.
+	type comp struct {
+		nodes, cons map[string]bool
+	}
+	comps := make(map[string]*comp)
+	for x := range parent {
+		root := find(x)
+		c := comps[root]
+		if c == nil {
+			c = &comp{nodes: map[string]bool{}, cons: map[string]bool{}}
+			comps[root] = c
+		}
+		if x[0] == 'n' {
+			c.nodes[x[2:]] = true
+		} else {
+			c.cons[x[2:]] = true
+		}
+	}
+
+	var plan Placement
+	for _, c := range comps {
+		nodes := setToSorted(c.nodes)
+		cons := setToSorted(c.cons)
+		if len(cons) == 0 {
+			plan.Free = append(plan.Free, nodes...)
+			continue
+		}
+		plan.Groups = append(plan.Groups, PlacementGroup{Nodes: nodes, Constraints: cons})
+	}
+	sort.Strings(plan.Free)
+	sort.Slice(plan.Groups, func(i, j int) bool {
+		return plan.Groups[i].Nodes[0] < plan.Groups[j].Nodes[0]
+	})
+	return plan
+}
+
+func setToSorted(s map[string]bool) []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPlacementPlanImageServer(t *testing.T) {
+	p := compile(t, imageServerSrc)
+	plan := p.PlacementPlan()
+
+	// The cache constraint binds CheckCache, StoreInCache, Complete.
+	var cacheGroup *PlacementGroup
+	for i := range plan.Groups {
+		for _, c := range plan.Groups[i].Constraints {
+			if c == "cache" {
+				cacheGroup = &plan.Groups[i]
+			}
+		}
+	}
+	if cacheGroup == nil {
+		t.Fatalf("no cache group in %+v", plan)
+	}
+	want := []string{"CheckCache", "Complete", "StoreInCache"}
+	if !reflect.DeepEqual(cacheGroup.Nodes, want) {
+		t.Errorf("cache group = %v, want %v", cacheGroup.Nodes, want)
+	}
+
+	// Unconstrained nodes are free to place anywhere.
+	free := map[string]bool{}
+	for _, n := range plan.Free {
+		free[n] = true
+	}
+	for _, n := range []string{"ReadRequest", "Compress", "Write", "ReadInFromDisk"} {
+		if !free[n] {
+			t.Errorf("%s should be free, plan = %+v", n, plan)
+		}
+	}
+}
+
+func TestPlacementTransitiveSharing(t *testing.T) {
+	// A shares x with B; B shares y with C: all three co-locate.
+	p := compile(t, `
+Src () => (int v);
+A (int v) => (int v);
+B (int v) => (int v);
+C (int v) => ();
+source Src => F;
+F = A -> B -> C;
+atomic A:{x};
+atomic B:{x, y};
+atomic C:{y};
+`)
+	plan := p.PlacementPlan()
+	if len(plan.Groups) != 1 {
+		t.Fatalf("groups = %+v", plan.Groups)
+	}
+	if !reflect.DeepEqual(plan.Groups[0].Nodes, []string{"A", "B", "C"}) {
+		t.Errorf("group nodes = %v", plan.Groups[0].Nodes)
+	}
+	if !reflect.DeepEqual(plan.Groups[0].Constraints, []string{"x", "y"}) {
+		t.Errorf("group constraints = %v", plan.Groups[0].Constraints)
+	}
+}
+
+func TestPlacementDisjointGroups(t *testing.T) {
+	p := compile(t, `
+Src () => (int v);
+A (int v) => (int v);
+B (int v) => (int v);
+C (int v) => (int v);
+D (int v) => ();
+source Src => F;
+F = A -> B -> C -> D;
+atomic A:{x};
+atomic B:{x};
+atomic C:{y};
+atomic D:{y};
+`)
+	plan := p.PlacementPlan()
+	if len(plan.Groups) != 2 {
+		t.Fatalf("groups = %+v", plan.Groups)
+	}
+	if !reflect.DeepEqual(plan.Groups[0].Nodes, []string{"A", "B"}) ||
+		!reflect.DeepEqual(plan.Groups[1].Nodes, []string{"C", "D"}) {
+		t.Errorf("groups = %+v", plan.Groups)
+	}
+}
+
+func TestPlacementAbstractConstraintCoversBody(t *testing.T) {
+	// A constraint on the abstract node binds every concrete node in
+	// its body (the constraint spans their execution).
+	p := compile(t, `
+Src () => (int v);
+A (int v) => (int v);
+B (int v) => ();
+source Src => F;
+F = A -> B;
+atomic F:{shared};
+`)
+	plan := p.PlacementPlan()
+	if len(plan.Groups) != 1 {
+		t.Fatalf("groups = %+v", plan.Groups)
+	}
+	if !reflect.DeepEqual(plan.Groups[0].Nodes, []string{"A", "B"}) {
+		t.Errorf("group = %v", plan.Groups[0].Nodes)
+	}
+}

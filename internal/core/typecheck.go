@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/flux-lang/flux/internal/lang/token"
+)
+
+// typecheck decorates every node with resolved input/output types and
+// verifies the program graph (§3.1, pass two):
+//
+//   - every node mentioned in a flow has a declared or inferable type;
+//   - within each chain, the output type of a node matches the input type
+//     of its successor;
+//   - dispatch patterns have one element per input argument and name
+//     declared predicate types;
+//   - source nodes take no input and their output feeds the target;
+//   - error handlers accept the protected node's input;
+//   - the graph is acyclic.
+type checker struct {
+	p       *Program
+	errs    ErrorList
+	state   map[*Node]int // 0 unvisited, 1 visiting, 2 done
+	visitTo []string      // stack of names for cycle diagnostics
+}
+
+const (
+	unvisited = iota
+	visiting
+	done
+)
+
+func typecheck(p *Program) error {
+	c := &checker{p: p, state: make(map[*Node]int)}
+
+	// Resolve every node reachable from a source; then sweep the rest so
+	// unused-but-broken declarations still produce diagnostics.
+	for _, s := range p.Sources {
+		c.resolve(s.Node)
+		c.resolve(s.Target)
+	}
+	for _, name := range p.Order {
+		c.resolve(p.Nodes[name])
+	}
+
+	for _, s := range p.Sources {
+		c.checkSource(s)
+	}
+	for _, name := range p.Order {
+		c.checkHandler(p.Nodes[name])
+	}
+	return c.errs.Err()
+}
+
+func (c *checker) errorf(pos token.Position, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// resolve computes n.In and n.Out, checking internal consistency. It
+// detects cycles through abstract and conditional bodies.
+func (c *checker) resolve(n *Node) {
+	if n == nil {
+		return
+	}
+	switch c.state[n] {
+	case done:
+		return
+	case visiting:
+		c.errorf(n.Pos, "cycle in program graph: %s", c.cyclePath(n.Name))
+		return
+	}
+	c.state[n] = visiting
+	c.visitTo = append(c.visitTo, n.Name)
+	defer func() {
+		c.visitTo = c.visitTo[:len(c.visitTo)-1]
+		c.state[n] = done
+	}()
+
+	switch n.Kind {
+	case Concrete:
+		if !n.hasSig {
+			// Placeholder created for an undefined reference; build
+			// already reported it.
+			return
+		}
+	case Abstract:
+		c.resolveAbstract(n)
+	case Conditional:
+		c.resolveConditional(n)
+	}
+}
+
+func (c *checker) cyclePath(name string) string {
+	// Find the first occurrence of name in the visit stack and print the
+	// loop from there.
+	for i, v := range c.visitTo {
+		if v == name {
+			return strings.Join(append(c.visitTo[i:], name), " -> ")
+		}
+	}
+	return name
+}
+
+// resolveAbstract types an abstract node from its body chain and verifies
+// each internal connection.
+func (c *checker) resolveAbstract(n *Node) {
+	if len(n.Body) == 0 {
+		c.errorf(n.Pos, "abstract node %q has an empty flow", n.Name)
+		return
+	}
+	for _, m := range n.Body {
+		c.resolve(m)
+	}
+	c.checkChain(n.Name, n.Body, n.Pos)
+	n.In = n.Body[0].In
+	n.Out = n.Body[len(n.Body)-1].Out
+}
+
+// resolveConditional types a conditional node from its non-empty cases and
+// verifies pattern arity, predicate types, case body chains, and the
+// agreement of all case types (§2.3).
+func (c *checker) resolveConditional(n *Node) {
+	if len(n.Cases) == 0 {
+		c.errorf(n.Pos, "conditional node %q has no cases", n.Name)
+		return
+	}
+	var first *Case
+	for _, cs := range n.Cases {
+		for _, m := range cs.Body {
+			c.resolve(m)
+		}
+		if !cs.PassThrough() {
+			c.checkChain(n.Name, cs.Body, cs.Pos)
+			if first == nil {
+				first = cs
+			}
+		}
+	}
+	if first == nil {
+		c.errorf(n.Pos, "conditional node %q has only pass-through cases; its type cannot be inferred", n.Name)
+		return
+	}
+	n.In = first.Body[0].In
+	n.Out = first.Body[len(first.Body)-1].Out
+
+	for _, cs := range n.Cases {
+		if len(cs.Pattern) != len(n.In) {
+			c.errorf(cs.Pos, "dispatch pattern for %q has %d elements, node takes %d arguments",
+				n.Name, len(cs.Pattern), len(n.In))
+		}
+		if cs.PassThrough() {
+			if !typesEqual(n.In, n.Out) {
+				c.errorf(cs.Pos, "pass-through case of %q requires input type %s to equal output type %s",
+					n.Name, typeString(n.In), typeString(n.Out))
+			}
+			continue
+		}
+		if !typesEqual(cs.Body[0].In, n.In) {
+			c.errorf(cs.Pos, "case of %q has input type %s, want %s",
+				n.Name, typeString(cs.Body[0].In), typeString(n.In))
+		}
+		if !typesEqual(cs.Body[len(cs.Body)-1].Out, n.Out) {
+			c.errorf(cs.Pos, "case of %q has output type %s, want %s",
+				n.Name, typeString(cs.Body[len(cs.Body)-1].Out), typeString(n.Out))
+		}
+	}
+
+	// The final case should be a catch-all; a dispatch with no wildcard
+	// row can drop flows at runtime. This mirrors the ordered matching of
+	// §2.3 and is a warning, not an error.
+	last := n.Cases[len(n.Cases)-1]
+	allWild := true
+	for _, e := range last.Pattern {
+		if !e.Wildcard {
+			allWild = false
+			break
+		}
+	}
+	if !allWild {
+		c.p.Warnings = append(c.p.Warnings, Warning{
+			Pos: last.Pos,
+			Msg: fmt.Sprintf("conditional node %q has no catch-all case; unmatched flows are dropped", n.Name),
+		})
+	}
+}
+
+// checkChain verifies output->input agreement along a flow chain.
+func (c *checker) checkChain(owner string, chain []*Node, pos token.Position) {
+	for i := 0; i+1 < len(chain); i++ {
+		a, b := chain[i], chain[i+1]
+		if a.In == nil && a.Out == nil && a.Kind != Concrete {
+			continue // resolution already failed; avoid cascading
+		}
+		if len(a.Out) == 0 {
+			c.errorf(pos, "in flow %q, node %q is a sink but is followed by %q", owner, a.Name, b.Name)
+			continue
+		}
+		if !typesEqual(a.Out, b.In) {
+			c.errorf(pos, "in flow %q, output of %q is %s but input of %q is %s",
+				owner, a.Name, typeString(a.Out), b.Name, typeString(b.In))
+		}
+	}
+}
+
+// checkSource verifies source arity and the source->target connection.
+func (c *checker) checkSource(s *Source) {
+	if s.Node.Kind != Concrete {
+		c.errorf(s.Pos, "source %q must be a concrete node, not %s", s.Node.Name, s.Node.Kind)
+		return
+	}
+	if len(s.Node.In) != 0 {
+		c.errorf(s.Pos, "source node %q must take no inputs, has %s", s.Node.Name, typeString(s.Node.In))
+	}
+	if len(s.Node.Out) == 0 {
+		c.errorf(s.Pos, "source node %q must produce output to initiate a flow", s.Node.Name)
+	}
+	if !typesEqual(s.Node.Out, s.Target.In) {
+		c.errorf(s.Pos, "source %q produces %s but flow %q consumes %s",
+			s.Node.Name, typeString(s.Node.Out), s.Target.Name, typeString(s.Target.In))
+	}
+}
+
+// checkHandler verifies that an error handler consumes the protected
+// node's input type — the data in hand when the node failed (§2.4).
+func (c *checker) checkHandler(n *Node) {
+	if n.Handler == nil {
+		return
+	}
+	h := n.Handler
+	if h.Kind != Concrete {
+		c.errorf(h.Pos, "error handler %q for %q must be a concrete node", h.Name, n.Name)
+		return
+	}
+	if !typesEqual(h.In, n.In) {
+		c.errorf(h.Pos, "error handler %q takes %s but %q fails holding %s",
+			h.Name, typeString(h.In), n.Name, typeString(n.In))
+	}
+}

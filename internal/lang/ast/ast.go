@@ -1,0 +1,299 @@
+// Package ast declares the abstract syntax tree for Flux programs.
+//
+// A Flux program is a flat list of declarations (there is no nesting and no
+// statement language): concrete node type signatures, source declarations,
+// abstract node flows, predicate typedefs, predicate-dispatch cases, error
+// handlers, and atomicity constraints. See §2 of the paper.
+package ast
+
+import (
+	"strings"
+
+	"github.com/flux-lang/flux/internal/lang/token"
+)
+
+// Program is the root of the AST: every declaration in source order.
+type Program struct {
+	File  string
+	Decls []Decl
+}
+
+// Decl is a top-level Flux declaration.
+type Decl interface {
+	Pos() token.Position
+	declNode()
+}
+
+// Param is a single typed argument in a node signature, e.g. "int socket"
+// or "image_tag *request". Pointer stars are folded into the type name
+// ("image_tag*") so type equality is a plain string comparison.
+type Param struct {
+	Type     string
+	Name     string
+	ParamPos token.Position
+}
+
+// TypeKey returns the canonical type spelling used in type checking.
+func (p Param) TypeKey() string { return p.Type }
+
+func (p Param) String() string {
+	if p.Name == "" {
+		return p.Type
+	}
+	return p.Type + " " + p.Name
+}
+
+// NodeSig declares a concrete node's type signature:
+//
+//	ReadRequest (int socket) => (int socket, bool close, image_tag *request);
+type NodeSig struct {
+	Name    string
+	Inputs  []Param
+	Outputs []Param
+	NamePos token.Position
+}
+
+func (d *NodeSig) Pos() token.Position { return d.NamePos }
+func (d *NodeSig) declNode()           {}
+
+func (d *NodeSig) String() string {
+	var b strings.Builder
+	b.WriteString(d.Name)
+	b.WriteString(" (")
+	writeParams(&b, d.Inputs)
+	b.WriteString(") => (")
+	writeParams(&b, d.Outputs)
+	b.WriteString(");")
+	return b.String()
+}
+
+func writeParams(b *strings.Builder, ps []Param) {
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(p.String())
+	}
+}
+
+// SourceDecl declares a source node and the flow it feeds:
+//
+//	source Listen => Image;
+type SourceDecl struct {
+	Source    string
+	Target    string
+	SourcePos token.Position
+}
+
+func (d *SourceDecl) Pos() token.Position { return d.SourcePos }
+func (d *SourceDecl) declNode()           {}
+func (d *SourceDecl) String() string {
+	return "source " + d.Source + " => " + d.Target + ";"
+}
+
+// FlowDecl defines an abstract node as a chain of nodes:
+//
+//	Image = ReadRequest -> CheckCache -> Handler -> Write -> Complete;
+type FlowDecl struct {
+	Name    string
+	Nodes   []string
+	NamePos token.Position
+}
+
+func (d *FlowDecl) Pos() token.Position { return d.NamePos }
+func (d *FlowDecl) declNode()           {}
+func (d *FlowDecl) String() string {
+	return d.Name + " = " + strings.Join(d.Nodes, " -> ") + ";"
+}
+
+// PatternElem is one element of a dispatch pattern: either the wildcard
+// ("_" or "*") or a predicate type name.
+type PatternElem struct {
+	Wildcard bool
+	Type     string // predicate type name when !Wildcard
+	ElemPos  token.Position
+}
+
+func (e PatternElem) String() string {
+	if e.Wildcard {
+		return "_"
+	}
+	return e.Type
+}
+
+// DispatchDecl is one case of a predicate-typed conditional node:
+//
+//	Handler:[_, _, hit] = ;
+//	Handler:[_, _, _]   = ReadInFromDisk -> Compress -> StoreInCache;
+//
+// Cases for the same node name are tried in declaration order; an empty
+// body is the identity flow (output passes straight through).
+type DispatchDecl struct {
+	Name    string
+	Pattern []PatternElem
+	Body    []string // empty means pass-through
+	NamePos token.Position
+}
+
+func (d *DispatchDecl) Pos() token.Position { return d.NamePos }
+func (d *DispatchDecl) declNode()           {}
+func (d *DispatchDecl) String() string {
+	var b strings.Builder
+	b.WriteString(d.Name)
+	b.WriteString(":[")
+	for i, e := range d.Pattern {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString("] = ")
+	b.WriteString(strings.Join(d.Body, " -> "))
+	b.WriteString(";")
+	return b.String()
+}
+
+// TypedefDecl binds a predicate type name to a user-supplied boolean
+// function:
+//
+//	typedef hit TestInCache;
+type TypedefDecl struct {
+	Name    string // predicate type, e.g. "hit"
+	Func    string // boolean function, e.g. "TestInCache"
+	NamePos token.Position
+}
+
+func (d *TypedefDecl) Pos() token.Position { return d.NamePos }
+func (d *TypedefDecl) declNode()           {}
+func (d *TypedefDecl) String() string      { return "typedef " + d.Name + " " + d.Func + ";" }
+
+// ErrorHandlerDecl routes a node's non-nil error return to a handler node:
+//
+//	handle error ReadInFromDisk => FourOhFour;
+type ErrorHandlerDecl struct {
+	Node      string
+	Handler   string
+	HandlePos token.Position
+}
+
+func (d *ErrorHandlerDecl) Pos() token.Position { return d.HandlePos }
+func (d *ErrorHandlerDecl) declNode()           {}
+func (d *ErrorHandlerDecl) String() string {
+	return "handle error " + d.Node + " => " + d.Handler + ";"
+}
+
+// ConstraintMode distinguishes reader from writer atomicity constraints.
+type ConstraintMode int
+
+const (
+	// Writer is the default: exclusive access (paper §2.5, "!" optional).
+	Writer ConstraintMode = iota
+	// Reader allows concurrent execution with other readers ("?").
+	Reader
+)
+
+func (m ConstraintMode) String() string {
+	if m == Reader {
+		return "reader"
+	}
+	return "writer"
+}
+
+// Constraint is one named atomicity constraint with its mode and scope.
+type Constraint struct {
+	Name    string
+	Mode    ConstraintMode
+	Session bool // per-session scope: name(session)
+}
+
+func (c Constraint) String() string {
+	s := c.Name
+	if c.Session {
+		s += "(session)"
+	}
+	if c.Mode == Reader {
+		s += "?"
+	}
+	return s
+}
+
+// AtomicDecl attaches atomicity constraints to a node (concrete or
+// abstract):
+//
+//	atomic CheckCache:{cache};
+//	atomic Stats:{stats?, log};
+type AtomicDecl struct {
+	Node        string
+	Constraints []Constraint
+	AtomicPos   token.Position
+}
+
+func (d *AtomicDecl) Pos() token.Position { return d.AtomicPos }
+func (d *AtomicDecl) declNode()           {}
+func (d *AtomicDecl) String() string {
+	parts := make([]string, len(d.Constraints))
+	for i, c := range d.Constraints {
+		parts[i] = c.String()
+	}
+	return "atomic " + d.Node + ":{" + strings.Join(parts, ", ") + "};"
+}
+
+// SessionDecl names the user-supplied session-id function applied to a
+// source node's output (paper §2.5.1):
+//
+//	session BitTorrent SessionOf;
+//
+// This declaration is an extension point: the paper describes the session
+// function in prose; we give it concrete syntax so programs are
+// self-contained.
+type SessionDecl struct {
+	Source     string // source node whose output is hashed
+	Func       string // session id function name
+	SessionPos token.Position
+}
+
+func (d *SessionDecl) Pos() token.Position { return d.SessionPos }
+func (d *SessionDecl) declNode()           {}
+func (d *SessionDecl) String() string      { return "session " + d.Source + " " + d.Func + ";" }
+
+// String renders the whole program in canonical syntax, one declaration
+// per line. Parsing the output yields an equivalent AST (round-trip
+// property, exercised in tests).
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, d := range p.Decls {
+		type stringer interface{ String() string }
+		if s, ok := d.(stringer); ok {
+			b.WriteString(s.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// NodesReferenced returns the set of node names mentioned anywhere in the
+// program's flows, dispatches, sources, and handlers. Useful for tools.
+func (p *Program) NodesReferenced() map[string]bool {
+	refs := make(map[string]bool)
+	for _, d := range p.Decls {
+		switch d := d.(type) {
+		case *SourceDecl:
+			refs[d.Source] = true
+			refs[d.Target] = true
+		case *FlowDecl:
+			refs[d.Name] = true
+			for _, n := range d.Nodes {
+				refs[n] = true
+			}
+		case *DispatchDecl:
+			refs[d.Name] = true
+			for _, n := range d.Body {
+				refs[n] = true
+			}
+		case *ErrorHandlerDecl:
+			refs[d.Node] = true
+			refs[d.Handler] = true
+		}
+	}
+	return refs
+}

@@ -1,0 +1,260 @@
+// Package lexer implements a hand-written scanner for Flux source text.
+//
+// The scanner is byte-oriented (Flux source is ASCII in practice) and never
+// allocates per token beyond the literal string. It recognizes both comment
+// styles, tracks line/column positions, and reports malformed input as
+// Invalid tokens carrying the offending text so the parser can produce a
+// positioned diagnostic rather than panicking.
+package lexer
+
+import (
+	"github.com/flux-lang/flux/internal/lang/token"
+)
+
+// Lexer scans Flux source text into tokens.
+type Lexer struct {
+	src  string
+	file string
+
+	off  int // current byte offset
+	line int
+	col  int
+
+	keepComments bool
+}
+
+// Option configures a Lexer.
+type Option func(*Lexer)
+
+// KeepComments makes the lexer emit Comment tokens instead of skipping them.
+// The parser never asks for this; tools (formatters, doc extractors) do.
+func KeepComments() Option {
+	return func(l *Lexer) { l.keepComments = true }
+}
+
+// New returns a Lexer over src. The file name is used only for positions.
+func New(file, src string, opts ...Option) *Lexer {
+	l := &Lexer{src: src, file: file, line: 1, col: 1}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+func (l *Lexer) pos() token.Position {
+	return token.Position{File: l.file, Line: l.line, Column: l.col, Offset: l.off}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isLetter(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z'
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isIdentByte(c byte) bool { return isLetter(c) || isDigit(c) || c == '_' }
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	for {
+		l.skipSpace()
+		if l.off >= len(l.src) {
+			return token.Token{Kind: token.EOF, Pos: l.pos()}
+		}
+		start := l.pos()
+		c := l.peek()
+
+		// Comments.
+		if c == '/' && l.peek2() == '/' {
+			lit := l.scanLineComment()
+			if l.keepComments {
+				return token.Token{Kind: token.Comment, Lit: lit, Pos: start}
+			}
+			continue
+		}
+		if c == '/' && l.peek2() == '*' {
+			lit, ok := l.scanBlockComment()
+			if !ok {
+				return token.Token{Kind: token.Invalid, Lit: lit, Pos: start}
+			}
+			if l.keepComments {
+				return token.Token{Kind: token.Comment, Lit: lit, Pos: start}
+			}
+			continue
+		}
+
+		// Identifiers and keywords. A lone '_' is the wildcard token;
+		// '_' followed by ident bytes is an identifier (e.g. _private).
+		if isLetter(c) || c == '_' {
+			lit := l.scanIdent()
+			if lit == "_" {
+				return token.Token{Kind: token.Underscore, Lit: lit, Pos: start}
+			}
+			return token.Token{Kind: token.Lookup(lit), Lit: lit, Pos: start}
+		}
+
+		if isDigit(c) {
+			return token.Token{Kind: token.Int, Lit: l.scanNumber(), Pos: start}
+		}
+
+		if c == '"' {
+			lit, ok := l.scanString()
+			kind := token.String
+			if !ok {
+				kind = token.Invalid
+			}
+			return token.Token{Kind: kind, Lit: lit, Pos: start}
+		}
+
+		// Operators.
+		l.advance()
+		switch c {
+		case '-':
+			if l.peek() == '>' {
+				l.advance()
+				return token.Token{Kind: token.Arrow, Lit: "->", Pos: start}
+			}
+			return token.Token{Kind: token.Invalid, Lit: "-", Pos: start}
+		case '=':
+			if l.peek() == '>' {
+				l.advance()
+				return token.Token{Kind: token.DoubleArr, Lit: "=>", Pos: start}
+			}
+			return token.Token{Kind: token.Assign, Lit: "=", Pos: start}
+		case ':':
+			return token.Token{Kind: token.Colon, Lit: ":", Pos: start}
+		case ';':
+			return token.Token{Kind: token.Semicolon, Lit: ";", Pos: start}
+		case ',':
+			return token.Token{Kind: token.Comma, Lit: ",", Pos: start}
+		case '(':
+			return token.Token{Kind: token.LParen, Lit: "(", Pos: start}
+		case ')':
+			return token.Token{Kind: token.RParen, Lit: ")", Pos: start}
+		case '[':
+			return token.Token{Kind: token.LBracket, Lit: "[", Pos: start}
+		case ']':
+			return token.Token{Kind: token.RBracket, Lit: "]", Pos: start}
+		case '{':
+			return token.Token{Kind: token.LBrace, Lit: "{", Pos: start}
+		case '}':
+			return token.Token{Kind: token.RBrace, Lit: "}", Pos: start}
+		case '?':
+			return token.Token{Kind: token.Question, Lit: "?", Pos: start}
+		case '!':
+			return token.Token{Kind: token.Bang, Lit: "!", Pos: start}
+		case '*':
+			return token.Token{Kind: token.Star, Lit: "*", Pos: start}
+		default:
+			return token.Token{Kind: token.Invalid, Lit: string(c), Pos: start}
+		}
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch l.src[l.off] {
+		case ' ', '\t', '\r', '\n':
+			l.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scanIdent() string {
+	start := l.off
+	for l.off < len(l.src) && isIdentByte(l.src[l.off]) {
+		l.advance()
+	}
+	return l.src[start:l.off]
+}
+
+func (l *Lexer) scanNumber() string {
+	start := l.off
+	for l.off < len(l.src) && isDigit(l.src[l.off]) {
+		l.advance()
+	}
+	return l.src[start:l.off]
+}
+
+// scanString scans a double-quoted string with no escapes (Flux has no
+// string operations; strings exist for future pragma use). Returns the
+// contents without quotes; ok is false on an unterminated string.
+func (l *Lexer) scanString() (lit string, ok bool) {
+	l.advance() // opening quote
+	start := l.off
+	for l.off < len(l.src) {
+		if l.src[l.off] == '"' {
+			lit = l.src[start:l.off]
+			l.advance()
+			return lit, true
+		}
+		if l.src[l.off] == '\n' {
+			break
+		}
+		l.advance()
+	}
+	return l.src[start:l.off], false
+}
+
+func (l *Lexer) scanLineComment() string {
+	start := l.off
+	for l.off < len(l.src) && l.src[l.off] != '\n' {
+		l.advance()
+	}
+	return l.src[start:l.off]
+}
+
+func (l *Lexer) scanBlockComment() (lit string, terminated bool) {
+	start := l.off
+	l.advance() // '/'
+	l.advance() // '*'
+	for l.off < len(l.src) {
+		if l.src[l.off] == '*' && l.peek2() == '/' {
+			l.advance()
+			l.advance()
+			return l.src[start:l.off], true
+		}
+		l.advance()
+	}
+	return l.src[start:l.off], false
+}
+
+// All scans the remaining input and returns every token up to and including
+// EOF. It is a convenience for tests and tools.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

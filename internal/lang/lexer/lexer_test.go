@@ -1,0 +1,205 @@
+package lexer
+
+import (
+	"testing"
+
+	"github.com/flux-lang/flux/internal/lang/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	ks := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.Kind
+	}
+	return ks
+}
+
+func TestScanSimpleDeclaration(t *testing.T) {
+	src := "source Listen => Image;"
+	toks := New("t.flux", src).All()
+	want := []token.Kind{
+		token.Source, token.Ident, token.DoubleArr, token.Ident,
+		token.Semicolon, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[1].Lit != "Listen" || toks[3].Lit != "Image" {
+		t.Errorf("identifier literals wrong: %v", toks)
+	}
+}
+
+func TestScanSignature(t *testing.T) {
+	src := "ReadRequest (int socket) => (int socket, bool close, image_tag *request);"
+	toks := New("", src).All()
+	want := []token.Kind{
+		token.Ident, token.LParen, token.Ident, token.Ident, token.RParen,
+		token.DoubleArr, token.LParen,
+		token.Ident, token.Ident, token.Comma,
+		token.Ident, token.Ident, token.Comma,
+		token.Ident, token.Star, token.Ident,
+		token.RParen, token.Semicolon, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d (%v), want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanOperators(t *testing.T) {
+	src := "-> => = : ; , ( ) [ ] { } ? ! * _"
+	want := []token.Kind{
+		token.Arrow, token.DoubleArr, token.Assign, token.Colon,
+		token.Semicolon, token.Comma, token.LParen, token.RParen,
+		token.LBracket, token.RBracket, token.LBrace, token.RBrace,
+		token.Question, token.Bang, token.Star, token.Underscore, token.EOF,
+	}
+	got := kinds(New("", src).All())
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestUnderscoreIdentifiers(t *testing.T) {
+	toks := New("", "__u8 _x _").All()
+	if toks[0].Kind != token.Ident || toks[0].Lit != "__u8" {
+		t.Errorf("__u8 = %v", toks[0])
+	}
+	if toks[1].Kind != token.Ident || toks[1].Lit != "_x" {
+		t.Errorf("_x = %v", toks[1])
+	}
+	if toks[2].Kind != token.Underscore {
+		t.Errorf("_ = %v", toks[2])
+	}
+}
+
+func TestCommentsSkippedByDefault(t *testing.T) {
+	src := "// line comment\nfoo /* block\ncomment */ bar"
+	toks := New("", src).All()
+	got := kinds(toks)
+	want := []token.Kind{token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCommentsKept(t *testing.T) {
+	src := "// hello\nfoo"
+	toks := New("", src, KeepComments()).All()
+	if toks[0].Kind != token.Comment {
+		t.Fatalf("expected comment first, got %v", toks[0])
+	}
+	if toks[0].Lit != "// hello" {
+		t.Errorf("comment literal = %q", toks[0].Lit)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	src := "a\n  bb\n"
+	toks := New("f.flux", src).All()
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Column != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Column != 3 {
+		t.Errorf("bb at %v", toks[1].Pos)
+	}
+	if toks[1].Pos.File != "f.flux" {
+		t.Errorf("file = %q", toks[1].Pos.File)
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	toks := New("", "/* never ends").All()
+	if toks[0].Kind != token.Invalid {
+		t.Errorf("expected invalid token, got %v", toks[0])
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	toks := New("", `"no closing quote`).All()
+	if toks[0].Kind != token.Invalid {
+		t.Errorf("expected invalid token, got %v", toks[0])
+	}
+}
+
+func TestString(t *testing.T) {
+	toks := New("", `"hello world"`).All()
+	if toks[0].Kind != token.String || toks[0].Lit != "hello world" {
+		t.Errorf("string token = %v", toks[0])
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := New("", "42 007").All()
+	if toks[0].Kind != token.Int || toks[0].Lit != "42" {
+		t.Errorf("42 = %v", toks[0])
+	}
+	if toks[1].Kind != token.Int || toks[1].Lit != "007" {
+		t.Errorf("007 = %v", toks[1])
+	}
+}
+
+func TestInvalidByte(t *testing.T) {
+	toks := New("", "@").All()
+	if toks[0].Kind != token.Invalid || toks[0].Lit != "@" {
+		t.Errorf("@ = %v", toks[0])
+	}
+}
+
+func TestLoneMinus(t *testing.T) {
+	toks := New("", "-").All()
+	if toks[0].Kind != token.Invalid {
+		t.Errorf("- = %v", toks[0])
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("", "")
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("call %d: expected EOF, got %v", i, tok)
+		}
+	}
+}
+
+func TestFigure1AbbreviatedSyntax(t *testing.T) {
+	// Figure 1 of the paper uses '?' as the flow connector.
+	src := "Image = ReadRequest? CheckCache ? Handler ?Write? Complete;"
+	toks := New("", src).All()
+	var qs, ids int
+	for _, tok := range toks {
+		switch tok.Kind {
+		case token.Question:
+			qs++
+		case token.Ident:
+			ids++
+		}
+	}
+	if qs != 4 {
+		t.Errorf("question marks = %d, want 4", qs)
+	}
+	if ids != 6 { // Image + 5 node names
+		t.Errorf("identifiers = %d, want 6", ids)
+	}
+}

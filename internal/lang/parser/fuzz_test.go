@@ -1,0 +1,140 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+// TestQuickParseNeverPanics feeds arbitrary byte soup to the parser; it
+// must return (possibly with errors) rather than panic.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse("fuzz.flux", src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickParseFluxLikeInput fuzzes with token fragments that resemble
+// real Flux programs, hitting deeper parser paths than raw bytes do.
+func TestQuickParseFluxLikeInput(t *testing.T) {
+	fragments := []string{
+		"source", "typedef", "atomic", "handle", "error", "session",
+		"A", "B", "flow", "(", ")", "[", "]", "{", "}", "=>", "->", "=",
+		";", ",", ":", "?", "!", "_", "*", "int", "bool", "x", "y",
+		"//c\n", "/*c*/", "\"s\"", "42",
+	}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for _, p := range picks {
+			sb.WriteString(fragments[int(p)%len(fragments)])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse("fuzz2.flux", sb.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRoundTripGeneratedPrograms builds random well-formed programs,
+// prints them, re-parses, and requires structural equality — the
+// generator/printer/parser triangle.
+func TestQuickRoundTripGeneratedPrograms(t *testing.T) {
+	f := func(nodes uint8, withDispatch, withHandler, withAtomic bool) bool {
+		n := int(nodes%5) + 1
+		var sb strings.Builder
+		sb.WriteString("Gen () => (int v);\n")
+		for i := 0; i < n; i++ {
+			sb.WriteString(nodeName(i) + " (int v) => (int v);\n")
+		}
+		sb.WriteString("Snk (int v) => ();\n")
+		sb.WriteString("source Gen => F;\nF = ")
+		for i := 0; i < n; i++ {
+			sb.WriteString(nodeName(i) + " -> ")
+		}
+		if withDispatch {
+			sb.WriteString("D -> ")
+		}
+		sb.WriteString("Snk;\n")
+		if withDispatch {
+			sb.WriteString("typedef p P;\nD:[p] = ;\nD:[_] = ;\n")
+		}
+		if withHandler {
+			sb.WriteString("H (int v) => ();\nhandle error " + nodeName(0) + " => H;\n")
+		}
+		if withAtomic {
+			sb.WriteString("atomic " + nodeName(0) + ":{c1, c2?};\n")
+		}
+		src := sb.String()
+		p1, err := Parse("gen.flux", src)
+		if err != nil {
+			t.Logf("first parse failed:\n%s\n%v", src, err)
+			return false
+		}
+		printed := p1.String()
+		p2, err := Parse("gen2.flux", printed)
+		if err != nil {
+			t.Logf("re-parse failed:\n%s\n%v", printed, err)
+			return false
+		}
+		if len(p1.Decls) != len(p2.Decls) {
+			return false
+		}
+		return p1.String() == p2.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func nodeName(i int) string { return "N" + string(rune('A'+i)) }
+
+// TestDeepNestingDoesNotOverflow parses a long chain; the parser is
+// iterative over declarations, so arbitrarily long programs must work.
+func TestDeepNestingDoesNotOverflow(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("Gen () => (int v);\n")
+	const n = 5000
+	for i := 0; i < n; i++ {
+		name := nodeChainName(i)
+		sb.WriteString(name + " (int v) => (int v);\n")
+	}
+	sb.WriteString("source Gen => F;\nF = ")
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		sb.WriteString(nodeChainName(i))
+	}
+	sb.WriteString(";\n")
+	prog, err := Parse("deep.flux", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flow *ast.FlowDecl
+	for _, d := range prog.Decls {
+		if f, ok := d.(*ast.FlowDecl); ok {
+			flow = f
+		}
+	}
+	if flow == nil || len(flow.Nodes) != n {
+		t.Fatalf("chain length = %v", flow)
+	}
+}
+
+func nodeChainName(i int) string {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	name := "N"
+	for i >= 0 {
+		name += string(letters[i%26])
+		i = i/26 - 1
+	}
+	return name
+}

@@ -1,0 +1,410 @@
+// Package parser implements a recursive-descent parser for Flux source.
+//
+// The parser accepts the canonical syntax of Figure 2 in the paper and the
+// abbreviated syntax of Figure 1 (where "?" joins nodes in a flow and the
+// colon before a dispatch pattern is omitted). It recovers from errors at
+// declaration boundaries (";") so one malformed declaration does not mask
+// diagnostics in the rest of the file.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+	"github.com/flux-lang/flux/internal/lang/lexer"
+	"github.com/flux-lang/flux/internal/lang/token"
+)
+
+// Error is a single positioned parse diagnostic.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+func (e *Error) Error() string { return e.Pos.String() + ": " + e.Msg }
+
+// ErrorList collects every diagnostic produced during a parse.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	switch len(l) {
+	case 0:
+		return "no errors"
+	case 1:
+		return l[0].Error()
+	}
+	var b strings.Builder
+	b.WriteString(l[0].Error())
+	fmt.Fprintf(&b, " (and %d more errors)", len(l)-1)
+	return b.String()
+}
+
+// Err returns the list as an error, or nil when empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// AsErrorList extracts an ErrorList from an error returned by Parse.
+func AsErrorList(err error) (ErrorList, bool) {
+	var l ErrorList
+	if errors.As(err, &l) {
+		return l, true
+	}
+	return nil, false
+}
+
+type parser struct {
+	lex  *lexer.Lexer
+	tok  token.Token // current token
+	errs ErrorList
+}
+
+// Parse parses a complete Flux program. On failure it returns the partial
+// program along with an ErrorList describing every problem found.
+func Parse(file, src string) (*ast.Program, error) {
+	p := &parser{lex: lexer.New(file, src)}
+	p.next()
+	prog := &ast.Program{File: file}
+	for p.tok.Kind != token.EOF {
+		d := p.parseDecl()
+		if d != nil {
+			prog.Decls = append(prog.Decls, d)
+		}
+	}
+	return prog, p.errs.Err()
+}
+
+func (p *parser) next() { p.tok = p.lex.Next() }
+
+func (p *parser) errorf(pos token.Position, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// expect consumes a token of the given kind or records an error. It returns
+// the consumed token (or the current one on mismatch, without consuming).
+func (p *parser) expect(k token.Kind) token.Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return t
+	}
+	p.next()
+	return t
+}
+
+// sync skips tokens until just past the next ';' (or EOF), the declaration
+// boundary used for error recovery.
+func (p *parser) sync() {
+	for p.tok.Kind != token.EOF {
+		if p.tok.Kind == token.Semicolon {
+			p.next()
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseDecl() ast.Decl {
+	switch p.tok.Kind {
+	case token.Source:
+		return p.parseSource()
+	case token.Typedef:
+		return p.parseTypedef()
+	case token.Atomic:
+		return p.parseAtomic()
+	case token.Handle:
+		return p.parseHandle()
+	case token.Session:
+		return p.parseSession()
+	case token.Ident:
+		return p.parseNamedDecl()
+	default:
+		p.errorf(p.tok.Pos, "expected declaration, found %s", p.tok)
+		p.sync()
+		return nil
+	}
+}
+
+// parseSource parses: source Name (=>|?) Target ;
+func (p *parser) parseSource() ast.Decl {
+	pos := p.tok.Pos
+	p.next() // 'source'
+	name := p.expect(token.Ident)
+	if p.tok.Kind == token.DoubleArr || p.tok.Kind == token.Question || p.tok.Kind == token.Arrow {
+		p.next()
+	} else {
+		p.errorf(p.tok.Pos, "expected => after source node name, found %s", p.tok)
+		p.sync()
+		return nil
+	}
+	target := p.expect(token.Ident)
+	p.expect(token.Semicolon)
+	return &ast.SourceDecl{Source: name.Lit, Target: target.Lit, SourcePos: pos}
+}
+
+// parseTypedef parses: typedef Name Func ;
+func (p *parser) parseTypedef() ast.Decl {
+	pos := p.tok.Pos
+	p.next() // 'typedef'
+	name := p.expect(token.Ident)
+	fn := p.expect(token.Ident)
+	p.expect(token.Semicolon)
+	return &ast.TypedefDecl{Name: name.Lit, Func: fn.Lit, NamePos: pos}
+}
+
+// parseHandle parses: handle error Node => Handler ;
+func (p *parser) parseHandle() ast.Decl {
+	pos := p.tok.Pos
+	p.next() // 'handle'
+	p.expect(token.Error)
+	node := p.expect(token.Ident)
+	p.expect(token.DoubleArr)
+	handler := p.expect(token.Ident)
+	p.expect(token.Semicolon)
+	return &ast.ErrorHandlerDecl{Node: node.Lit, Handler: handler.Lit, HandlePos: pos}
+}
+
+// parseSession parses: session Source Func ;
+func (p *parser) parseSession() ast.Decl {
+	pos := p.tok.Pos
+	p.next() // 'session'
+	src := p.expect(token.Ident)
+	fn := p.expect(token.Ident)
+	p.expect(token.Semicolon)
+	return &ast.SessionDecl{Source: src.Lit, Func: fn.Lit, SessionPos: pos}
+}
+
+// parseAtomic parses: atomic Node : { constraint (, constraint)* } ;
+func (p *parser) parseAtomic() ast.Decl {
+	pos := p.tok.Pos
+	p.next() // 'atomic'
+	node := p.expect(token.Ident)
+	p.expect(token.Colon)
+	p.expect(token.LBrace)
+	var cs []ast.Constraint
+	for {
+		c, ok := p.parseConstraint()
+		if !ok {
+			p.sync()
+			return nil
+		}
+		cs = append(cs, c)
+		if p.tok.Kind != token.Comma {
+			break
+		}
+		p.next()
+	}
+	p.expect(token.RBrace)
+	p.expect(token.Semicolon)
+	return &ast.AtomicDecl{Node: node.Lit, Constraints: cs, AtomicPos: pos}
+}
+
+// parseConstraint parses: Name [ '(' session ')' ] [ '?' | '!' ]
+func (p *parser) parseConstraint() (ast.Constraint, bool) {
+	if p.tok.Kind != token.Ident {
+		p.errorf(p.tok.Pos, "expected constraint name, found %s", p.tok)
+		return ast.Constraint{}, false
+	}
+	c := ast.Constraint{Name: p.tok.Lit}
+	p.next()
+	if p.tok.Kind == token.LParen {
+		p.next()
+		if p.tok.Kind != token.Session {
+			p.errorf(p.tok.Pos, "expected 'session' in constraint scope, found %s", p.tok)
+			return ast.Constraint{}, false
+		}
+		p.next()
+		p.expect(token.RParen)
+		c.Session = true
+	}
+	switch p.tok.Kind {
+	case token.Question:
+		c.Mode = ast.Reader
+		p.next()
+	case token.Bang:
+		c.Mode = ast.Writer
+		p.next()
+	}
+	return c, true
+}
+
+// parseNamedDecl handles the three declaration forms that begin with a bare
+// identifier:
+//
+//	Name ( params ) => ( params ) ;      concrete node signature
+//	Name = chain ;                        abstract node flow
+//	Name [:] [ pattern ] = chain? ;       predicate dispatch case
+func (p *parser) parseNamedDecl() ast.Decl {
+	name := p.tok
+	p.next()
+	switch p.tok.Kind {
+	case token.LParen:
+		return p.parseSig(name)
+	case token.Assign:
+		p.next()
+		nodes, ok := p.parseChain(true)
+		if !ok {
+			p.sync()
+			return nil
+		}
+		p.expect(token.Semicolon)
+		return &ast.FlowDecl{Name: name.Lit, Nodes: nodes, NamePos: name.Pos}
+	case token.Colon, token.LBracket:
+		if p.tok.Kind == token.Colon {
+			p.next()
+		}
+		return p.parseDispatch(name)
+	default:
+		p.errorf(p.tok.Pos, "expected '(', '=', ':' or '[' after %q, found %s", name.Lit, p.tok)
+		p.sync()
+		return nil
+	}
+}
+
+// parseSig parses the remainder of a concrete node signature after the name:
+// ( params ) => ( params ) ;
+func (p *parser) parseSig(name token.Token) ast.Decl {
+	inputs, ok := p.parseParamList()
+	if !ok {
+		p.sync()
+		return nil
+	}
+	p.expect(token.DoubleArr)
+	outputs, ok := p.parseParamList()
+	if !ok {
+		p.sync()
+		return nil
+	}
+	p.expect(token.Semicolon)
+	return &ast.NodeSig{Name: name.Lit, Inputs: inputs, Outputs: outputs, NamePos: name.Pos}
+}
+
+// parseParamList parses: '(' [ param (',' param)* ] ')'
+func (p *parser) parseParamList() ([]ast.Param, bool) {
+	if p.tok.Kind != token.LParen {
+		p.errorf(p.tok.Pos, "expected '(', found %s", p.tok)
+		return nil, false
+	}
+	p.next()
+	var params []ast.Param
+	if p.tok.Kind == token.RParen {
+		p.next()
+		return params, true
+	}
+	for {
+		prm, ok := p.parseParam()
+		if !ok {
+			return nil, false
+		}
+		params = append(params, prm)
+		if p.tok.Kind == token.Comma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok.Kind != token.RParen {
+		p.errorf(p.tok.Pos, "expected ')' or ',', found %s", p.tok)
+		return nil, false
+	}
+	p.next()
+	return params, true
+}
+
+// parseParam parses a C-style parameter: Type ['*'...] [Name]. The pointer
+// stars fold into the type name, so "image_tag *request" has type
+// "image_tag*" and name "request".
+func (p *parser) parseParam() (ast.Param, bool) {
+	if p.tok.Kind != token.Ident {
+		p.errorf(p.tok.Pos, "expected parameter type, found %s", p.tok)
+		return ast.Param{}, false
+	}
+	prm := ast.Param{Type: p.tok.Lit, ParamPos: p.tok.Pos}
+	p.next()
+	for p.tok.Kind == token.Star {
+		prm.Type += "*"
+		p.next()
+	}
+	if p.tok.Kind == token.Ident {
+		prm.Name = p.tok.Lit
+		p.next()
+	}
+	return prm, true
+}
+
+// parseChain parses a flow body: a sequence of node names joined by "->" or
+// "?". With allowEmpty, an immediately following ';' yields an empty chain
+// (the dispatch pass-through case "Handler:[...] = ;").
+func (p *parser) parseChain(allowEmpty bool) ([]string, bool) {
+	var nodes []string
+	if p.tok.Kind == token.Semicolon {
+		if allowEmpty {
+			return nodes, true
+		}
+		p.errorf(p.tok.Pos, "empty flow")
+		return nil, false
+	}
+	for {
+		if p.tok.Kind != token.Ident {
+			p.errorf(p.tok.Pos, "expected node name, found %s", p.tok)
+			return nil, false
+		}
+		nodes = append(nodes, p.tok.Lit)
+		p.next()
+		if p.tok.Kind == token.Arrow || p.tok.Kind == token.Question {
+			p.next()
+			continue
+		}
+		return nodes, true
+	}
+}
+
+// parseDispatch parses the remainder of a dispatch case after "Name:" or
+// "Name": [ pattern ] = chain? ;
+func (p *parser) parseDispatch(name token.Token) ast.Decl {
+	if p.tok.Kind != token.LBracket {
+		p.errorf(p.tok.Pos, "expected '[' to open dispatch pattern, found %s", p.tok)
+		p.sync()
+		return nil
+	}
+	p.next()
+	var pat []ast.PatternElem
+	for {
+		switch p.tok.Kind {
+		case token.Underscore, token.Star:
+			pat = append(pat, ast.PatternElem{Wildcard: true, ElemPos: p.tok.Pos})
+			p.next()
+		case token.Ident:
+			pat = append(pat, ast.PatternElem{Type: p.tok.Lit, ElemPos: p.tok.Pos})
+			p.next()
+		default:
+			p.errorf(p.tok.Pos, "expected pattern element, found %s", p.tok)
+			p.sync()
+			return nil
+		}
+		if p.tok.Kind == token.Comma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.tok.Kind != token.RBracket {
+		p.errorf(p.tok.Pos, "expected ']' to close dispatch pattern, found %s", p.tok)
+		p.sync()
+		return nil
+	}
+	p.next()
+	p.expect(token.Assign)
+	body, ok := p.parseChain(true)
+	if !ok {
+		p.sync()
+		return nil
+	}
+	p.expect(token.Semicolon)
+	return &ast.DispatchDecl{Name: name.Lit, Pattern: pat, Body: body, NamePos: name.Pos}
+}

@@ -1,0 +1,337 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+// imageServerSrc is the complete image-compression server of Figure 2.
+const imageServerSrc = `
+// concrete node signatures
+Listen () => (int socket);
+
+ReadRequest (int socket)
+  => (int socket, bool close, image_tag *request);
+
+CheckCache (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request);
+
+ReadInFromDisk (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request, __u8 *rgb_data);
+
+StoreInCache (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request);
+
+Compress (int socket, bool close, image_tag *request, __u8 *rgb_data)
+  => (int socket, bool close, image_tag *request);
+
+Write (int socket, bool close, image_tag *request)
+  => (int socket, bool close, image_tag *request);
+
+Complete (int socket, bool close, image_tag *request) => ();
+
+FourOhFour (int socket, bool close, image_tag *request) => ();
+
+// source node
+source Listen => Image;
+
+// abstract node
+Image = ReadRequest -> CheckCache -> Handler -> Write -> Complete;
+
+// predicate type & dispatch
+typedef hit TestInCache;
+Handler:[_, _, hit] = ;
+Handler:[_, _, _] = ReadInFromDisk -> Compress -> StoreInCache;
+
+// error handler
+handle error ReadInFromDisk => FourOhFour;
+
+// atomicity constraints
+atomic CheckCache:{cache};
+atomic StoreInCache:{cache};
+atomic Complete:{cache};
+`
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.flux", src)
+	if err != nil {
+		t.Fatalf("Parse failed: %v", err)
+	}
+	return prog
+}
+
+func TestParseImageServer(t *testing.T) {
+	prog := mustParse(t, imageServerSrc)
+
+	var sigs, sources, flows, dispatches, typedefs, handlers, atomics int
+	for _, d := range prog.Decls {
+		switch d.(type) {
+		case *ast.NodeSig:
+			sigs++
+		case *ast.SourceDecl:
+			sources++
+		case *ast.FlowDecl:
+			flows++
+		case *ast.DispatchDecl:
+			dispatches++
+		case *ast.TypedefDecl:
+			typedefs++
+		case *ast.ErrorHandlerDecl:
+			handlers++
+		case *ast.AtomicDecl:
+			atomics++
+		}
+	}
+	if sigs != 9 {
+		t.Errorf("signatures = %d, want 9", sigs)
+	}
+	if sources != 1 || flows != 1 || dispatches != 2 || typedefs != 1 || handlers != 1 {
+		t.Errorf("sources=%d flows=%d dispatches=%d typedefs=%d handlers=%d",
+			sources, flows, dispatches, typedefs, handlers)
+	}
+	if atomics != 3 {
+		t.Errorf("atomics = %d, want 3", atomics)
+	}
+}
+
+func TestParseSignatureShapes(t *testing.T) {
+	prog := mustParse(t, imageServerSrc)
+	for _, d := range prog.Decls {
+		sig, ok := d.(*ast.NodeSig)
+		if !ok {
+			continue
+		}
+		switch sig.Name {
+		case "Listen":
+			if len(sig.Inputs) != 0 || len(sig.Outputs) != 1 {
+				t.Errorf("Listen: %d in, %d out", len(sig.Inputs), len(sig.Outputs))
+			}
+			if sig.Outputs[0].Type != "int" || sig.Outputs[0].Name != "socket" {
+				t.Errorf("Listen output = %+v", sig.Outputs[0])
+			}
+		case "ReadRequest":
+			if len(sig.Outputs) != 3 {
+				t.Fatalf("ReadRequest outputs = %d", len(sig.Outputs))
+			}
+			if sig.Outputs[2].Type != "image_tag*" || sig.Outputs[2].Name != "request" {
+				t.Errorf("pointer param = %+v", sig.Outputs[2])
+			}
+		case "Complete":
+			if len(sig.Outputs) != 0 {
+				t.Errorf("Complete should be a sink, outputs = %d", len(sig.Outputs))
+			}
+		case "ReadInFromDisk":
+			if sig.Outputs[3].Type != "__u8*" {
+				t.Errorf("rgb_data type = %q", sig.Outputs[3].Type)
+			}
+		}
+	}
+}
+
+func TestParseDispatchCases(t *testing.T) {
+	prog := mustParse(t, imageServerSrc)
+	var cases []*ast.DispatchDecl
+	for _, d := range prog.Decls {
+		if dd, ok := d.(*ast.DispatchDecl); ok {
+			cases = append(cases, dd)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("dispatch cases = %d", len(cases))
+	}
+	hit := cases[0]
+	if len(hit.Pattern) != 3 || hit.Pattern[2].Type != "hit" || hit.Pattern[2].Wildcard {
+		t.Errorf("hit pattern = %v", hit.Pattern)
+	}
+	if !hit.Pattern[0].Wildcard || !hit.Pattern[1].Wildcard {
+		t.Errorf("wildcards missing: %v", hit.Pattern)
+	}
+	if len(hit.Body) != 0 {
+		t.Errorf("hit body should be empty, got %v", hit.Body)
+	}
+	miss := cases[1]
+	want := []string{"ReadInFromDisk", "Compress", "StoreInCache"}
+	if len(miss.Body) != len(want) {
+		t.Fatalf("miss body = %v", miss.Body)
+	}
+	for i := range want {
+		if miss.Body[i] != want[i] {
+			t.Errorf("miss body[%d] = %q, want %q", i, miss.Body[i], want[i])
+		}
+	}
+}
+
+func TestParseAbbreviatedFigure1Syntax(t *testing.T) {
+	src := `
+source Listen ? Image;
+Image = ReadRequest? CheckCache ? Handler ?Write? Complete;
+Handler [_, _, hit] = ;
+Handler [_, _, _] = ReadInFromDisk ? Compress ? StoreInCache;
+`
+	prog := mustParse(t, src)
+	if len(prog.Decls) != 4 {
+		t.Fatalf("decls = %d: %v", len(prog.Decls), prog.Decls)
+	}
+	flow := prog.Decls[1].(*ast.FlowDecl)
+	if len(flow.Nodes) != 5 {
+		t.Errorf("flow nodes = %v", flow.Nodes)
+	}
+	disp := prog.Decls[2].(*ast.DispatchDecl)
+	if disp.Name != "Handler" || len(disp.Pattern) != 3 {
+		t.Errorf("dispatch = %+v", disp)
+	}
+}
+
+func TestParseStarWildcards(t *testing.T) {
+	// Figure 7 writes patterns with stars: HandleMessage:[*,*,piece,*,*] = Piece;
+	src := `HandleMessage:[*, *, piece, *, *] = Piece;`
+	prog := mustParse(t, src)
+	d := prog.Decls[0].(*ast.DispatchDecl)
+	if len(d.Pattern) != 5 {
+		t.Fatalf("pattern = %v", d.Pattern)
+	}
+	if !d.Pattern[0].Wildcard || d.Pattern[2].Type != "piece" {
+		t.Errorf("pattern = %v", d.Pattern)
+	}
+}
+
+func TestParseConstraintModes(t *testing.T) {
+	src := `
+atomic A:{cache?};
+atomic B:{cache!};
+atomic C:{cache};
+atomic D:{a?, b!, c};
+atomic E:{state(session)};
+atomic F:{state(session)?};
+`
+	prog := mustParse(t, src)
+	get := func(i int) *ast.AtomicDecl { return prog.Decls[i].(*ast.AtomicDecl) }
+
+	if c := get(0).Constraints[0]; c.Mode != ast.Reader {
+		t.Errorf("A: mode = %v", c.Mode)
+	}
+	if c := get(1).Constraints[0]; c.Mode != ast.Writer {
+		t.Errorf("B: mode = %v", c.Mode)
+	}
+	if c := get(2).Constraints[0]; c.Mode != ast.Writer {
+		t.Errorf("C: default mode = %v", c.Mode)
+	}
+	if cs := get(3).Constraints; len(cs) != 3 || cs[0].Mode != ast.Reader || cs[1].Mode != ast.Writer {
+		t.Errorf("D: constraints = %v", cs)
+	}
+	if c := get(4).Constraints[0]; !c.Session {
+		t.Errorf("E: session flag missing: %+v", c)
+	}
+	if c := get(5).Constraints[0]; !c.Session || c.Mode != ast.Reader {
+		t.Errorf("F: %+v", c)
+	}
+}
+
+func TestParseSessionDecl(t *testing.T) {
+	prog := mustParse(t, "session Listen SessionOf;")
+	d := prog.Decls[0].(*ast.SessionDecl)
+	if d.Source != "Listen" || d.Func != "SessionOf" {
+		t.Errorf("session decl = %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring of first diagnostic
+	}{
+		{"missing semicolon", "source Listen => Image", "expected ;"},
+		{"bad decl start", "-> foo;", "expected declaration"},
+		{"bad source", "source Listen Image;", "expected =>"},
+		{"unclosed params", "Foo (int x => ();", "expected ')'"},
+		{"bad pattern", "Handler:[<] = ;", "expected pattern element"},
+		{"bad constraint", "atomic A:{42};", "expected constraint name"},
+		{"empty flow rejected midchain", "A = B -> ;", "expected node name"},
+		{"bad session scope", "atomic A:{x(writer)};", "expected 'session'"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("bad.flux", tc.src)
+			if err == nil {
+				t.Fatal("expected a parse error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+func TestErrorRecoveryFindsMultipleErrors(t *testing.T) {
+	src := `
+source Listen Image;
+typedef hit TestInCache;
+atomic A:{42};
+`
+	_, err := Parse("multi.flux", src)
+	list, ok := AsErrorList(err)
+	if !ok {
+		t.Fatalf("expected ErrorList, got %T", err)
+	}
+	if len(list) < 2 {
+		t.Errorf("expected >=2 diagnostics, got %d: %v", len(list), list)
+	}
+	// The valid typedef between the two bad declarations must still parse.
+	prog, _ := Parse("multi.flux", src)
+	var sawTypedef bool
+	for _, d := range prog.Decls {
+		if td, ok := d.(*ast.TypedefDecl); ok && td.Name == "hit" {
+			sawTypedef = true
+		}
+	}
+	if !sawTypedef {
+		t.Error("recovery lost the valid typedef declaration")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	prog := mustParse(t, imageServerSrc)
+	text := prog.String()
+	prog2, err := Parse("roundtrip.flux", text)
+	if err != nil {
+		t.Fatalf("re-parse of printed program failed: %v\n%s", err, text)
+	}
+	if got, want := prog2.String(), text; got != want {
+		t.Errorf("round-trip mismatch:\n--- first print\n%s\n--- second print\n%s", want, got)
+	}
+	if len(prog2.Decls) != len(prog.Decls) {
+		t.Errorf("decl count changed: %d -> %d", len(prog.Decls), len(prog2.Decls))
+	}
+}
+
+func TestNodesReferenced(t *testing.T) {
+	prog := mustParse(t, imageServerSrc)
+	refs := prog.NodesReferenced()
+	for _, n := range []string{"Listen", "Image", "ReadRequest", "Handler", "FourOhFour"} {
+		if !refs[n] {
+			t.Errorf("%s not referenced", n)
+		}
+	}
+	if refs["TestInCache"] {
+		t.Error("predicate function should not count as a node reference")
+	}
+}
+
+func TestErrorListFormatting(t *testing.T) {
+	var l ErrorList
+	if l.Error() != "no errors" {
+		t.Errorf("empty list error = %q", l.Error())
+	}
+	if l.Err() != nil {
+		t.Error("empty list should yield nil error")
+	}
+	_, err := Parse("x.flux", "source a b; source c d;")
+	list, _ := AsErrorList(err)
+	if len(list) >= 2 && !strings.Contains(list.Error(), "more errors") {
+		t.Errorf("multi-error summary = %q", list.Error())
+	}
+}

@@ -1,0 +1,158 @@
+// Package token defines the lexical tokens of the Flux coordination
+// language and positions within Flux source text.
+//
+// The token set follows the grammar used in Burns et al., "Flux: A Language
+// for Programming High-Performance Servers" (USENIX ATC 2006), Figure 2.
+// Both surface syntaxes that appear in the paper are supported: the
+// canonical one ("source Listen => Image;", "A -> B", "Handler:[_, _, hit]")
+// and the abbreviated abstract-figure one ("A ? B", "Handler [_, _, hit]").
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. The zero value is Invalid so that an uninitialized Token is
+// never mistaken for a meaningful one.
+const (
+	Invalid Kind = iota
+
+	// Special tokens.
+	EOF
+	Comment // // line comment or /* block comment */ (carried only when requested)
+
+	// Identifiers and literals.
+	Ident  // ReadRequest, image_tag, hit
+	Int    // 42 (used in session hash widths and future extensions)
+	String // "..." reserved for future pragmas
+
+	// Keywords.
+	Source  // source
+	Typedef // typedef
+	Atomic  // atomic
+	Handle  // handle
+	Error   // error
+	Session // session (inside constraint scope parens)
+
+	// Operators and delimiters.
+	Arrow      // ->
+	DoubleArr  // =>
+	Assign     // =
+	Colon      // :
+	Semicolon  // ;
+	Comma      // ,
+	LParen     // (
+	RParen     // )
+	LBracket   // [
+	RBracket   // ]
+	LBrace     // {
+	RBrace     // }
+	Question   // ?   (reader marker, also legacy flow arrow)
+	Bang       // !   (writer marker)
+	Underscore // _   (wildcard pattern)
+	Star       // *   (pointer in C type names, wildcard in Fig. 7 patterns)
+)
+
+var kindNames = map[Kind]string{
+	Invalid:    "invalid",
+	EOF:        "EOF",
+	Comment:    "comment",
+	Ident:      "identifier",
+	Int:        "int",
+	String:     "string",
+	Source:     "source",
+	Typedef:    "typedef",
+	Atomic:     "atomic",
+	Handle:     "handle",
+	Error:      "error",
+	Session:    "session",
+	Arrow:      "->",
+	DoubleArr:  "=>",
+	Assign:     "=",
+	Colon:      ":",
+	Semicolon:  ";",
+	Comma:      ",",
+	LParen:     "(",
+	RParen:     ")",
+	LBracket:   "[",
+	RBracket:   "]",
+	LBrace:     "{",
+	RBrace:     "}",
+	Question:   "?",
+	Bang:       "!",
+	Underscore: "_",
+	Star:       "*",
+}
+
+// String returns a human-readable name for the kind, suitable for
+// diagnostics ("expected ';', found identifier").
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// keywords maps keyword spellings to kinds. "session" is contextual: the
+// lexer always reports it as Session and the parser treats it as an
+// identifier outside constraint-scope position.
+var keywords = map[string]Kind{
+	"source":  Source,
+	"typedef": Typedef,
+	"atomic":  Atomic,
+	"handle":  Handle,
+	"error":   Error,
+	"session": Session,
+}
+
+// Lookup returns the keyword kind for an identifier spelling, or Ident.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// IsKeyword reports whether the kind is a reserved word.
+func (k Kind) IsKeyword() bool { return k >= Source && k <= Session }
+
+// Position is a line/column location in a Flux source file. Lines and
+// columns are 1-based; a zero Position means "unknown".
+type Position struct {
+	File   string
+	Line   int
+	Column int
+	Offset int // byte offset, 0-based
+}
+
+// IsValid reports whether the position carries location information.
+func (p Position) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as file:line:col, omitting empty parts.
+func (p Position) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Column)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Column)
+}
+
+// Token is a single lexical token with its source position and literal text.
+type Token struct {
+	Kind Kind
+	Lit  string // literal text as it appeared in the source
+	Pos  Position
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, String, Comment:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,76 @@
+package token
+
+import "testing"
+
+func TestLookupKeywords(t *testing.T) {
+	cases := map[string]Kind{
+		"source":  Source,
+		"typedef": Typedef,
+		"atomic":  Atomic,
+		"handle":  Handle,
+		"error":   Error,
+		"session": Session,
+		"Listen":  Ident,
+		"hit":     Ident,
+		"Source":  Ident, // keywords are case-sensitive
+	}
+	for lit, want := range cases {
+		if got := Lookup(lit); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Arrow.String() != "->" {
+		t.Errorf("Arrow.String() = %q", Arrow.String())
+	}
+	if DoubleArr.String() != "=>" {
+		t.Errorf("DoubleArr.String() = %q", DoubleArr.String())
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	for _, k := range []Kind{Source, Typedef, Atomic, Handle, Error, Session} {
+		if !k.IsKeyword() {
+			t.Errorf("%v should be a keyword", k)
+		}
+	}
+	for _, k := range []Kind{Ident, Arrow, EOF, LBrace} {
+		if k.IsKeyword() {
+			t.Errorf("%v should not be a keyword", k)
+		}
+	}
+}
+
+func TestPositionString(t *testing.T) {
+	p := Position{File: "img.flux", Line: 3, Column: 7}
+	if got := p.String(); got != "img.flux:3:7" {
+		t.Errorf("Position.String() = %q", got)
+	}
+	p.File = ""
+	if got := p.String(); got != "3:7" {
+		t.Errorf("Position.String() without file = %q", got)
+	}
+	var zero Position
+	if zero.IsValid() {
+		t.Error("zero position should be invalid")
+	}
+	if zero.String() != "-" {
+		t.Errorf("zero Position.String() = %q", zero.String())
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := Token{Kind: Ident, Lit: "Listen"}
+	if got := tok.String(); got != `identifier("Listen")` {
+		t.Errorf("Token.String() = %q", got)
+	}
+	tok = Token{Kind: Semicolon, Lit: ";"}
+	if got := tok.String(); got != ";" {
+		t.Errorf("Token.String() = %q", got)
+	}
+}

@@ -1,0 +1,292 @@
+package loadgen
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	mrand "math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/metrics"
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+// BTClientConfig reproduces §4.3's BitTorrent benchmark: a series of
+// clients continuously request randomly distributed pieces of the test
+// file from one peer holding a complete copy; a client that finishes
+// disconnects (and, here, immediately reconnects to keep the offered
+// load constant, matching "simulates a series of clients continuously
+// sending requests").
+type BTClientConfig struct {
+	Addr     string
+	Meta     *torrent.MetaInfo
+	Clients  int
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	// Pipeline is the number of outstanding block requests per client
+	// (default 8).
+	Pipeline int
+	// StopAfter, when nonzero, ends the run once that many downloads
+	// complete (tests use it; benchmarks run the full duration).
+	StopAfter uint64
+}
+
+// BTResult aggregates a BitTorrent load run.
+type BTResult struct {
+	Completions uint64 // full-file downloads finished
+	Pieces      uint64 // verified pieces downloaded
+	Bytes       uint64
+	Errors      uint64
+	CompPerSec  float64 // completions/sec over the measured window
+	Mbps        float64 // network throughput
+	// PieceLatency is the request-to-verified time per piece.
+	PieceLatency metrics.LatencySummary
+}
+
+func (r BTResult) String() string {
+	return fmt.Sprintf("completions=%d pieces=%d errs=%d %.2f completions/s %.1f Mb/s piece{%s}",
+		r.Completions, r.Pieces, r.Errors, r.CompPerSec, r.Mbps, r.PieceLatency)
+}
+
+// RunBTLoad drives a downloader swarm against a seeding peer.
+func RunBTLoad(ctx context.Context, cfg BTClientConfig) BTResult {
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 8
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	lat := metrics.NewLatencyRecorder()
+	tput := metrics.NewThroughput()
+	var mu sync.Mutex
+	var completions, pieces, errors_ uint64
+
+	go func() {
+		t := time.NewTimer(cfg.Warmup)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			lat.Reset()
+			tput.Reset()
+			mu.Lock()
+			completions, pieces = 0, 0
+			mu.Unlock()
+		case <-runCtx.Done():
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := mrand.New(mrand.NewSource(cfg.Seed + int64(id)*30011))
+			for runCtx.Err() == nil {
+				got, err := btDownload(runCtx, cfg, rng, lat, tput)
+				mu.Lock()
+				pieces += got
+				if err != nil {
+					if runCtx.Err() == nil {
+						errors_++
+					}
+				} else {
+					completions++
+					if cfg.StopAfter > 0 && completions >= cfg.StopAfter {
+						cancel()
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					select {
+					case <-runCtx.Done():
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	res := BTResult{PieceLatency: lat.Summary()}
+	mu.Lock()
+	res.Completions, res.Pieces, res.Errors = completions, pieces, errors_
+	mu.Unlock()
+	_, res.Bytes = tput.Totals()
+	ops, mbps := tput.Rates()
+	_ = ops
+	res.Mbps = mbps
+	window := cfg.Duration - cfg.Warmup
+	if window > 0 {
+		res.CompPerSec = float64(res.Completions) / window.Seconds()
+	}
+	return res
+}
+
+// btDownload performs one complete download over one connection,
+// returning the number of verified pieces it fetched.
+func btDownload(ctx context.Context, cfg BTClientConfig, rng *mrand.Rand,
+	lat *metrics.LatencyRecorder, tput *metrics.Throughput) (uint64, error) {
+
+	store := torrent.NewLeecher(cfg.Meta)
+	d := net.Dialer{Timeout: 2 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline.Add(time.Second))
+	}
+
+	var peerID [20]byte
+	rand.Read(peerID[:])
+	copy(peerID[:8], "-LGEN01-")
+	if err := writeBTHandshake(conn, cfg.Meta.InfoHash, peerID); err != nil {
+		return 0, err
+	}
+	if err := readBTHandshake(conn, cfg.Meta.InfoHash); err != nil {
+		return 0, err
+	}
+	// Expect the seeder's bitfield, send interested.
+	if err := writeBTMessage(conn, 2, nil); err != nil { // interested
+		return 0, err
+	}
+
+	n := cfg.Meta.NumPieces()
+	// Random piece order (the protocol's load-balancing behavior §4.3).
+	order := rng.Perm(n)
+	var got uint64
+
+	type pendingPiece struct {
+		start  time.Time
+		blocks int
+	}
+	pending := map[int]*pendingPiece{}
+	next := 0
+	inflight := 0
+
+	request := func(piece int) error {
+		p := &pendingPiece{start: time.Now()}
+		nb := store.NumBlocks(piece)
+		for b := 0; b < nb; b++ {
+			begin, length := store.BlockSpec(piece, b)
+			payload := make([]byte, 12)
+			binary.BigEndian.PutUint32(payload[0:4], uint32(piece))
+			binary.BigEndian.PutUint32(payload[4:8], uint32(begin))
+			binary.BigEndian.PutUint32(payload[8:12], uint32(length))
+			if err := writeBTMessage(conn, 6, payload); err != nil { // request
+				return err
+			}
+			p.blocks++
+		}
+		pending[piece] = p
+		inflight += p.blocks
+		return nil
+	}
+
+	for !store.Complete() {
+		if ctx.Err() != nil {
+			return got, ctx.Err()
+		}
+		// Keep the pipeline full.
+		for next < n && inflight < cfg.Pipeline*4 {
+			if err := request(order[next]); err != nil {
+				return got, err
+			}
+			next++
+		}
+		id, payload, err := readBTMessage(conn)
+		if err != nil {
+			return got, err
+		}
+		switch id {
+		case 7: // piece
+			if len(payload) < 8 {
+				return got, errors.New("loadgen: short piece message")
+			}
+			piece := int(binary.BigEndian.Uint32(payload[0:4]))
+			begin := int64(binary.BigEndian.Uint32(payload[4:8]))
+			blk := payload[8:]
+			done, err := store.WriteBlock(piece, begin, blk)
+			if err != nil {
+				return got, err
+			}
+			inflight--
+			tput.Add(0, uint64(len(blk)))
+			if done {
+				got++
+				tput.Add(1, 0)
+				if p := pending[piece]; p != nil {
+					lat.Record(time.Since(p.start))
+					delete(pending, piece)
+				}
+			}
+		default:
+			// bitfield, unchoke, have, keep-alive: no client action.
+		}
+	}
+	return got, nil
+}
+
+// --- minimal wire helpers (client side, independent of the server's) --------
+
+func writeBTHandshake(conn net.Conn, infoHash, peerID [20]byte) error {
+	buf := make([]byte, 0, 68)
+	buf = append(buf, 19)
+	buf = append(buf, "BitTorrent protocol"...)
+	buf = append(buf, make([]byte, 8)...)
+	buf = append(buf, infoHash[:]...)
+	buf = append(buf, peerID[:]...)
+	_, err := conn.Write(buf)
+	return err
+}
+
+func readBTHandshake(conn net.Conn, want [20]byte) error {
+	buf := make([]byte, 68)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return err
+	}
+	if buf[0] != 19 || string(buf[1:20]) != "BitTorrent protocol" {
+		return errors.New("loadgen: bad handshake")
+	}
+	var got [20]byte
+	copy(got[:], buf[28:48])
+	if got != want {
+		return errors.New("loadgen: info hash mismatch")
+	}
+	return nil
+}
+
+func writeBTMessage(conn net.Conn, id byte, payload []byte) error {
+	frame := make([]byte, 5+len(payload))
+	binary.BigEndian.PutUint32(frame[:4], uint32(1+len(payload)))
+	frame[4] = id
+	copy(frame[5:], payload)
+	_, err := conn.Write(frame)
+	return err
+}
+
+func readBTMessage(conn net.Conn) (id int, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(conn, lenBuf[:]); err != nil {
+		return 0, nil, err
+	}
+	length := binary.BigEndian.Uint32(lenBuf[:])
+	if length == 0 {
+		return -1, nil, nil // keep-alive
+	}
+	if length > torrent.BlockSize+1024 {
+		return 0, nil, fmt.Errorf("loadgen: oversized frame %d", length)
+	}
+	body := make([]byte, length)
+	if _, err = io.ReadFull(conn, body); err != nil {
+		return 0, nil, err
+	}
+	return int(body[0]), body[1:], nil
+}

@@ -1,0 +1,174 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/metrics"
+)
+
+// GameClientConfig reproduces §4.4's load test: n players joining a Tag
+// server and sending moves over UDP at 10 Hz while receiving state
+// broadcasts. The measured quantity is the state inter-arrival time —
+// the heartbeat the server must sustain — and the fraction of late
+// heartbeats.
+type GameClientConfig struct {
+	Addr     string
+	Players  int
+	MoveHz   float64 // default 10
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+}
+
+// GameResult reports a game load run.
+type GameResult struct {
+	StatesReceived uint64
+	MovesSent      uint64
+	JoinFailures   int
+	// InterArrival summarizes the gap between consecutive state
+	// broadcasts seen by clients (ideal: the 100ms heartbeat).
+	InterArrival metrics.LatencySummary
+}
+
+func (r GameResult) String() string {
+	return fmt.Sprintf("states=%d moves=%d joinFails=%d interarrival{%s}",
+		r.StatesReceived, r.MovesSent, r.JoinFailures, r.InterArrival)
+}
+
+// RunGameLoad drives n simulated players against a game server.
+func RunGameLoad(ctx context.Context, cfg GameClientConfig) GameResult {
+	if cfg.MoveHz <= 0 {
+		cfg.MoveHz = 10
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	lat := metrics.NewLatencyRecorder()
+	var states, moves sync.Map
+	joinFails := make(chan int, cfg.Players)
+
+	go func() {
+		t := time.NewTimer(cfg.Warmup)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			lat.Reset()
+		case <-runCtx.Done():
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Players; p++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			st, mv, err := gamePlayer(runCtx, cfg, idx, lat)
+			if err != nil {
+				joinFails <- 1
+				return
+			}
+			states.Store(idx, st)
+			moves.Store(idx, mv)
+		}(p)
+	}
+	wg.Wait()
+	close(joinFails)
+
+	res := GameResult{InterArrival: lat.Summary()}
+	for range joinFails {
+		res.JoinFailures++
+	}
+	states.Range(func(_, v any) bool { res.StatesReceived += v.(uint64); return true })
+	moves.Range(func(_, v any) bool { res.MovesSent += v.(uint64); return true })
+	return res
+}
+
+// gamePlayer joins, then moves at MoveHz while timing state broadcasts.
+func gamePlayer(ctx context.Context, cfg GameClientConfig, idx int, lat *metrics.LatencyRecorder) (states, moves uint64, err error) {
+	raddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)*6151))
+
+	// Join and wait for the ack carrying our id.
+	var id uint32
+	joined := false
+	for attempt := 0; attempt < 5 && !joined; attempt++ {
+		if _, err := conn.Write([]byte{1}); err != nil {
+			return 0, 0, err
+		}
+		conn.SetReadDeadline(time.Now().Add(250 * time.Millisecond))
+		buf := make([]byte, 64)
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				break // retry join
+			}
+			if n >= 9 && buf[0] == 3 {
+				id = binary.LittleEndian.Uint32(buf[1:5])
+				joined = true
+				break
+			}
+		}
+	}
+	if !joined {
+		return 0, 0, fmt.Errorf("loadgen: join timed out")
+	}
+
+	// Reader: time state broadcasts. The loop re-checks the context on
+	// every iteration — a server that keeps broadcasting must not keep
+	// the reader alive past the run window.
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		buf := make([]byte, 64*1024)
+		var last time.Time
+		for ctx.Err() == nil {
+			conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+			n, err := conn.Read(buf)
+			if err != nil {
+				continue
+			}
+			if n >= 1 && buf[0] == 4 {
+				now := time.Now()
+				if !last.IsZero() {
+					lat.Record(now.Sub(last))
+				}
+				last = now
+				states++
+			}
+		}
+	}()
+
+	// Mover: send moves at the configured rate.
+	ticker := time.NewTicker(time.Duration(float64(time.Second) / cfg.MoveHz))
+	defer ticker.Stop()
+	pkt := make([]byte, 7)
+	pkt[0] = 2
+	binary.LittleEndian.PutUint32(pkt[1:5], id)
+	for {
+		select {
+		case <-ctx.Done():
+			<-readerDone
+			return states, moves, nil
+		case <-ticker.C:
+			pkt[5] = byte(int8(rng.Intn(7) - 3))
+			pkt[6] = byte(int8(rng.Intn(7) - 3))
+			if _, err := conn.Write(pkt); err == nil {
+				moves++
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/metrics"
+)
+
+// ImageClientConfig reproduces §5.1's image-server load tester: requests
+// arrive at a fixed rate of one every 1/n seconds ("when configured to
+// run with n clients"), each for a random one of eight scales of a
+// random image.
+type ImageClientConfig struct {
+	Addr     string
+	Rate     float64 // requests per second (the paper's n)
+	Images   int     // library size (default 5)
+	Duration time.Duration
+	Warmup   time.Duration
+	Seed     int64
+	// MaxInFlight caps concurrent outstanding requests so an overloaded
+	// server does not accumulate unbounded client goroutines (default
+	// 4x rate).
+	MaxInFlight int
+}
+
+// ImageResult reports an image load run.
+type ImageResult struct {
+	Requests   uint64
+	Errors     uint64
+	Throughput float64 // completions/sec over the measured window
+	Latency    metrics.LatencySummary
+}
+
+func (r ImageResult) String() string {
+	return fmt.Sprintf("reqs=%d errs=%d rate=%.2f/s latency{%s}", r.Requests, r.Errors, r.Throughput, r.Latency)
+}
+
+// RunImageLoad drives fixed-rate requests at an image server.
+func RunImageLoad(ctx context.Context, cfg ImageClientConfig) ImageResult {
+	if cfg.Images <= 0 {
+		cfg.Images = 5
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = int(cfg.Rate*4) + 8
+	}
+	lat := metrics.NewLatencyRecorder()
+	tput := metrics.NewThroughput()
+	var errsMu sync.Mutex
+	var errs uint64
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	go func() {
+		t := time.NewTimer(cfg.Warmup)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			lat.Reset()
+			tput.Reset()
+		case <-runCtx.Done():
+		}
+	}()
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+
+loop:
+	for {
+		select {
+		case <-runCtx.Done():
+			break loop
+		case <-ticker.C:
+		}
+		img := rng.Intn(cfg.Images)
+		scale := 1 + rng.Intn(8)
+		select {
+		case sem <- struct{}{}:
+		default:
+			// Server saturated and the in-flight window is full: the
+			// request is dropped (an overload signal, counted as an
+			// error).
+			errsMu.Lock()
+			errs++
+			errsMu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(img, scale int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			n, err := fetchImage(runCtx, cfg.Addr, img, scale)
+			if err != nil {
+				errsMu.Lock()
+				errs++
+				errsMu.Unlock()
+				return
+			}
+			lat.Record(time.Since(start))
+			tput.Add(1, uint64(n))
+		}(img, scale)
+	}
+	wg.Wait()
+
+	res := ImageResult{Latency: lat.Summary(), Errors: errs}
+	res.Requests, _ = tput.Totals()
+	res.Throughput, _ = tput.Rates()
+	return res
+}
+
+// fetchImage issues one GET /img<k>/<scale> and reads the JPEG response.
+func fetchImage(ctx context.Context, addr string, img, scale int) (int, error) {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline.Add(2 * time.Second))
+	}
+	if _, err := fmt.Fprintf(conn, "GET /img%d/%d HTTP/1.1\r\nHost: bench\r\n\r\n", img, scale); err != nil {
+		return 0, err
+	}
+	return readResponse(bufio.NewReader(conn))
+}

@@ -1,0 +1,146 @@
+// Package loadgen generates the paper's evaluation workloads: the
+// SPECweb99-like static web mix (§4.2), the BitTorrent downloader swarm
+// (§4.3), the 10 Hz game clients (§4.4), and the fixed-rate image-server
+// clients (§5.1), together with the client drivers that measure
+// throughput and latency against a running server.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// FileSet is the synthetic static corpus of the SPECweb99-like benchmark:
+// directories each holding four classes of files (nine files per class),
+// with class sizes spanning 100 B to 900 KB. Contents are deterministic
+// so repeated runs and concurrent clients agree. The whole set lives in
+// memory, matching the paper's note that the working set fits in RAM and
+// the benchmark primarily stresses CPU.
+type FileSet struct {
+	Dirs int
+
+	mu    sync.Mutex
+	cache map[string][]byte
+}
+
+// SPECweb99's four file classes: probability of selection and base size.
+// Class sizes are base*(1..9); the published mix is 35% / 50% / 14% / 1%.
+var classes = [4]struct {
+	Prob float64
+	Base int
+}{
+	{0.35, 100},
+	{0.50, 1000},
+	{0.14, 10000},
+	{0.01, 100000},
+}
+
+// NewFileSet builds a corpus with the given directory count. Each
+// directory holds ~5 MB, so 6 directories approximate the paper's ~32 MB
+// working set; tests use fewer.
+func NewFileSet(dirs int) *FileSet {
+	if dirs <= 0 {
+		dirs = 1
+	}
+	return &FileSet{Dirs: dirs, cache: make(map[string][]byte)}
+}
+
+// Path renders the canonical URL path for (dir, class, file).
+func (fs *FileSet) Path(dir, class, file int) string {
+	return fmt.Sprintf("/dir%d/class%d_%d.html", dir, class, file)
+}
+
+// Size returns the byte size of (class, file) per the class table;
+// file is 1-based (1..9).
+func (fs *FileSet) Size(class, file int) int {
+	return classes[class].Base * file
+}
+
+// Lookup fetches a file's contents by path, or false for paths outside
+// the corpus.
+func (fs *FileSet) Lookup(path string) ([]byte, bool) {
+	var dir, class, file int
+	if _, err := fmt.Sscanf(path, "/dir%d/class%d_%d.html", &dir, &class, &file); err != nil {
+		return nil, false
+	}
+	if dir < 0 || dir >= fs.Dirs || class < 0 || class > 3 || file < 1 || file > 9 {
+		return nil, false
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if data, ok := fs.cache[path]; ok {
+		return data, true
+	}
+	data := synthesize(path, fs.Size(class, file))
+	fs.cache[path] = data
+	return data, true
+}
+
+// TotalBytes returns the corpus size.
+func (fs *FileSet) TotalBytes() int64 {
+	var perDir int64
+	for c := range classes {
+		for f := 1; f <= 9; f++ {
+			perDir += int64(fs.Size(c, f))
+		}
+	}
+	return perDir * int64(fs.Dirs)
+}
+
+// synthesize produces deterministic pseudo-random printable content.
+func synthesize(path string, size int) []byte {
+	var seed int64
+	for _, c := range path {
+		seed = seed*131 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, size)
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789 \n"
+	for i := range data {
+		data[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return data
+}
+
+// RequestSampler draws request paths with SPECweb99-like popularity:
+// directories by a Zipf distribution, classes by the published mix,
+// files uniformly.
+type RequestSampler struct {
+	fs   *FileSet
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewRequestSampler seeds a sampler; distinct clients should use
+// distinct seeds.
+func NewRequestSampler(fs *FileSet, seed int64) *RequestSampler {
+	rng := rand.New(rand.NewSource(seed))
+	var zipf *rand.Zipf
+	if fs.Dirs > 1 {
+		// s=1.2, v=1 gives the gentle skew SPECweb attributes to
+		// directory popularity.
+		zipf = rand.NewZipf(rng, 1.2, 1, uint64(fs.Dirs-1))
+	}
+	return &RequestSampler{fs: fs, rng: rng, zipf: zipf}
+}
+
+// Next draws one request path.
+func (s *RequestSampler) Next() string {
+	dir := 0
+	if s.zipf != nil {
+		dir = int(s.zipf.Uint64())
+	}
+	r := s.rng.Float64()
+	class := 3
+	acc := 0.0
+	for c := 0; c < 4; c++ {
+		acc += classes[c].Prob
+		if r < acc {
+			class = c
+			break
+		}
+	}
+	file := 1 + s.rng.Intn(9)
+	return s.fs.Path(dir, class, file)
+}

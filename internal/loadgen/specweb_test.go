@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestFileSetLookup(t *testing.T) {
+	fs := NewFileSet(2)
+	for dir := 0; dir < 2; dir++ {
+		for class := 0; class < 4; class++ {
+			for file := 1; file <= 9; file++ {
+				path := fs.Path(dir, class, file)
+				data, ok := fs.Lookup(path)
+				if !ok {
+					t.Fatalf("Lookup(%q) missing", path)
+				}
+				if len(data) != fs.Size(class, file) {
+					t.Errorf("%q: size %d, want %d", path, len(data), fs.Size(class, file))
+				}
+			}
+		}
+	}
+}
+
+func TestFileSetMissingPaths(t *testing.T) {
+	fs := NewFileSet(1)
+	for _, path := range []string{
+		"/",
+		"/nope",
+		"/dir1/class0_1.html", // dir out of range
+		"/dir0/class4_1.html", // class out of range
+		"/dir0/class0_0.html", // file out of range
+		"/dir0/class0_10.html",
+		"/dirX/class0_1.html",
+	} {
+		if _, ok := fs.Lookup(path); ok {
+			t.Errorf("Lookup(%q) should miss", path)
+		}
+	}
+}
+
+func TestFileSetDeterministic(t *testing.T) {
+	a := NewFileSet(1)
+	b := NewFileSet(1)
+	path := a.Path(0, 2, 5)
+	da, _ := a.Lookup(path)
+	db, _ := b.Lookup(path)
+	if !bytes.Equal(da, db) {
+		t.Error("content differs across instances")
+	}
+	// Cached lookups return identical content.
+	da2, _ := a.Lookup(path)
+	if !bytes.Equal(da, da2) {
+		t.Error("content differs across lookups")
+	}
+}
+
+func TestFileSetTotalBytes(t *testing.T) {
+	fs := NewFileSet(1)
+	// Per directory: sum over classes of base*(1+..+9) = 45*(100+1000+10000+100000).
+	want := int64(45 * 111100)
+	if got := fs.TotalBytes(); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	if got := NewFileSet(3).TotalBytes(); got != 3*want {
+		t.Errorf("3-dir TotalBytes = %d, want %d", got, 3*want)
+	}
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	fs := NewFileSet(4)
+	s := NewRequestSampler(fs, 42)
+	classCounts := make([]int, 4)
+	dirCounts := make(map[int]int)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		path := s.Next()
+		var dir, class, file int
+		if _, err := fmt.Sscanf(path, "/dir%d/class%d_%d.html", &dir, &class, &file); err != nil {
+			t.Fatalf("malformed path %q", path)
+		}
+		if _, ok := fs.Lookup(path); !ok {
+			t.Fatalf("sampled path %q not in corpus", path)
+		}
+		classCounts[class]++
+		dirCounts[dir]++
+	}
+	// Class mix ~ 35/50/14/1 (±5 points).
+	wantFrac := []float64{0.35, 0.50, 0.14, 0.01}
+	for c, count := range classCounts {
+		frac := float64(count) / n
+		if frac < wantFrac[c]-0.05 || frac > wantFrac[c]+0.05 {
+			t.Errorf("class %d fraction = %.3f, want ~%.2f", c, frac, wantFrac[c])
+		}
+	}
+	// Zipf: dir 0 must dominate dir 3.
+	if dirCounts[0] <= dirCounts[3] {
+		t.Errorf("zipf skew missing: dir0=%d dir3=%d", dirCounts[0], dirCounts[3])
+	}
+}
+
+func TestSamplerSeedsIndependent(t *testing.T) {
+	fs := NewFileSet(2)
+	a := NewRequestSampler(fs, 1)
+	b := NewRequestSampler(fs, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestQuickSampledPathsAlwaysResolve: every sampled path resolves for
+// arbitrary seeds and corpus sizes.
+func TestQuickSampledPathsAlwaysResolve(t *testing.T) {
+	f := func(seed int64, dirs uint8) bool {
+		fs := NewFileSet(int(dirs%8) + 1)
+		s := NewRequestSampler(fs, seed)
+		for i := 0; i < 50; i++ {
+			if _, ok := fs.Lookup(s.Next()); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

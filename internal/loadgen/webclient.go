@@ -1,0 +1,192 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/metrics"
+)
+
+// WebClientConfig parameterizes the SPECweb99-like load test of §4.2:
+// each simulated client issues five requests over one keep-alive
+// HTTP/1.1 connection, then reconnects, with files chosen by the Zipf
+// sampler.
+type WebClientConfig struct {
+	Addr            string
+	Clients         int
+	Files           *FileSet
+	RequestsPerConn int           // default 5 (the paper's value)
+	Duration        time.Duration // total run time
+	Warmup          time.Duration // measurements before this are dropped
+	DynamicFraction float64       // fraction of requests hitting /dynamic
+	Seed            int64
+}
+
+// WebResult aggregates a load test run.
+type WebResult struct {
+	Requests   uint64
+	Errors     uint64
+	Bytes      uint64
+	Throughput float64 // requests/sec over the measured window
+	Mbps       float64
+	Latency    metrics.LatencySummary
+}
+
+func (r WebResult) String() string {
+	return fmt.Sprintf("reqs=%d errs=%d rate=%.1f/s %.1f Mb/s latency{%s}",
+		r.Requests, r.Errors, r.Throughput, r.Mbps, r.Latency)
+}
+
+// RunWebLoad drives the configured client swarm against a server and
+// reports throughput and latency, trimming the warm-up window as the
+// paper's methodology does.
+func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
+	if cfg.RequestsPerConn <= 0 {
+		cfg.RequestsPerConn = 5
+	}
+	lat := metrics.NewLatencyRecorder()
+	tput := metrics.NewThroughput()
+	var errs sync.Map // goroutine id -> count
+	var warmed sync.WaitGroup
+
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Warm-up trimming: reset recorders when the warmup elapses.
+	warmed.Add(1)
+	go func() {
+		defer warmed.Done()
+		t := time.NewTimer(cfg.Warmup)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			lat.Reset()
+			tput.Reset()
+		case <-runCtx.Done():
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var errCount uint64
+			defer errs.Store(id, errCount)
+			sampler := NewRequestSampler(cfg.Files, cfg.Seed+int64(id)*7919)
+			dynRng := NewRequestSampler(cfg.Files, cfg.Seed+int64(id)*104729+1)
+			_ = dynRng
+			for runCtx.Err() == nil {
+				if err := webSession(runCtx, cfg, sampler, id, lat, tput); err != nil {
+					errCount++
+					// Brief pause so a dead server does not spin the
+					// client loop.
+					select {
+					case <-runCtx.Done():
+					case <-time.After(5 * time.Millisecond):
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	warmed.Wait()
+
+	res := WebResult{Latency: lat.Summary()}
+	res.Requests, res.Bytes = tput.Totals()
+	res.Throughput, res.Mbps = tput.Rates()
+	errs.Range(func(_, v any) bool {
+		res.Errors += v.(uint64)
+		return true
+	})
+	return res
+}
+
+// webSession runs one keep-alive connection: N requests, then close (the
+// paper's clients disconnect and reconnect after five files).
+func webSession(ctx context.Context, cfg WebClientConfig, sampler *RequestSampler, id int,
+	lat *metrics.LatencyRecorder, tput *metrics.Throughput) error {
+
+	d := net.Dialer{Timeout: 2 * time.Second}
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	for i := 0; i < cfg.RequestsPerConn; i++ {
+		if ctx.Err() != nil {
+			return nil
+		}
+		path := sampler.Next()
+		if cfg.DynamicFraction > 0 && sampler.rng.Float64() < cfg.DynamicFraction {
+			path = "/dynamic?n=2000"
+		}
+		start := time.Now()
+		if err := writeRequest(conn, path, i == cfg.RequestsPerConn-1); err != nil {
+			return err
+		}
+		n, err := readResponse(br)
+		if err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		lat.Record(time.Since(start))
+		tput.Add(1, uint64(n))
+	}
+	return nil
+}
+
+func writeRequest(conn net.Conn, path string, last bool) error {
+	connHdr := "keep-alive"
+	if last {
+		connHdr = "close"
+	}
+	_, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: bench\r\nConnection: %s\r\n\r\n", path, connHdr)
+	return err
+}
+
+// readResponse consumes one HTTP/1.1 response, returning the body size.
+func readResponse(br *bufio.Reader) (int, error) {
+	status, err := br.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	if !strings.HasPrefix(status, "HTTP/1.1 ") {
+		return 0, fmt.Errorf("loadgen: bad status line %q", status)
+	}
+	contentLen := -1
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return 0, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
+			contentLen, err = strconv.Atoi(strings.TrimSpace(v))
+			if err != nil {
+				return 0, fmt.Errorf("loadgen: bad content length %q", v)
+			}
+		}
+	}
+	if contentLen < 0 {
+		return 0, fmt.Errorf("loadgen: response without Content-Length")
+	}
+	if _, err := io.CopyN(io.Discard, br, int64(contentLen)); err != nil {
+		return 0, err
+	}
+	return contentLen, nil
+}

@@ -1,0 +1,149 @@
+// Package metrics provides the measurement plumbing the benchmark harness
+// uses: a concurrent latency recorder with percentiles and a windowed
+// throughput counter, with warm-up trimming matching the paper's
+// methodology (runs of two minutes ignoring the first twenty seconds).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder accumulates latency samples from many goroutines.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewLatencyRecorder returns an empty recorder.
+func NewLatencyRecorder() *LatencyRecorder {
+	return &LatencyRecorder{}
+}
+
+// Record adds one sample.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+// Reset discards all samples (warm-up trimming).
+func (r *LatencyRecorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.mu.Unlock()
+}
+
+// Summary computes the distribution statistics.
+func (r *LatencyRecorder) Summary() LatencySummary {
+	r.mu.Lock()
+	samples := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	return Summarize(samples)
+}
+
+// LatencySummary is a latency distribution digest.
+type LatencySummary struct {
+	Count         int
+	Mean          time.Duration
+	Min, Max      time.Duration
+	P50, P95, P99 time.Duration
+}
+
+// Summarize digests a sample set.
+func Summarize(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, v := range sorted {
+		sum += v
+	}
+	s.Mean = sum / time.Duration(len(sorted))
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P50 = quantile(sorted, 0.50)
+	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
+	return s
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+}
+
+// Throughput tracks completed operations and bytes over a measurement
+// window.
+type Throughput struct {
+	mu    sync.Mutex
+	ops   uint64
+	bytes uint64
+	start time.Time
+}
+
+// NewThroughput starts a measurement window now.
+func NewThroughput() *Throughput {
+	return &Throughput{start: time.Now()}
+}
+
+// Add records n completed operations carrying b payload bytes.
+func (t *Throughput) Add(n, b uint64) {
+	t.mu.Lock()
+	t.ops += n
+	t.bytes += b
+	t.mu.Unlock()
+}
+
+// Reset restarts the window (warm-up trimming).
+func (t *Throughput) Reset() {
+	t.mu.Lock()
+	t.ops, t.bytes = 0, 0
+	t.start = time.Now()
+	t.mu.Unlock()
+}
+
+// Rates returns operations/sec and megabits/sec since the window start.
+func (t *Throughput) Rates() (opsPerSec, mbps float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	elapsed := time.Since(t.start).Seconds()
+	if elapsed <= 0 {
+		return 0, 0
+	}
+	return float64(t.ops) / elapsed, float64(t.bytes) * 8 / 1e6 / elapsed
+}
+
+// Totals returns the raw counters.
+func (t *Throughput) Totals() (ops, bytes uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops, t.bytes
+}

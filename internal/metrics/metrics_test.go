@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencySummary(t *testing.T) {
+	r := NewLatencyRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summary()
+	if s.Count != 100 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P95 != 95*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewLatencyRecorder().Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P95 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("String should render for empty summary")
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewLatencyRecorder()
+	r.Record(time.Second)
+	r.Reset()
+	if r.Count() != 0 {
+		t.Error("reset did not clear samples")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewLatencyRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 10; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Record(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 10000 {
+		t.Errorf("count = %d", r.Count())
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := NewThroughput()
+	tp.Add(10, 1000)
+	tp.Add(5, 500)
+	ops, bytes := tp.Totals()
+	if ops != 15 || bytes != 1500 {
+		t.Errorf("totals = %d, %d", ops, bytes)
+	}
+	opsRate, mbps := tp.Rates()
+	if opsRate <= 0 || mbps <= 0 {
+		t.Errorf("rates = %f, %f", opsRate, mbps)
+	}
+	tp.Reset()
+	ops, bytes = tp.Totals()
+	if ops != 0 || bytes != 0 {
+		t.Errorf("after reset: %d, %d", ops, bytes)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]time.Duration{42 * time.Millisecond})
+	if s.Mean != 42*time.Millisecond || s.P50 != 42*time.Millisecond ||
+		s.P99 != 42*time.Millisecond || s.Min != s.Max {
+		t.Errorf("singleton summary = %+v", s)
+	}
+}

@@ -1,0 +1,215 @@
+// Package ppm implements the PPM image format (P6 binary and P3 ASCII,
+// 8-bit) and box down-scaling — the input side of the paper's image
+// server, which stores images in PPM and compresses them to JPEG on
+// demand (§2).
+package ppm
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"image"
+	"image/color"
+	"io"
+	"strconv"
+)
+
+// Image is an 8-bit RGB raster.
+type Image struct {
+	Width, Height int
+	// Pix holds packed RGB triples, row-major: 3*(y*Width+x).
+	Pix []byte
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	return &Image{Width: w, Height: h, Pix: make([]byte, 3*w*h)}
+}
+
+// At returns the pixel at (x, y).
+func (m *Image) At(x, y int) (r, g, b byte) {
+	i := 3 * (y*m.Width + x)
+	return m.Pix[i], m.Pix[i+1], m.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y).
+func (m *Image) Set(x, y int, r, g, b byte) {
+	i := 3 * (y*m.Width + x)
+	m.Pix[i], m.Pix[i+1], m.Pix[i+2] = r, g, b
+}
+
+// EncodeP6 renders the binary PPM format.
+func (m *Image) EncodeP6() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "P6\n%d %d\n255\n", m.Width, m.Height)
+	buf.Write(m.Pix)
+	return buf.Bytes()
+}
+
+// EncodeP3 renders the ASCII PPM format.
+func (m *Image) EncodeP3() []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "P3\n%d %d\n255\n", m.Width, m.Height)
+	for i := 0; i < len(m.Pix); i += 3 {
+		fmt.Fprintf(&buf, "%d %d %d\n", m.Pix[i], m.Pix[i+1], m.Pix[i+2])
+	}
+	return buf.Bytes()
+}
+
+// Decode parses a P6 or P3 PPM image with 8-bit samples.
+func Decode(data []byte) (*Image, error) {
+	r := bufio.NewReader(bytes.NewReader(data))
+	magic, err := token(r)
+	if err != nil {
+		return nil, fmt.Errorf("ppm: missing magic: %w", err)
+	}
+	if magic != "P6" && magic != "P3" {
+		return nil, fmt.Errorf("ppm: unsupported format %q", magic)
+	}
+	w, err := intToken(r)
+	if err != nil {
+		return nil, fmt.Errorf("ppm: width: %w", err)
+	}
+	h, err := intToken(r)
+	if err != nil {
+		return nil, fmt.Errorf("ppm: height: %w", err)
+	}
+	maxval, err := intToken(r)
+	if err != nil {
+		return nil, fmt.Errorf("ppm: maxval: %w", err)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<26 {
+		return nil, fmt.Errorf("ppm: unreasonable dimensions %dx%d", w, h)
+	}
+	if maxval != 255 {
+		return nil, fmt.Errorf("ppm: only maxval 255 supported, got %d", maxval)
+	}
+	img := NewImage(w, h)
+	if magic == "P6" {
+		// Exactly one whitespace byte separates the header from raster
+		// data; token() has already consumed it.
+		if _, err := io.ReadFull(r, img.Pix); err != nil {
+			return nil, fmt.Errorf("ppm: raster: %w", err)
+		}
+		return img, nil
+	}
+	for i := range img.Pix {
+		v, err := intToken(r)
+		if err != nil {
+			return nil, fmt.Errorf("ppm: sample %d: %w", i, err)
+		}
+		if v < 0 || v > 255 {
+			return nil, fmt.Errorf("ppm: sample %d out of range: %d", i, v)
+		}
+		img.Pix[i] = byte(v)
+	}
+	return img, nil
+}
+
+// token reads the next whitespace-delimited token, skipping '#' comments.
+func token(r *bufio.Reader) (string, error) {
+	var b []byte
+	for {
+		c, err := r.ReadByte()
+		if err != nil {
+			if len(b) > 0 && errors.Is(err, io.EOF) {
+				return string(b), nil
+			}
+			return "", err
+		}
+		switch {
+		case c == '#' && len(b) == 0:
+			if _, err := r.ReadString('\n'); err != nil && !errors.Is(err, io.EOF) {
+				return "", err
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if len(b) > 0 {
+				return string(b), nil
+			}
+		default:
+			b = append(b, c)
+		}
+	}
+}
+
+func intToken(r *bufio.Reader) (int, error) {
+	s, err := token(r)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.Atoi(s)
+}
+
+// Scale produces a box-filtered resize to w x h. The image server's eight
+// request sizes (1/8th through full scale, §5.1) all route through here.
+func (m *Image) Scale(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		return NewImage(1, 1)
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		sy0 := y * m.Height / h
+		sy1 := (y + 1) * m.Height / h
+		if sy1 <= sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w; x++ {
+			sx0 := x * m.Width / w
+			sx1 := (x + 1) * m.Width / w
+			if sx1 <= sx0 {
+				sx1 = sx0 + 1
+			}
+			var r, g, b, n int
+			for sy := sy0; sy < sy1 && sy < m.Height; sy++ {
+				for sx := sx0; sx < sx1 && sx < m.Width; sx++ {
+					pr, pg, pb := m.At(sx, sy)
+					r += int(pr)
+					g += int(pg)
+					b += int(pb)
+					n++
+				}
+			}
+			if n > 0 {
+				out.Set(x, y, byte(r/n), byte(g/n), byte(b/n))
+			}
+		}
+	}
+	return out
+}
+
+// ToRGBA converts to the stdlib image type for JPEG encoding.
+func (m *Image) ToRGBA() *image.RGBA {
+	out := image.NewRGBA(image.Rect(0, 0, m.Width, m.Height))
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			r, g, b := m.At(x, y)
+			out.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return out
+}
+
+// Synthetic generates a deterministic test-pattern image (gradients plus
+// structure so JPEG compression does real work), standing in for the
+// paper's five stock photographs.
+func Synthetic(w, h int, seed int64) *Image {
+	img := NewImage(w, h)
+	s := uint64(seed)*2654435761 + 1
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			r := byte((x*255/max(w-1, 1) + int(s%61)) & 0xFF)
+			g := byte((y*255/max(h-1, 1) + int(s%83)) & 0xFF)
+			b := byte(((x ^ y) + int(s%97)) & 0xFF)
+			img.Set(x, y, r, g, b)
+		}
+	}
+	return img
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package ppm
+
+import (
+	"bytes"
+	"image/jpeg"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeP6(t *testing.T) {
+	img := Synthetic(64, 48, 1)
+	data := img.EncodeP6()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 64 || got.Height != 48 {
+		t.Fatalf("dims = %dx%d", got.Width, got.Height)
+	}
+	if !bytes.Equal(got.Pix, img.Pix) {
+		t.Error("pixel data corrupted in P6 round trip")
+	}
+}
+
+func TestEncodeDecodeP3(t *testing.T) {
+	img := Synthetic(8, 8, 2)
+	got, err := Decode(img.EncodeP3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pix, img.Pix) {
+		t.Error("pixel data corrupted in P3 round trip")
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	src := "P3\n# a comment\n2 1\n# another\n255\n1 2 3 4 5 6\n"
+	img, err := Decode([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, b := img.At(1, 0)
+	if r != 4 || g != 5 || b != 6 {
+		t.Errorf("pixel = %d,%d,%d", r, g, b)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"P5\n1 1\n255\n\x00",      // unsupported format
+		"P6\n0 5\n255\n",          // zero width
+		"P6\n2 2\n65535\n",        // 16-bit samples
+		"P6\n2 2\n255\n\x00\x00",  // truncated raster
+		"P3\n1 1\n255\n300 0 0\n", // sample out of range
+		"P3\n1 1\n255\n1 2\n",     // missing sample
+	}
+	for _, in := range bad {
+		if _, err := Decode([]byte(in)); err == nil {
+			t.Errorf("Decode(%q) should fail", in)
+		}
+	}
+}
+
+func TestScaleDimensions(t *testing.T) {
+	img := Synthetic(256, 192, 3)
+	for _, f := range []int{1, 2, 4, 8} {
+		out := img.Scale(256/f, 192/f)
+		if out.Width != 256/f || out.Height != 192/f {
+			t.Errorf("scale 1/%d: %dx%d", f, out.Width, out.Height)
+		}
+	}
+	// Degenerate sizes do not panic.
+	if got := img.Scale(0, 0); got.Width != 1 || got.Height != 1 {
+		t.Errorf("degenerate scale = %dx%d", got.Width, got.Height)
+	}
+}
+
+func TestScaleIdentityPreservesPixels(t *testing.T) {
+	img := Synthetic(32, 32, 4)
+	out := img.Scale(32, 32)
+	if !bytes.Equal(out.Pix, img.Pix) {
+		t.Error("identity scale changed pixels")
+	}
+}
+
+func TestScaleAveragesUniformRegions(t *testing.T) {
+	img := NewImage(4, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			img.Set(x, y, 100, 150, 200)
+		}
+	}
+	out := img.Scale(2, 2)
+	r, g, b := out.At(1, 1)
+	if r != 100 || g != 150 || b != 200 {
+		t.Errorf("uniform scale pixel = %d,%d,%d", r, g, b)
+	}
+}
+
+func TestToRGBAAndJPEG(t *testing.T) {
+	img := Synthetic(120, 80, 5)
+	rgba := img.ToRGBA()
+	if rgba.Bounds().Dx() != 120 || rgba.Bounds().Dy() != 80 {
+		t.Fatalf("bounds = %v", rgba.Bounds())
+	}
+	var buf bytes.Buffer
+	if err := jpeg.Encode(&buf, rgba, &jpeg.Options{Quality: 75}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty jpeg")
+	}
+	cfg, err := jpeg.DecodeConfig(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Width != 120 || cfg.Height != 80 {
+		t.Errorf("jpeg dims = %dx%d", cfg.Width, cfg.Height)
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(16, 16, 7)
+	b := Synthetic(16, 16, 7)
+	c := Synthetic(16, 16, 8)
+	if !bytes.Equal(a.Pix, b.Pix) {
+		t.Error("same seed produced different images")
+	}
+	if bytes.Equal(a.Pix, c.Pix) {
+		t.Error("different seeds produced identical images")
+	}
+}
+
+// TestQuickP6RoundTrip round-trips random small images.
+func TestQuickP6RoundTrip(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64) bool {
+		w, h := int(w8)%32+1, int(h8)%32+1
+		img := Synthetic(w, h, seed)
+		got, err := Decode(img.EncodeP6())
+		return err == nil && got.Width == w && got.Height == h && bytes.Equal(got.Pix, img.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics fuzzes the decoder lightly.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		_, _ = Decode(append([]byte("P6\n"), data...))
+		_, _ = Decode(append([]byte("P3\n"), data...))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

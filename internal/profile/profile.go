@@ -1,0 +1,269 @@
+// Package profile implements Flux path profiling (§5.2).
+//
+// The runtime adds one Ball-Larus increment per traversed edge and two
+// timestamps per node; this package aggregates those observations into
+// per-path counts and times ("hot paths") and per-node statistics, and
+// renders the reports a performance analyst reads. Because Flux graphs
+// are acyclic, a path ID uniquely identifies one route through the
+// server, including routes that end at the ERROR terminal — in the
+// paper's BitTorrent peer the most frequently executed path is an error
+// path (the no-outstanding-requests poll).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+)
+
+// PathStat aggregates one Ball-Larus path.
+type PathStat struct {
+	ID    uint64
+	Count uint64
+	Total time.Duration
+}
+
+// Mean returns the average flow time on this path.
+func (p PathStat) Mean() time.Duration {
+	if p.Count == 0 {
+		return 0
+	}
+	return p.Total / time.Duration(p.Count)
+}
+
+// NodeStat aggregates one node's executions.
+type NodeStat struct {
+	Name  string
+	Count uint64
+	Total time.Duration
+}
+
+// Mean returns the average node execution time.
+func (n NodeStat) Mean() time.Duration {
+	if n.Count == 0 {
+		return 0
+	}
+	return n.Total / time.Duration(n.Count)
+}
+
+type graphStats struct {
+	paths map[uint64]*PathStat
+	nodes map[string]*NodeStat
+}
+
+// Profiler collects flow and node completions from a running server. It
+// satisfies the runtime's Profiler interface. One Profiler may observe
+// any number of graphs (sources) concurrently.
+type Profiler struct {
+	mu     sync.Mutex
+	graphs map[*core.FlatGraph]*graphStats
+}
+
+// New returns an empty profiler.
+func New() *Profiler {
+	return &Profiler{graphs: make(map[*core.FlatGraph]*graphStats)}
+}
+
+func (p *Profiler) stats(g *core.FlatGraph) *graphStats {
+	gs, ok := p.graphs[g]
+	if !ok {
+		gs = &graphStats{paths: make(map[uint64]*PathStat), nodes: make(map[string]*NodeStat)}
+		p.graphs[g] = gs
+	}
+	return gs
+}
+
+// FlowDone records a completed flow.
+func (p *Profiler) FlowDone(g *core.FlatGraph, pathID uint64, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gs := p.stats(g)
+	ps, ok := gs.paths[pathID]
+	if !ok {
+		ps = &PathStat{ID: pathID}
+		gs.paths[pathID] = ps
+	}
+	ps.Count++
+	ps.Total += elapsed
+}
+
+// NodeDone records one node execution.
+func (p *Profiler) NodeDone(g *core.FlatGraph, v *core.FlatNode, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gs := p.stats(g)
+	name := v.Node.Name
+	ns, ok := gs.nodes[name]
+	if !ok {
+		ns = &NodeStat{Name: name}
+		gs.nodes[name] = ns
+	}
+	ns.Count++
+	ns.Total += elapsed
+}
+
+// SortBy selects the hot-path ranking criterion.
+type SortBy int
+
+const (
+	// ByCount ranks paths by execution frequency.
+	ByCount SortBy = iota
+	// ByTotalTime ranks paths by cumulative time — the paper's "most
+	// expensive" ranking.
+	ByTotalTime
+	// ByMeanTime ranks paths by per-execution cost.
+	ByMeanTime
+)
+
+// PathReport is one ranked row of a hot-path report.
+type PathReport struct {
+	PathStat
+	Label string
+}
+
+// HotPaths returns the ranked paths for a graph. A zero limit returns all.
+func (p *Profiler) HotPaths(g *core.FlatGraph, by SortBy, limit int) []PathReport {
+	p.mu.Lock()
+	gs := p.graphs[g]
+	var stats []PathStat
+	if gs != nil {
+		stats = make([]PathStat, 0, len(gs.paths))
+		for _, ps := range gs.paths {
+			stats = append(stats, *ps)
+		}
+	}
+	p.mu.Unlock()
+
+	sort.Slice(stats, func(i, j int) bool {
+		switch by {
+		case ByTotalTime:
+			if stats[i].Total != stats[j].Total {
+				return stats[i].Total > stats[j].Total
+			}
+		case ByMeanTime:
+			if stats[i].Mean() != stats[j].Mean() {
+				return stats[i].Mean() > stats[j].Mean()
+			}
+		default:
+			if stats[i].Count != stats[j].Count {
+				return stats[i].Count > stats[j].Count
+			}
+		}
+		return stats[i].ID < stats[j].ID
+	})
+	if limit > 0 && len(stats) > limit {
+		stats = stats[:limit]
+	}
+	out := make([]PathReport, len(stats))
+	for i, ps := range stats {
+		out[i] = PathReport{PathStat: ps, Label: g.PathLabel(ps.ID)}
+	}
+	return out
+}
+
+// Nodes returns per-node statistics sorted by total time (bottleneck
+// order).
+func (p *Profiler) Nodes(g *core.FlatGraph) []NodeStat {
+	p.mu.Lock()
+	gs := p.graphs[g]
+	var stats []NodeStat
+	if gs != nil {
+		stats = make([]NodeStat, 0, len(gs.nodes))
+		for _, ns := range gs.nodes {
+			stats = append(stats, *ns)
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Total != stats[j].Total {
+			return stats[i].Total > stats[j].Total
+		}
+		return stats[i].Name < stats[j].Name
+	})
+	return stats
+}
+
+// TotalFlows returns the number of recorded flows for a graph.
+func (p *Profiler) TotalFlows(g *core.FlatGraph) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gs := p.graphs[g]
+	if gs == nil {
+		return 0
+	}
+	var n uint64
+	for _, ps := range gs.paths {
+		n += ps.Count
+	}
+	return n
+}
+
+// EdgeFrequencies reconstructs how often each edge of the graph was
+// traversed from the recorded path counts. The simulator generator uses
+// this to derive branch probabilities from a profiling run (§5.1:
+// "observed branching probabilities").
+func (p *Profiler) EdgeFrequencies(g *core.FlatGraph) map[*core.FlatEdge]uint64 {
+	p.mu.Lock()
+	paths := make(map[uint64]uint64)
+	if gs := p.graphs[g]; gs != nil {
+		for id, ps := range gs.paths {
+			paths[id] = ps.Count
+		}
+	}
+	p.mu.Unlock()
+
+	freq := make(map[*core.FlatEdge]uint64)
+	for id, count := range paths {
+		nodes := g.DecodePath(id)
+		for i := 0; i+1 < len(nodes); i++ {
+			for _, e := range nodes[i].Edges() {
+				if e.To == nodes[i+1] {
+					freq[e] += count
+					break
+				}
+			}
+		}
+	}
+	return freq
+}
+
+// Report renders the hot-path table for a graph, in the spirit of the
+// §5.2 presentation.
+func (p *Profiler) Report(g *core.FlatGraph, by SortBy, limit int) string {
+	rows := p.HotPaths(g, by, limit)
+	total := p.TotalFlows(g)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Path profile for source %s (%d distinct paths, %d flows):\n",
+		g.Source.Name, len(rows), total)
+	fmt.Fprintf(&b, "%4s  %10s  %12s  %12s  %s\n", "#", "count", "total", "mean", "path")
+	for i, r := range rows {
+		fmt.Fprintf(&b, "%4d  %10d  %12s  %12s  %s\n",
+			i+1, r.Count, r.Total.Round(time.Microsecond), r.Mean().Round(time.Nanosecond), r.Label)
+	}
+	return b.String()
+}
+
+// NodeReport renders the per-node bottleneck table.
+func (p *Profiler) NodeReport(g *core.FlatGraph) string {
+	rows := p.Nodes(g)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Node profile for source %s:\n", g.Source.Name)
+	fmt.Fprintf(&b, "%-24s  %10s  %12s  %12s\n", "node", "count", "total", "mean")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s  %10d  %12s  %12s\n",
+			r.Name, r.Count, r.Total.Round(time.Microsecond), r.Mean().Round(time.Nanosecond))
+	}
+	return b.String()
+}
+
+// Reset clears all recorded data (e.g. after a warm-up period, matching
+// the paper's methodology of ignoring the first twenty seconds).
+func (p *Profiler) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.graphs = make(map[*core.FlatGraph]*graphStats)
+}

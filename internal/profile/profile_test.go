@@ -1,0 +1,192 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+)
+
+const src = `
+Gen () => (int v);
+Evens (int v) => (int v);
+Odds (int v) => (int v);
+Sink (int v) => ();
+source Gen => Flow;
+Flow = Route -> Sink;
+typedef even IsEven;
+Route:[even] = Evens;
+Route:[_] = Odds;
+`
+
+func graph(t *testing.T) *core.FlatGraph {
+	t.Helper()
+	astProg, err := parser.Parse("p.flux", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.Build(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Graphs["Gen"]
+}
+
+// pathIDFor finds the Ball-Larus ID whose label matches.
+func pathIDFor(t *testing.T, g *core.FlatGraph, label string) uint64 {
+	t.Helper()
+	for id := uint64(0); id < g.NumPaths; id++ {
+		if g.PathLabel(id) == label {
+			return id
+		}
+	}
+	t.Fatalf("no path labeled %q", label)
+	return 0
+}
+
+func TestHotPathsByCount(t *testing.T) {
+	g := graph(t)
+	p := New()
+	even := pathIDFor(t, g, "Gen -> Evens -> Sink")
+	odd := pathIDFor(t, g, "Gen -> Odds -> Sink")
+	for i := 0; i < 10; i++ {
+		p.FlowDone(g, even, time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		p.FlowDone(g, odd, 10*time.Millisecond)
+	}
+	rows := p.HotPaths(g, ByCount, 0)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "Gen -> Evens -> Sink" || rows[0].Count != 10 {
+		t.Errorf("top by count = %+v", rows[0])
+	}
+
+	rows = p.HotPaths(g, ByTotalTime, 0)
+	if rows[0].Label != "Gen -> Odds -> Sink" {
+		t.Errorf("top by total time = %+v", rows[0])
+	}
+	if rows[0].Total != 30*time.Millisecond {
+		t.Errorf("total = %v", rows[0].Total)
+	}
+
+	rows = p.HotPaths(g, ByMeanTime, 1)
+	if len(rows) != 1 || rows[0].Mean() != 10*time.Millisecond {
+		t.Errorf("by mean = %+v", rows)
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	g := graph(t)
+	p := New()
+	var sink, evens *core.FlatNode
+	for _, v := range g.Nodes {
+		if v.Kind == core.FlatExec {
+			switch v.Node.Name {
+			case "Sink":
+				sink = v
+			case "Evens":
+				evens = v
+			}
+		}
+	}
+	p.NodeDone(g, sink, 2*time.Millisecond)
+	p.NodeDone(g, sink, 4*time.Millisecond)
+	p.NodeDone(g, evens, 20*time.Millisecond)
+
+	nodes := p.Nodes(g)
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %+v", nodes)
+	}
+	if nodes[0].Name != "Evens" {
+		t.Errorf("bottleneck order wrong: %+v", nodes)
+	}
+	if nodes[1].Count != 2 || nodes[1].Mean() != 3*time.Millisecond {
+		t.Errorf("sink stats = %+v", nodes[1])
+	}
+}
+
+func TestEdgeFrequencies(t *testing.T) {
+	g := graph(t)
+	p := New()
+	even := pathIDFor(t, g, "Gen -> Evens -> Sink")
+	odd := pathIDFor(t, g, "Gen -> Odds -> Sink")
+	for i := 0; i < 7; i++ {
+		p.FlowDone(g, even, time.Millisecond)
+	}
+	for i := 0; i < 3; i++ {
+		p.FlowDone(g, odd, time.Millisecond)
+	}
+	freq := p.EdgeFrequencies(g)
+
+	var br *core.FlatNode
+	for _, v := range g.Nodes {
+		if v.Kind == core.FlatBranch {
+			br = v
+		}
+	}
+	if br == nil {
+		t.Fatal("no branch")
+	}
+	if freq[br.Out[0]] != 7 || freq[br.Out[1]] != 3 {
+		t.Errorf("branch frequencies = %d/%d, want 7/3", freq[br.Out[0]], freq[br.Out[1]])
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	g := graph(t)
+	p := New()
+	even := pathIDFor(t, g, "Gen -> Evens -> Sink")
+	p.FlowDone(g, even, 250*time.Microsecond)
+	rep := p.Report(g, ByCount, 10)
+	for _, want := range []string{"source Gen", "1 flows", "Gen -> Evens -> Sink"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	var sink *core.FlatNode
+	for _, v := range g.Nodes {
+		if v.Kind == core.FlatExec && v.Node.Name == "Sink" {
+			sink = v
+		}
+	}
+	p.NodeDone(g, sink, time.Millisecond)
+	nrep := p.NodeReport(g)
+	if !strings.Contains(nrep, "Sink") {
+		t.Errorf("node report missing Sink:\n%s", nrep)
+	}
+}
+
+func TestTotalFlowsAndReset(t *testing.T) {
+	g := graph(t)
+	p := New()
+	if p.TotalFlows(g) != 0 {
+		t.Error("fresh profiler has flows")
+	}
+	p.FlowDone(g, 0, time.Millisecond)
+	p.FlowDone(g, 0, time.Millisecond)
+	if p.TotalFlows(g) != 2 {
+		t.Errorf("TotalFlows = %d", p.TotalFlows(g))
+	}
+	p.Reset()
+	if p.TotalFlows(g) != 0 {
+		t.Error("Reset did not clear flows")
+	}
+}
+
+func TestEmptyProfilerReports(t *testing.T) {
+	g := graph(t)
+	p := New()
+	if rows := p.HotPaths(g, ByCount, 5); len(rows) != 0 {
+		t.Errorf("rows on empty profiler: %v", rows)
+	}
+	if nodes := p.Nodes(g); len(nodes) != 0 {
+		t.Errorf("nodes on empty profiler: %v", nodes)
+	}
+	if !strings.Contains(p.Report(g, ByCount, 5), "0 flows") {
+		t.Error("empty report should render")
+	}
+}

@@ -1,0 +1,294 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+)
+
+// The event-driven runtime (§3.2.2). Every input to a node is an event on
+// a queue handled by a dispatcher that must never block:
+//
+//   - source nodes are repeatedly re-queued to originate new flows; they
+//     poll with a deadline (the select-with-timeout pattern the paper's
+//     web server uses), so an idle source holds the dispatcher for at
+//     most Config.SourceTimeout — which reproduces the low-concurrency
+//     latency hiccup of Figure 3;
+//   - nodes marked blocking are offloaded to an asynchronous-I/O worker
+//     pool, the Go analogue of the paper's LD_PRELOAD interception: the
+//     node's state (its continuation vertex and record) is captured, the
+//     dispatcher moves to the next event, and completion re-queues the
+//     flow;
+//   - lock acquisition never blocks the dispatcher: a contended
+//     constraint parks the flow on the lock's FIFO wait queue and the
+//     grant re-queues its continuation, so later acquirers cannot starve
+//     earlier ones;
+//   - async completions signal Flow.Wake, so a source poll in progress
+//     yields immediately instead of holding the dispatcher for its full
+//     timeout (the paper's single select sees all activity at once).
+
+type eventKind int
+
+const (
+	evSource eventKind = iota // poll a source for the next record
+	evStep                    // execute one vertex of a flow
+	evResult                  // apply the result of an offloaded node
+)
+
+type event struct {
+	kind eventKind
+	st   *sourceState
+
+	fl  *Flow
+	g   *core.FlatGraph
+	v   *core.FlatNode
+	rec Record
+
+	// acquired tracks progress through an acquire vertex's constraint
+	// set across TryAcquire retries.
+	acquired int
+	retries  int
+
+	// out and err carry an offloaded node's results.
+	out Record
+	err error
+}
+
+type eventEngine struct {
+	s        *Server
+	ctx      context.Context
+	queue    *fifo[event]
+	asyncq   *fifo[event]
+	inflight atomic.Int64
+	sources  atomic.Int64
+	// wake interrupts a source poll when other work arrives, so async
+	// completions never wait out a source timeout (the paper's single
+	// select sees all activity at once).
+	wake chan struct{}
+}
+
+// pushEvent enqueues an event and nudges any polling source.
+func (e *eventEngine) pushEvent(ev event) {
+	e.queue.push(ev)
+	e.signalWake()
+}
+
+func (e *eventEngine) signalWake() {
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (e *eventEngine) drainWake() {
+	select {
+	case <-e.wake:
+	default:
+	}
+}
+
+func (s *Server) runEvent(ctx context.Context) error {
+	e := &eventEngine{
+		s:      s,
+		ctx:    ctx,
+		queue:  newFIFO[event](),
+		asyncq: newFIFO[event](),
+		wake:   make(chan struct{}, 1),
+	}
+
+	var asyncWG sync.WaitGroup
+	for i := 0; i < s.cfg.AsyncWorkers; i++ {
+		asyncWG.Add(1)
+		go func() {
+			defer asyncWG.Done()
+			e.asyncWorker()
+		}()
+	}
+
+	for _, st := range s.srcs {
+		e.sources.Add(1)
+		e.queue.push(event{kind: evSource, st: st})
+	}
+
+	var dispWG sync.WaitGroup
+	for i := 0; i < s.cfg.Dispatchers; i++ {
+		dispWG.Add(1)
+		go func() {
+			defer dispWG.Done()
+			e.dispatch()
+		}()
+	}
+	dispWG.Wait()
+	e.asyncq.close()
+	asyncWG.Wait()
+	return ctx.Err()
+}
+
+// dispatch is the event loop: it pops one event, handles it without
+// blocking (beyond a source's bounded poll), and checks for termination.
+func (e *eventEngine) dispatch() {
+	for {
+		ev, ok := e.queue.pop()
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evSource:
+			e.handleSource(ev)
+		case evStep:
+			e.step(ev)
+		case evResult:
+			r := e.s.afterExec(ev.fl, ev.g, ev.v, ev.rec, ev.out, ev.err)
+			e.advance(ev.fl, ev.g, r)
+		}
+		e.maybeFinish()
+	}
+}
+
+// maybeFinish closes the queue once no source is active, no flow is in
+// flight, and no event is pending.
+func (e *eventEngine) maybeFinish() {
+	if e.sources.Load() == 0 && e.inflight.Load() == 0 && e.queue.len() == 0 {
+		e.queue.close()
+	}
+}
+
+// handleSource polls a source once and re-queues it.
+func (e *eventEngine) handleSource(ev event) {
+	if e.ctx.Err() != nil {
+		e.sources.Add(-1)
+		return
+	}
+	fl := e.s.newFlow(e.ctx, 0)
+	fl.SourceTimeout = e.s.cfg.SourceTimeout
+	fl.Wake = e.wake
+	// A poll must return promptly when the engine already has work;
+	// pre-arm the wake signal so a well-behaved source's select fires
+	// immediately.
+	e.drainWake()
+	if e.queue.len() > 0 {
+		e.signalWake()
+	}
+	t0 := time.Now()
+	rec, err := ev.st.fn(fl)
+	switch {
+	case err == nil:
+		e.s.stats.Started.Add(1)
+		flow := e.s.newFlow(e.ctx, ev.st.sessionOf(rec))
+		flow.SourceTimeout = e.s.cfg.SourceTimeout
+		e.inflight.Add(1)
+		e.queue.push(event{kind: evStep, fl: flow, g: ev.st.graph, v: ev.st.graph.Entry, rec: rec})
+		e.queue.push(ev)
+	case errors.Is(err, ErrNoData):
+		// Guard against sources that return early instead of waiting
+		// out their deadline: an idle queue would otherwise hot-spin.
+		// The guard sleep is interrupted by new work arriving.
+		if e.queue.len() == 0 {
+			if rest := e.s.cfg.SourceTimeout - time.Since(t0); rest > 0 {
+				e.sleepWakeable(rest)
+			}
+		}
+		e.queue.push(ev)
+	case errors.Is(err, ErrStop),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		e.sources.Add(-1)
+	default:
+		e.s.stats.NodeErrors.Add(1)
+		e.sources.Add(-1)
+	}
+}
+
+// sleepWakeable waits without outliving the run context, returning early
+// when new work arrives.
+func (e *eventEngine) sleepWakeable(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-e.wake:
+	case <-e.ctx.Done():
+	}
+}
+
+// step executes one vertex on the dispatcher.
+func (e *eventEngine) step(ev event) {
+	s := e.s
+	fl, g, v := ev.fl, ev.g, ev.v
+	switch v.Kind {
+	case core.FlatExec:
+		info := s.execs[v]
+		if info.blocking {
+			// Capture the node's state and move on; an async worker
+			// will run it and queue the continuation (§3.2.2).
+			e.asyncq.push(ev)
+			return
+		}
+		out, err := s.callNode(fl, g, v, ev.rec)
+		e.advance(fl, g, s.afterExec(fl, g, v, ev.rec, out, err))
+
+	case core.FlatBranch:
+		e.advance(fl, g, s.branchVertex(fl, g, v, ev.rec))
+
+	case core.FlatAcquire:
+		i := ev.acquired
+		for i < len(v.Cons) {
+			next := i + 1
+			cont := ev
+			cont.acquired = next
+			// Park the flow on the lock's FIFO queue when the
+			// constraint is contended: the grant callback re-queues the
+			// continuation. Arrival-order grants keep timer flows from
+			// being starved by a stream of later acquirers.
+			if !s.locks.AcquireAsync(fl, v.Cons[i], func() { e.pushEvent(cont) }) {
+				return
+			}
+			i++
+		}
+		fl.path += v.Out[0].Inc
+		e.advance(fl, g, stepResult{next: v.Out[0].To, rec: ev.rec})
+
+	case core.FlatRelease:
+		s.locks.ReleaseSet(fl, v.Cons)
+		fl.path += v.Out[0].Inc
+		e.advance(fl, g, stepResult{next: v.Out[0].To, rec: ev.rec})
+
+	case core.FlatExit, core.FlatError:
+		s.finishFlow(fl, g, v)
+		e.inflight.Add(-1)
+	}
+}
+
+// advance queues the next vertex of a flow, or retires it.
+func (e *eventEngine) advance(fl *Flow, g *core.FlatGraph, r stepResult) {
+	if r.terminal {
+		e.inflight.Add(-1)
+		return
+	}
+	switch r.next.Kind {
+	case core.FlatExit, core.FlatError:
+		// Finish inline rather than paying another queue round-trip.
+		e.s.finishFlow(fl, g, r.next)
+		e.inflight.Add(-1)
+	default:
+		e.queue.push(event{kind: evStep, fl: fl, g: g, v: r.next, rec: r.rec})
+	}
+}
+
+// asyncWorker runs offloaded blocking nodes and queues their results.
+func (e *eventEngine) asyncWorker() {
+	for {
+		ev, ok := e.asyncq.pop()
+		if !ok {
+			return
+		}
+		out, err := e.s.callNode(ev.fl, ev.g, ev.v, ev.rec)
+		ev.kind = evResult
+		ev.out, ev.err = out, err
+		e.pushEvent(ev)
+	}
+}

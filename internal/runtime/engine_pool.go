@@ -1,0 +1,69 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// pooledFlow is one queued admission: a record waiting for a worker.
+type pooledFlow struct {
+	st  *sourceState
+	rec Record
+}
+
+// runPool implements the thread-pool runtime (§3.2.1): a fixed number of
+// workers service flows; a flow created while every worker is busy queues
+// and is handled in first-in first-out order.
+func (s *Server) runPool(ctx context.Context) error {
+	queue := newFIFO[pooledFlow]()
+	var workers sync.WaitGroup
+	for i := 0; i < s.cfg.PoolSize; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for {
+				pf, ok := queue.pop()
+				if !ok {
+					return
+				}
+				fl := s.newFlow(ctx, pf.st.sessionOf(pf.rec))
+				s.runFlow(fl, pf.st.graph, pf.rec)
+			}
+		}()
+	}
+
+	var sources sync.WaitGroup
+	for _, st := range s.srcs {
+		sources.Add(1)
+		go func(st *sourceState) {
+			defer sources.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				fl := s.newFlow(ctx, 0)
+				rec, err := st.fn(fl)
+				switch {
+				case err == nil:
+					s.stats.Started.Add(1)
+					queue.push(pooledFlow{st: st, rec: rec})
+				case errors.Is(err, ErrNoData):
+					continue
+				case errors.Is(err, ErrStop):
+					return
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					return
+				default:
+					s.stats.NodeErrors.Add(1)
+					return
+				}
+			}
+		}(st)
+	}
+
+	sources.Wait()
+	queue.close()
+	workers.Wait()
+	return ctx.Err()
+}

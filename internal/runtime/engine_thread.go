@@ -1,0 +1,56 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// runThreaded implements the one-to-one thread server (§3.2.1): every
+// data flow gets its own goroutine, created on demand and destroyed when
+// the flow completes. The paper measures this engine's per-flow creation
+// cost as its weakness (Figure 3); it is the simplest possible runtime.
+func (s *Server) runThreaded(ctx context.Context) error {
+	var flows sync.WaitGroup
+	var sources sync.WaitGroup
+
+	for _, st := range s.srcs {
+		sources.Add(1)
+		go func(st *sourceState) {
+			defer sources.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				fl := s.newFlow(ctx, 0)
+				rec, err := st.fn(fl)
+				switch {
+				case err == nil:
+					s.stats.Started.Add(1)
+					flow := s.newFlow(ctx, st.sessionOf(rec))
+					flows.Add(1)
+					go func() {
+						defer flows.Done()
+						s.runFlow(flow, st.graph, rec)
+					}()
+				case errors.Is(err, ErrNoData):
+					continue
+				case errors.Is(err, ErrStop):
+					return
+				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					return
+				default:
+					// A source error terminates that source, as an
+					// accept-loop failure would (§2.4 covers node
+					// errors; source errors have nowhere to flow).
+					s.stats.NodeErrors.Add(1)
+					return
+				}
+			}
+		}(st)
+	}
+
+	sources.Wait()
+	flows.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,56 @@
+package runtime
+
+import (
+	"context"
+	"time"
+)
+
+// Flow is the per-request execution context: one flow exists for each
+// record a source produces, for the duration of its trip through the
+// program graph (Figure 1's "dynamic view": one flow per client request).
+type Flow struct {
+	// Ctx is the server's run context; node functions performing long
+	// blocking operations should honor its cancellation.
+	Ctx context.Context
+
+	// Session is the session identifier computed by the source's
+	// session-id function, or 0 (§2.5.1).
+	Session uint64
+
+	// SourceTimeout, when nonzero, asks the source function to poll with
+	// a deadline and return ErrNoData on expiry. The event engine sets
+	// it so the dispatcher is never blocked indefinitely inside a source
+	// (the select-with-timeout pattern of §4.2).
+	SourceTimeout time.Duration
+
+	// Wake, when non-nil, is signaled by the event engine when other
+	// work arrives while a source is polling. Channel-based sources
+	// should include it in their select and return ErrNoData — the
+	// paper's server blocks in one select watching all activity, so any
+	// completion wakes it; Wake is that "other activity" signal for
+	// sources that only watch their own readiness. Sources that ignore
+	// it still work, at the cost of holding the dispatcher for up to
+	// SourceTimeout per poll.
+	Wake <-chan struct{}
+
+	// path accumulates the Ball-Larus path register: one addition per
+	// traversed edge (§5.2).
+	path uint64
+
+	// start is the flow's start time for path-time attribution.
+	start time.Time
+
+	// held is the flow's lock stack, outermost first.
+	held []heldToken
+
+	srv *Server
+}
+
+// PathID returns the current Ball-Larus path register value.
+func (fl *Flow) PathID() uint64 { return fl.path }
+
+func (fl *Flow) releaseTop() {
+	t := fl.held[len(fl.held)-1]
+	fl.held = fl.held[:len(fl.held)-1]
+	t.lock.release(fl)
+}

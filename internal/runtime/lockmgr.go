@@ -1,0 +1,286 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+// LockManager implements atomicity constraints as reentrant reader-writer
+// locks keyed by constraint name — plus the flow's session id for
+// session-scoped constraints (§2.5.1). Flows acquire constraint sets in
+// the canonical order computed by the compiler and release them in
+// reverse (two-phase locking, §2.5); combined with acyclic flows this
+// makes deadlock impossible (§3.1.1).
+type LockManager struct {
+	mu    sync.Mutex
+	locks map[lockKey]*rwReentrant
+}
+
+type lockKey struct {
+	name    string
+	session uint64 // 0 for global constraints
+}
+
+// NewLockManager returns an empty lock table; locks are created on first
+// acquisition.
+func NewLockManager() *LockManager {
+	return &LockManager{locks: make(map[lockKey]*rwReentrant)}
+}
+
+func (m *LockManager) lock(key lockKey) *rwReentrant {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[key]
+	if !ok {
+		l = newRWReentrant(key.name)
+		m.locks[key] = l
+	}
+	return l
+}
+
+// key resolves the lock identity for a constraint in the context of a
+// flow: session-scoped constraints use the flow's session id.
+func (m *LockManager) key(c ast.Constraint, fl *Flow) lockKey {
+	k := lockKey{name: c.Name}
+	if c.Session {
+		k.session = fl.Session
+	}
+	return k
+}
+
+// Acquire blocks until the flow holds the constraint. Reacquiring a
+// constraint the flow already holds is cheap and never blocks (locks are
+// reentrant, §3.1.1).
+func (m *LockManager) Acquire(fl *Flow, c ast.Constraint) {
+	l := m.lock(m.key(c, fl))
+	l.acquire(fl, c.Mode == ast.Writer)
+	fl.held = append(fl.held, heldToken{lock: l, c: c})
+}
+
+// TryAcquire is the non-blocking variant. It reports whether the
+// constraint was acquired.
+func (m *LockManager) TryAcquire(fl *Flow, c ast.Constraint) bool {
+	l := m.lock(m.key(c, fl))
+	if !l.tryAcquire(fl, c.Mode == ast.Writer) {
+		return false
+	}
+	fl.held = append(fl.held, heldToken{lock: l, c: c})
+	return true
+}
+
+// AcquireAsync acquires without blocking, or parks the flow on the
+// lock's FIFO wait queue. It returns true when the constraint was
+// acquired immediately; otherwise resume will be called — with the
+// constraint already held by the flow — when the lock is granted. The
+// event engine uses this so its dispatcher never blocks and no flow can
+// be starved by retry races: grants happen in arrival order.
+func (m *LockManager) AcquireAsync(fl *Flow, c ast.Constraint, resume func()) bool {
+	l := m.lock(m.key(c, fl))
+	granted := l.acquireAsync(fl, c.Mode == ast.Writer, func() {
+		fl.held = append(fl.held, heldToken{lock: l, c: c})
+		resume()
+	})
+	if granted {
+		fl.held = append(fl.held, heldToken{lock: l, c: c})
+	}
+	return granted
+}
+
+// ReleaseSet releases the most recent len(cs) acquisitions, in reverse
+// order. The compiler guarantees acquire/release bracketing, so the tail
+// of the flow's held stack is exactly the set being released.
+func (m *LockManager) ReleaseSet(fl *Flow, cs []ast.Constraint) {
+	for i := 0; i < len(cs); i++ {
+		fl.releaseTop()
+	}
+}
+
+// ReleaseAll unwinds every lock the flow still holds, used on the error
+// path: the failing flow abandons its bracket structure and the handler
+// runs lock-free (acquiring its own constraints if it has any).
+func (m *LockManager) ReleaseAll(fl *Flow) {
+	for len(fl.held) > 0 {
+		fl.releaseTop()
+	}
+}
+
+// heldToken records one acquisition on a flow's lock stack.
+type heldToken struct {
+	lock *rwReentrant
+	c    ast.Constraint
+}
+
+// rwReentrant is a reader-writer lock with per-flow reentrancy:
+//
+//   - a flow holding the write lock may reacquire it (and may "reacquire"
+//     it as a reader) without blocking;
+//   - a flow holding a read lock may reacquire it as a reader;
+//   - read-to-write upgrades are forbidden — the compiler's promotion
+//     pass (§3.1.1) rewrites programs so the first acquisition on any
+//     path is already a writer, making upgrades impossible at runtime.
+type rwReentrant struct {
+	name    string
+	mu      sync.Mutex
+	cond    *sync.Cond
+	writer  *Flow
+	wdepth  int
+	readers map[*Flow]int
+	// waiters holds parked asynchronous acquirers in FIFO order; release
+	// grants to them in arrival order (never starving a flow behind
+	// later arrivals).
+	waiters []lockWaiter
+}
+
+type lockWaiter struct {
+	fl    *Flow
+	write bool
+	grant func()
+}
+
+func newRWReentrant(name string) *rwReentrant {
+	l := &rwReentrant{name: name, readers: make(map[*Flow]int)}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// acquire blocks until the lock is held in the requested mode.
+func (l *rwReentrant) acquire(fl *Flow, write bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for !l.grantLocked(fl, write) {
+		l.cond.Wait()
+	}
+}
+
+// tryAcquire acquires without blocking, reporting success.
+func (l *rwReentrant) tryAcquire(fl *Flow, write bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.grantLocked(fl, write)
+}
+
+// acquireAsync acquires immediately (returning true without calling
+// grant) or parks the flow FIFO (queueing grant, returning false).
+// Arrivals behind parked waiters queue rather than overtaking, keeping
+// grants fair.
+func (l *rwReentrant) acquireAsync(fl *Flow, write bool, grant func()) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Reentrant reacquisition must never queue behind other flows (the
+	// flow already holds the lock).
+	if l.writer == fl || (!write && l.readers[fl] > 0) {
+		return l.grantLocked(fl, write)
+	}
+	if len(l.waiters) == 0 && l.grantLocked(fl, write) {
+		return true
+	}
+	if write && l.readers[fl] > 0 {
+		panic(fmt.Sprintf("flux/runtime: read-to-write upgrade on constraint %q; "+
+			"the compiler promotes first acquisitions to writers, so this is a misuse of LockManager", l.name))
+	}
+	l.waiters = append(l.waiters, lockWaiter{fl: fl, write: write, grant: grant})
+	return false
+}
+
+// wakeAsyncLocked grants to the head of the async wait queue while the
+// lock state allows: one writer, or a maximal batch of readers. It
+// returns the grant callbacks to invoke after the mutex is released.
+func (l *rwReentrant) wakeAsyncLocked() []func() {
+	var grants []func()
+	for len(l.waiters) > 0 {
+		head := l.waiters[0]
+		if head.write {
+			if l.writer != nil || len(l.readers) != 0 {
+				break
+			}
+			l.writer = head.fl
+			l.wdepth = 1
+		} else {
+			if l.writer != nil {
+				break
+			}
+			l.readers[head.fl]++
+		}
+		grants = append(grants, head.grant)
+		l.waiters = l.waiters[1:]
+		if head.write {
+			break
+		}
+	}
+	return grants
+}
+
+// grantLocked attempts the state transition; callers hold l.mu.
+func (l *rwReentrant) grantLocked(fl *Flow, write bool) bool {
+	// Reentrant while writing: both read and write reacquisitions just
+	// deepen the write hold.
+	if l.writer == fl {
+		l.wdepth++
+		return true
+	}
+	if !write {
+		if l.readers[fl] > 0 {
+			l.readers[fl]++
+			return true
+		}
+		if l.writer == nil {
+			l.readers[fl] = 1
+			return true
+		}
+		return false
+	}
+	// Write request.
+	if l.readers[fl] > 0 {
+		// Read-to-write upgrade would deadlock against another
+		// upgrader; the compiler's promotion pass makes this
+		// unreachable for compiled programs, so reaching it means the
+		// lock manager was driven by hand, out of contract.
+		panic(fmt.Sprintf("flux/runtime: read-to-write upgrade on constraint %q; "+
+			"the compiler promotes first acquisitions to writers, so this is a misuse of LockManager", l.name))
+	}
+	if l.writer == nil && len(l.readers) == 0 {
+		l.writer = fl
+		l.wdepth = 1
+		return true
+	}
+	return false
+}
+
+// release undoes one acquisition by fl, handing the lock to parked
+// asynchronous waiters first (FIFO) and then waking blocking waiters.
+func (l *rwReentrant) release(fl *Flow) {
+	l.mu.Lock()
+	var grants []func()
+	switch {
+	case l.writer == fl:
+		l.wdepth--
+		if l.wdepth == 0 {
+			l.writer = nil
+			grants = l.wakeAsyncLocked()
+			l.cond.Broadcast()
+		}
+	default:
+		n, ok := l.readers[fl]
+		if !ok {
+			l.mu.Unlock()
+			panic(fmt.Sprintf("flux/runtime: release of constraint %q not held by this flow", l.name))
+		}
+		if n == 1 {
+			delete(l.readers, fl)
+			if len(l.readers) == 0 {
+				grants = l.wakeAsyncLocked()
+				l.cond.Broadcast()
+			}
+		} else {
+			l.readers[fl] = n - 1
+		}
+	}
+	l.mu.Unlock()
+	// Grant callbacks enqueue continuation events; they must run outside
+	// the lock's mutex.
+	for _, g := range grants {
+		g()
+	}
+}

@@ -1,0 +1,234 @@
+package runtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+func writer(name string) ast.Constraint { return ast.Constraint{Name: name, Mode: ast.Writer} }
+func reader(name string) ast.Constraint { return ast.Constraint{Name: name, Mode: ast.Reader} }
+
+func TestWriterExcludesWriter(t *testing.T) {
+	m := NewLockManager()
+	f1, f2 := &Flow{}, &Flow{}
+	m.Acquire(f1, writer("x"))
+	if m.TryAcquire(f2, writer("x")) {
+		t.Fatal("second writer acquired a held lock")
+	}
+	m.ReleaseAll(f1)
+	if !m.TryAcquire(f2, writer("x")) {
+		t.Fatal("writer could not acquire a free lock")
+	}
+}
+
+func TestReadersShare(t *testing.T) {
+	m := NewLockManager()
+	f1, f2 := &Flow{}, &Flow{}
+	m.Acquire(f1, reader("x"))
+	if !m.TryAcquire(f2, reader("x")) {
+		t.Fatal("readers failed to share")
+	}
+	f3 := &Flow{}
+	if m.TryAcquire(f3, writer("x")) {
+		t.Fatal("writer acquired while readers hold")
+	}
+	m.ReleaseAll(f1)
+	m.ReleaseAll(f2)
+	if !m.TryAcquire(f3, writer("x")) {
+		t.Fatal("writer blocked on a free lock")
+	}
+}
+
+func TestReentrantWriter(t *testing.T) {
+	m := NewLockManager()
+	f := &Flow{}
+	m.Acquire(f, writer("x"))
+	m.Acquire(f, writer("x")) // reentrant
+	m.Acquire(f, reader("x")) // read-while-writing is allowed (§3.1.1)
+	if len(f.held) != 3 {
+		t.Fatalf("held = %d", len(f.held))
+	}
+	// Releasing twice must keep the lock held.
+	m.ReleaseSet(f, []ast.Constraint{writer("x"), writer("x")})
+	f2 := &Flow{}
+	if m.TryAcquire(f2, writer("x")) {
+		t.Fatal("lock freed while still reentrantly held")
+	}
+	m.ReleaseAll(f)
+	if !m.TryAcquire(f2, writer("x")) {
+		t.Fatal("lock not freed after full release")
+	}
+}
+
+func TestUpgradePanics(t *testing.T) {
+	m := NewLockManager()
+	f := &Flow{}
+	m.Acquire(f, reader("x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("read-to-write upgrade should panic")
+		}
+	}()
+	m.Acquire(f, writer("x"))
+}
+
+func TestSessionScopedLocksIndependent(t *testing.T) {
+	m := NewLockManager()
+	f1 := &Flow{Session: 1}
+	f2 := &Flow{Session: 2}
+	c := ast.Constraint{Name: "state", Mode: ast.Writer, Session: true}
+	m.Acquire(f1, c)
+	if !m.TryAcquire(f2, c) {
+		t.Fatal("different sessions contended on a session-scoped constraint")
+	}
+	f3 := &Flow{Session: 1}
+	if m.TryAcquire(f3, c) {
+		t.Fatal("same session did not contend")
+	}
+}
+
+func TestAcquireBlocksUntilRelease(t *testing.T) {
+	m := NewLockManager()
+	f1, f2 := &Flow{}, &Flow{}
+	m.Acquire(f1, writer("x"))
+	acquired := make(chan struct{})
+	go func() {
+		m.Acquire(f2, writer("x"))
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("acquire returned while lock held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(f1)
+	select {
+	case <-acquired:
+	case <-time.After(time.Second):
+		t.Fatal("blocked acquirer never woke")
+	}
+}
+
+func TestAcquireAsyncImmediate(t *testing.T) {
+	m := NewLockManager()
+	f := &Flow{}
+	called := false
+	if !m.AcquireAsync(f, writer("x"), func() { called = true }) {
+		t.Fatal("free lock not granted immediately")
+	}
+	if called {
+		t.Error("resume called on immediate grant")
+	}
+	if len(f.held) != 1 {
+		t.Errorf("held = %d", len(f.held))
+	}
+}
+
+func TestAcquireAsyncGrantsInFIFOOrder(t *testing.T) {
+	m := NewLockManager()
+	holder := &Flow{}
+	m.Acquire(holder, writer("x"))
+
+	var order []int
+	var mu sync.Mutex
+	flows := make([]*Flow, 5)
+	for i := range flows {
+		flows[i] = &Flow{}
+		i := i
+		if m.AcquireAsync(flows[i], writer("x"), func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+		}) {
+			t.Fatalf("waiter %d acquired a held lock", i)
+		}
+	}
+	// Release the chain: each release grants the next waiter.
+	m.ReleaseAll(holder)
+	for i := range flows {
+		m.ReleaseAll(flows[i])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("grants = %v", order)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order = %v, want FIFO", order)
+		}
+	}
+}
+
+// TestAcquireAsyncNoStarvation is the regression test for the event
+// engine's heartbeat starvation: a stream of new acquirers must not
+// overtake a parked waiter.
+func TestAcquireAsyncNoStarvation(t *testing.T) {
+	m := NewLockManager()
+	first := &Flow{}
+	m.Acquire(first, writer("x"))
+
+	// Park the victim.
+	victim := &Flow{}
+	granted := make(chan struct{})
+	if m.AcquireAsync(victim, writer("x"), func() { close(granted) }) {
+		t.Fatal("victim acquired held lock")
+	}
+
+	// A later arrival must queue behind the victim, not overtake.
+	late := &Flow{}
+	lateGranted := atomic.Bool{}
+	if m.AcquireAsync(late, writer("x"), func() { lateGranted.Store(true) }) {
+		t.Fatal("late acquirer overtook a parked waiter")
+	}
+
+	m.ReleaseAll(first)
+	select {
+	case <-granted:
+	case <-time.After(time.Second):
+		t.Fatal("victim never granted")
+	}
+	if lateGranted.Load() {
+		t.Fatal("late acquirer granted before the earlier waiter released")
+	}
+	m.ReleaseAll(victim)
+	if !lateGranted.Load() {
+		t.Fatal("late acquirer not granted after victim released")
+	}
+}
+
+func TestAsyncReaderBatchGrant(t *testing.T) {
+	m := NewLockManager()
+	w := &Flow{}
+	m.Acquire(w, writer("x"))
+
+	var grantedCount atomic.Int32
+	readers := make([]*Flow, 3)
+	for i := range readers {
+		readers[i] = &Flow{}
+		if m.AcquireAsync(readers[i], reader("x"), func() { grantedCount.Add(1) }) {
+			t.Fatal("reader acquired while writer holds")
+		}
+	}
+	m.ReleaseAll(w)
+	if grantedCount.Load() != 3 {
+		t.Fatalf("granted %d readers, want batch of 3", grantedCount.Load())
+	}
+}
+
+func TestReleaseUnheldPanics(t *testing.T) {
+	m := NewLockManager()
+	f1, f2 := &Flow{}, &Flow{}
+	m.Acquire(f1, reader("x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("releasing an unheld lock should panic")
+		}
+	}()
+	f2.held = append(f2.held, heldToken{lock: m.lock(lockKey{name: "x"}), c: reader("x")})
+	f2.releaseTop()
+}

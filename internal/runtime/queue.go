@@ -1,0 +1,85 @@
+package runtime
+
+import "sync"
+
+// fifo is an unbounded FIFO queue with blocking pop, used for thread-pool
+// admission (flows queue when all workers are busy, §3.2.1) and for the
+// event engine's event queue (§3.2.2). A channel would impose a fixed
+// capacity; the paper's queues are unbounded.
+type fifo[T any] struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []T
+	head   int
+	closed bool
+}
+
+func newFIFO[T any]() *fifo[T] {
+	q := &fifo[T]{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends an item; pushing to a closed queue is a no-op.
+func (q *fifo[T]) push(v T) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, v)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// pop blocks until an item is available or the queue is closed and
+// drained; ok is false in the latter case.
+func (q *fifo[T]) pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head >= len(q.items) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head >= len(q.items) {
+		return v, false
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero // release for GC
+	q.head++
+	// Compact occasionally so the backing array does not grow without
+	// bound on long-running servers.
+	if q.head > 1024 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+// tryPop is the non-blocking variant.
+func (q *fifo[T]) tryPop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.items) {
+		return v, false
+	}
+	v = q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	return v, true
+}
+
+// len reports the current queue length.
+func (q *fifo[T]) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+// close wakes all waiters; pending items remain poppable.
+func (q *fifo[T]) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

@@ -1,0 +1,390 @@
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+)
+
+// EngineKind selects one of the three runtime systems of §3.2.
+type EngineKind int
+
+const (
+	// ThreadPerFlow starts a goroutine for every data flow (the paper's
+	// one-to-one thread server).
+	ThreadPerFlow EngineKind = iota
+	// ThreadPool services flows with a fixed pool of goroutines; flows
+	// arriving when all workers are busy queue in FIFO order.
+	ThreadPool
+	// EventDriven runs every node activation as an event on a dispatcher
+	// that never blocks: blocking nodes are offloaded to an async-I/O
+	// pool and their continuations re-queued on completion (§3.2.2).
+	EventDriven
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case ThreadPerFlow:
+		return "thread"
+	case ThreadPool:
+		return "threadpool"
+	case EventDriven:
+		return "event"
+	default:
+		return fmt.Sprintf("engine(%d)", int(k))
+	}
+}
+
+// Profiler observes flow and node completions. The profile package
+// provides the standard implementation; the zero cost of a nil Profiler
+// keeps uninstrumented servers fast.
+type Profiler interface {
+	// FlowDone records a completed flow: its graph, Ball-Larus path ID,
+	// and elapsed wall time. Flows that end at the error terminal are
+	// recorded too — error paths are paths (§5.2).
+	FlowDone(g *core.FlatGraph, pathID uint64, elapsed time.Duration)
+	// NodeDone records one node execution and its duration.
+	NodeDone(g *core.FlatGraph, v *core.FlatNode, elapsed time.Duration)
+}
+
+// Config tunes a Server. The zero value is usable: thread-per-flow with
+// no profiler.
+type Config struct {
+	Kind EngineKind
+
+	// PoolSize is the worker count for ThreadPool (default
+	// 4×GOMAXPROCS).
+	PoolSize int
+
+	// Dispatchers is the event-loop count for EventDriven (default 1,
+	// the paper's single-threaded event server).
+	Dispatchers int
+
+	// AsyncWorkers sizes the event engine's blocking-call offload pool
+	// (default 16).
+	AsyncWorkers int
+
+	// SourceTimeout is the polling deadline handed to sources by the
+	// event engine (default 20ms). Larger values reproduce the
+	// low-concurrency latency "hiccup" of Figure 3 more visibly.
+	SourceTimeout time.Duration
+
+	// Profiler, when non-nil, receives flow and node completions.
+	Profiler Profiler
+}
+
+func (c Config) withDefaults() Config {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 1
+	}
+	if c.AsyncWorkers <= 0 {
+		c.AsyncWorkers = 16
+	}
+	if c.SourceTimeout <= 0 {
+		c.SourceTimeout = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Stats counts flow outcomes; all fields are updated atomically while the
+// server runs and may be read at any time.
+type Stats struct {
+	Started     atomic.Uint64 // flows initiated by sources
+	Completed   atomic.Uint64 // flows reaching the exit terminal
+	Errored     atomic.Uint64 // flows reaching the error terminal
+	Dropped     atomic.Uint64 // flows with no matching dispatch case
+	NodeErrors  atomic.Uint64 // node invocations returning an error
+	ArityErrors atomic.Uint64 // node outputs with the wrong arity
+}
+
+// Snapshot returns a plain-struct copy for reporting.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Started:     s.Started.Load(),
+		Completed:   s.Completed.Load(),
+		Errored:     s.Errored.Load(),
+		Dropped:     s.Dropped.Load(),
+		NodeErrors:  s.NodeErrors.Load(),
+		ArityErrors: s.ArityErrors.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Started, Completed, Errored, Dropped, NodeErrors, ArityErrors uint64
+}
+
+// compiledCase is a dispatch case with resolved predicate functions.
+type compiledCase struct {
+	checks []predCheck
+	edge   *core.FlatEdge
+}
+
+type predCheck struct {
+	arg int
+	fn  PredicateFunc
+}
+
+// execInfo caches the lookup for one exec vertex.
+type execInfo struct {
+	fn       NodeFunc
+	blocking bool
+	outArity int
+	isSink   bool
+}
+
+// Server executes one compiled Flux program on a chosen engine.
+type Server struct {
+	prog  *core.Program
+	b     *Bindings
+	cfg   Config
+	locks *LockManager
+	stats Stats
+
+	// srcs lists the per-source execution state in declaration order.
+	srcs []*sourceState
+
+	execs    map[*core.FlatNode]*execInfo
+	branches map[*core.FlatNode][]compiledCase
+}
+
+type sourceState struct {
+	graph   *core.FlatGraph
+	name    string
+	fn      SourceFunc
+	session SessionFunc // nil when the source has no session function
+}
+
+// NewServer validates bindings against the program and prepares the
+// dispatch tables. The returned server is inert until Run.
+func NewServer(prog *core.Program, b *Bindings, cfg Config) (*Server, error) {
+	if err := b.Validate(prog); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		prog:     prog,
+		b:        b,
+		cfg:      cfg.withDefaults(),
+		locks:    NewLockManager(),
+		execs:    make(map[*core.FlatNode]*execInfo),
+		branches: make(map[*core.FlatNode][]compiledCase),
+	}
+	for _, src := range prog.Sources {
+		g := prog.Graphs[src.Node.Name]
+		st := &sourceState{graph: g, name: src.Node.Name, fn: b.sources[src.Node.Name]}
+		if fname, ok := prog.Sessions[src.Node.Name]; ok {
+			st.session = b.sessions[fname]
+		}
+		s.srcs = append(s.srcs, st)
+		for _, v := range g.Nodes {
+			switch v.Kind {
+			case core.FlatExec:
+				s.execs[v] = &execInfo{
+					fn:       b.nodes[v.Node.Name],
+					blocking: b.blocking[v.Node.Name],
+					outArity: len(v.Node.Out),
+					isSink:   v.Node.IsSink(),
+				}
+			case core.FlatBranch:
+				cc, err := s.compileBranch(v)
+				if err != nil {
+					return nil, err
+				}
+				s.branches[v] = cc
+			}
+		}
+	}
+	return s, nil
+}
+
+func (s *Server) compileBranch(v *core.FlatNode) ([]compiledCase, error) {
+	n := v.Node
+	out := make([]compiledCase, 0, len(n.Cases))
+	for i, cs := range n.Cases {
+		c := compiledCase{edge: v.Out[i]}
+		for arg, elem := range cs.Pattern {
+			if elem.Wildcard {
+				continue
+			}
+			td := s.prog.Typedefs[elem.Type]
+			fn := s.b.preds[td.Func]
+			if fn == nil {
+				return nil, &BindingError{What: "predicate", Name: td.Func, Msg: "not bound"}
+			}
+			c.checks = append(c.checks, predCheck{arg: arg, fn: fn})
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// Stats exposes the server's live counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Program returns the compiled program the server executes.
+func (s *Server) Program() *core.Program { return s.prog }
+
+// Run executes the program on the configured engine until the context is
+// cancelled and in-flight flows drain, or every source reports ErrStop.
+func (s *Server) Run(ctx context.Context) error {
+	switch s.cfg.Kind {
+	case ThreadPerFlow:
+		return s.runThreaded(ctx)
+	case ThreadPool:
+		return s.runPool(ctx)
+	case EventDriven:
+		return s.runEvent(ctx)
+	default:
+		return fmt.Errorf("flux/runtime: unknown engine %v", s.cfg.Kind)
+	}
+}
+
+// newFlow creates the per-request context.
+func (s *Server) newFlow(ctx context.Context, session uint64) *Flow {
+	return &Flow{Ctx: ctx, Session: session, start: time.Now(), srv: s}
+}
+
+// sessionOf computes the session id for a fresh source record.
+func (st *sourceState) sessionOf(rec Record) uint64 {
+	if st.session == nil {
+		return 0
+	}
+	return st.session(rec)
+}
+
+// --- shared per-vertex execution -----------------------------------------
+
+// stepResult describes the outcome of executing one vertex.
+type stepResult struct {
+	next     *core.FlatNode
+	rec      Record
+	terminal bool
+}
+
+// callNode invokes an exec vertex's node function with profiling and
+// arity validation. It performs no flow-state transition, so the event
+// engine can run it on an async worker while the dispatcher continues.
+func (s *Server) callNode(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Record) (Record, error) {
+	info := s.execs[v]
+	var t0 time.Time
+	prof := s.cfg.Profiler
+	if prof != nil {
+		t0 = time.Now()
+	}
+	out, err := info.fn(fl, rec)
+	if prof != nil {
+		prof.NodeDone(g, v, time.Since(t0))
+	}
+	if err == nil && !info.isSink && len(out) != info.outArity {
+		s.stats.ArityErrors.Add(1)
+		err = fmt.Errorf("flux/runtime: node %q returned %d values, signature declares %d",
+			v.Node.Name, len(out), info.outArity)
+	}
+	return out, err
+}
+
+// afterExec performs the post-execution transition for an exec vertex:
+// the normal edge on success, the error edge (with lock unwind) on
+// failure, or the folded handler edge when both coincide.
+func (s *Server) afterExec(fl *Flow, g *core.FlatGraph, v *core.FlatNode, in, out Record, err error) stepResult {
+	_ = g
+	if err != nil {
+		s.stats.NodeErrors.Add(1)
+		if v.ErrEdge != nil {
+			// The flow abandons its bracket structure: release every
+			// held lock, then continue at the handler (or the error
+			// terminal) with the failing node's input record.
+			fl.path += v.ErrEdge.Inc
+			s.locks.ReleaseAll(fl)
+			return stepResult{next: v.ErrEdge.To, rec: in}
+		}
+		// Folded edge: success and failure continue identically.
+		fl.path += v.Out[0].Inc
+		return stepResult{next: v.Out[0].To, rec: in}
+	}
+	fl.path += v.Out[0].Inc
+	return stepResult{next: v.Out[0].To, rec: out}
+}
+
+// execVertex is the blocking engines' combined call-and-transition.
+func (s *Server) execVertex(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Record) stepResult {
+	out, err := s.callNode(fl, g, v, rec)
+	return s.afterExec(fl, g, v, rec, out, err)
+}
+
+// branchVertex evaluates dispatch cases in order and follows the first
+// match (§2.3). A record matching no case terminates the flow ("dropped").
+func (s *Server) branchVertex(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Record) stepResult {
+	for _, c := range s.branches[v] {
+		matched := true
+		for _, chk := range c.checks {
+			if chk.arg >= len(rec) || !chk.fn(rec[chk.arg]) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			fl.path += c.edge.Inc
+			return stepResult{next: c.edge.To, rec: rec}
+		}
+	}
+	s.stats.Dropped.Add(1)
+	s.locks.ReleaseAll(fl)
+	return stepResult{terminal: true}
+}
+
+// finishFlow handles the exit and error terminals.
+func (s *Server) finishFlow(fl *Flow, g *core.FlatGraph, v *core.FlatNode) {
+	// Defensive: a well-formed graph releases everything on the normal
+	// path and the error transition releases the rest, but a dropped or
+	// malformed flow must never leak locks.
+	s.locks.ReleaseAll(fl)
+	switch v.Kind {
+	case core.FlatExit:
+		s.stats.Completed.Add(1)
+	case core.FlatError:
+		s.stats.Errored.Add(1)
+	}
+	if prof := s.cfg.Profiler; prof != nil {
+		prof.FlowDone(g, fl.path, time.Since(fl.start))
+	}
+}
+
+// runFlow walks a flow to completion, blocking on locks as needed. Used
+// by the threaded and pool engines.
+func (s *Server) runFlow(fl *Flow, g *core.FlatGraph, rec Record) {
+	v := g.Entry
+	for {
+		switch v.Kind {
+		case core.FlatExec:
+			r := s.execVertex(fl, g, v, rec)
+			v, rec = r.next, r.rec
+		case core.FlatBranch:
+			r := s.branchVertex(fl, g, v, rec)
+			if r.terminal {
+				return
+			}
+			v, rec = r.next, r.rec
+		case core.FlatAcquire:
+			for _, c := range v.Cons {
+				s.locks.Acquire(fl, c)
+			}
+			fl.path += v.Out[0].Inc
+			v = v.Out[0].To
+		case core.FlatRelease:
+			s.locks.ReleaseSet(fl, v.Cons)
+			fl.path += v.Out[0].Inc
+			v = v.Out[0].To
+		case core.FlatExit, core.FlatError:
+			s.finishFlow(fl, g, v)
+			return
+		}
+	}
+}

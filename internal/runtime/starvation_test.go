@@ -1,0 +1,160 @@
+package runtime
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEventEngineTimerNotStarvedByBusySource reproduces the game
+// server's shape: a busy source producing flows that contend on a
+// constraint, plus a 100ms interval source. The interval flow must keep
+// firing at roughly its rate; a fair dispatcher cannot let the busy
+// source starve it.
+func TestEventEngineTimerNotStarvedByBusySource(t *testing.T) {
+	p := compileSrc(t, `
+Busy () => (int v);
+Apply (int v) => ();
+Tick () => (int v);
+Turn (int v) => ();
+source Busy => Input;
+Input = Apply;
+source Tick => Beat;
+Beat = Turn;
+atomic Apply:{state};
+atomic Turn:{state};
+`)
+	var turns, applies, polls atomic.Int64
+	interval := IntervalSource(50 * time.Millisecond)
+	b := NewBindings().
+		BindSource("Busy", func(fl *Flow) (Record, error) {
+			// A datagram is "always available": the source never
+			// blocks, like a UDP socket under continuous load.
+			if fl.Ctx.Err() != nil {
+				return nil, fl.Ctx.Err()
+			}
+			return Record{1}, nil
+		}).
+		BindSource("Tick", func(fl *Flow) (Record, error) {
+			polls.Add(1)
+			return interval(fl)
+		}).
+		BindNode("Apply", func(fl *Flow, in Record) (Record, error) {
+			applies.Add(1)
+			return nil, nil
+		}).
+		BindNode("Turn", func(fl *Flow, in Record) (Record, error) {
+			turns.Add(1)
+			return nil, nil
+		})
+	s, err := NewServer(p, b, Config{Kind: EventDriven, SourceTimeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = s.Run(ctx)
+
+	t.Logf("turns=%d applies=%d timer polls=%d", turns.Load(), applies.Load(), polls.Load())
+	// One second at 50ms per turn is ~20 turns; demand at least half.
+	if turns.Load() < 10 {
+		t.Errorf("interval flow starved: %d turns in 1s, want ~20", turns.Load())
+	}
+	if applies.Load() == 0 {
+		t.Error("busy source made no progress")
+	}
+}
+
+// TestEventEngineTimerWithUDPSource replicates the game server's exact
+// structure: a UDP read-with-deadline source plus an interval source,
+// under a packet stream. This is the integration shape where heartbeat
+// starvation was observed.
+func TestEventEngineTimerWithUDPSource(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	p := compileSrc(t, `
+Recv () => (int v);
+Apply (int v) => ();
+Tick () => (int v);
+Turn (int v) => ();
+source Recv => Input;
+Input = Apply;
+source Tick => Beat;
+Beat = Turn;
+atomic Apply:{state};
+atomic Turn:{state};
+`)
+	var turns, applies atomic.Int64
+	interval := IntervalSource(50 * time.Millisecond)
+	b := NewBindings().
+		BindSource("Recv", func(fl *Flow) (Record, error) {
+			buf := make([]byte, 64)
+			deadline := time.Time{}
+			if fl.SourceTimeout > 0 {
+				deadline = time.Now().Add(fl.SourceTimeout)
+			}
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return nil, ErrStop
+			}
+			n, _, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				if fl.Ctx.Err() != nil {
+					return nil, fl.Ctx.Err()
+				}
+				if ne, ok := err.(net.Error); ok && ne.Timeout() {
+					return nil, ErrNoData
+				}
+				return nil, ErrStop
+			}
+			return Record{n}, nil
+		}).
+		BindSource("Tick", interval).
+		BindNode("Apply", func(fl *Flow, in Record) (Record, error) {
+			applies.Add(1)
+			return nil, nil
+		}).
+		BindNode("Turn", func(fl *Flow, in Record) (Record, error) {
+			turns.Add(1)
+			return nil, nil
+		})
+	s, err := NewServer(p, b, Config{Kind: EventDriven, SourceTimeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+
+	// Client: 80 packets/sec at the server.
+	go func() {
+		cl, err := net.DialUDP("udp", nil, conn.LocalAddr().(*net.UDPAddr))
+		if err != nil {
+			return
+		}
+		defer cl.Close()
+		tick := time.NewTicker(12 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				cl.Write([]byte{2, 0, 0, 0, 0, 1, 1})
+			}
+		}
+	}()
+
+	_ = s.Run(ctx)
+	t.Logf("turns=%d applies=%d", turns.Load(), applies.Load())
+	if turns.Load() < 10 {
+		t.Errorf("interval flow starved: %d turns in 1s, want ~20", turns.Load())
+	}
+	if applies.Load() < 40 {
+		t.Errorf("udp flows = %d, want ~80", applies.Load())
+	}
+}

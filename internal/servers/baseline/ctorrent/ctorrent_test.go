@@ -1,0 +1,86 @@
+package ctorrent
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+func TestSeedsCompleteDownloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := make([]byte, 256*1024)
+	rng.Read(data)
+	meta, err := torrent.New("bench.bin", "", data, 64*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Meta: meta, Content: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	}()
+
+	res := loadgen.RunBTLoad(context.Background(), loadgen.BTClientConfig{
+		Addr: s.Addr(), Meta: meta,
+		Clients:   2,
+		Duration:  10 * time.Second,
+		Seed:      5,
+		StopAfter: 1,
+	})
+	if res.Completions == 0 {
+		t.Fatalf("no completions: %+v", res)
+	}
+	if s.BytesServed() == 0 || s.BlocksServed() == 0 {
+		t.Error("seeder served nothing")
+	}
+}
+
+func TestRejectsWrongInfoHash(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	data := make([]byte, 64*1024)
+	rng.Read(data)
+	meta, _ := torrent.New("a.bin", "", data, 64*1024)
+	other, _ := torrent.New("b.bin", "", append(data, 1), 64*1024)
+
+	s, err := New(Config{Meta: meta, Content: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	res := loadgen.RunBTLoad(context.Background(), loadgen.BTClientConfig{
+		Addr: s.Addr(), Meta: other,
+		Clients:  1,
+		Duration: 300 * time.Millisecond,
+		Seed:     6,
+	})
+	if res.Completions != 0 {
+		t.Error("download with wrong info hash completed")
+	}
+}

@@ -1,0 +1,148 @@
+// Package knotweb is the hand-written comparison web server standing in
+// for knot (the Capriccio threaded web server the paper benchmarks
+// against in §4.2). One goroutine per connection serves HTTP/1.1
+// keep-alive requests from the same SPECweb-like corpus, with a
+// mutex-guarded LFU response cache — the conventional design Flux is
+// measured against.
+package knotweb
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/flux-lang/flux/internal/lfu"
+	"github.com/flux-lang/flux/internal/loadgen"
+)
+
+// Config tunes the baseline server.
+type Config struct {
+	Addr       string
+	Files      *loadgen.FileSet
+	CacheBytes int64
+	// MaxKeepAlive bounds requests per connection (default 100).
+	MaxKeepAlive int
+}
+
+// Server is the threaded baseline web server.
+type Server struct {
+	cfg    Config
+	ln     net.Listener
+	cache  *lfu.Locked
+	served atomic.Uint64
+}
+
+// New opens the listener.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Files == nil {
+		cfg.Files = loadgen.NewFileSet(1)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.MaxKeepAlive <= 0 {
+		cfg.MaxKeepAlive = 100
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, ln: ln, cache: lfu.NewLocked(cfg.CacheBytes)}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Served returns the number of requests answered.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Run accepts connections until the context is cancelled, one goroutine
+// per connection.
+func (s *Server) Run(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	var wg sync.WaitGroup
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			wg.Wait()
+			return ctx.Err()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for served := 0; served < s.cfg.MaxKeepAlive; served++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) != 3 {
+			return
+		}
+		keepAlive := true
+		for {
+			h, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			h = strings.TrimSpace(h)
+			if h == "" {
+				break
+			}
+			if k, v, ok := strings.Cut(h, ":"); ok &&
+				strings.EqualFold(strings.TrimSpace(k), "Connection") &&
+				strings.EqualFold(strings.TrimSpace(v), "close") {
+				keepAlive = false
+			}
+		}
+		path := fields[1]
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		resp, ok := s.cache.Get(path)
+		if ok {
+			s.cache.Release(path)
+		} else {
+			body, found := s.cfg.Files.Lookup(path)
+			if !found {
+				notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
+				conn.Write(render(404, "Not Found", notFound))
+				return
+			}
+			resp = render(200, "OK", body)
+			s.cache.Put(path, resp)
+			s.cache.Release(path)
+		}
+		if _, err := conn.Write(resp); err != nil {
+			return
+		}
+		s.served.Add(1)
+		if !keepAlive {
+			return
+		}
+	}
+}
+
+func render(code int, status string, body []byte) []byte {
+	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n",
+		code, status, len(body))
+	return append([]byte(head), body...)
+}

@@ -1,0 +1,46 @@
+package knotweb
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/loadgen"
+)
+
+func TestServesCorpus(t *testing.T) {
+	files := loadgen.NewFileSet(1)
+	s, err := New(Config{Files: files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = s.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	}()
+
+	res := loadgen.RunWebLoad(context.Background(), loadgen.WebClientConfig{
+		Addr:     s.Addr(),
+		Clients:  4,
+		Files:    files,
+		Duration: 400 * time.Millisecond,
+		Warmup:   50 * time.Millisecond,
+		Seed:     9,
+	})
+	if res.Requests == 0 {
+		t.Fatalf("no requests served: %+v", res)
+	}
+	if s.Served() == 0 {
+		t.Error("server counted no requests")
+	}
+}

@@ -1,0 +1,237 @@
+// Package sedaweb is the staged event-driven comparison web server
+// standing in for Haboob (the SEDA web server the paper benchmarks
+// against in §4.2). Requests move through fixed stages — read, cache
+// lookup, file read, send — each with a bounded event queue and its own
+// small worker pool, the SEDA architecture. Under overload, queues fill
+// and admission sheds connections, which is the behavior that costs
+// Haboob throughput in Figure 3.
+package sedaweb
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/flux-lang/flux/internal/lfu"
+	"github.com/flux-lang/flux/internal/loadgen"
+)
+
+// Config tunes the staged server.
+type Config struct {
+	Addr       string
+	Files      *loadgen.FileSet
+	CacheBytes int64
+	// QueueDepth bounds each stage queue (default 512).
+	QueueDepth int
+	// WorkersPerStage sizes each stage pool (default 4).
+	WorkersPerStage int
+	// MaxKeepAlive bounds requests per connection (default 100).
+	MaxKeepAlive int
+}
+
+// event is the unit passed between stages: one connection awaiting its
+// next action.
+type event struct {
+	conn   net.Conn
+	br     *bufio.Reader
+	path   string
+	keep   bool
+	served int
+	resp   []byte
+}
+
+// Server is the staged baseline web server.
+type Server struct {
+	cfg   Config
+	ln    net.Listener
+	cache *lfu.Locked
+
+	readQ  chan *event
+	lookQ  chan *event
+	fileQ  chan *event
+	sendQ  chan *event
+	served atomic.Uint64
+	shed   atomic.Uint64
+}
+
+// New opens the listener and builds the stage queues.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Files == nil {
+		cfg.Files = loadgen.NewFileSet(1)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 512
+	}
+	if cfg.WorkersPerStage <= 0 {
+		cfg.WorkersPerStage = 4
+	}
+	if cfg.MaxKeepAlive <= 0 {
+		cfg.MaxKeepAlive = 100
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		ln:    ln,
+		cache: lfu.NewLocked(cfg.CacheBytes),
+		readQ: make(chan *event, cfg.QueueDepth),
+		lookQ: make(chan *event, cfg.QueueDepth),
+		fileQ: make(chan *event, cfg.QueueDepth),
+		sendQ: make(chan *event, cfg.QueueDepth),
+	}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Served returns requests answered; Shed returns connections dropped by
+// admission control.
+func (s *Server) Served() uint64 { return s.served.Load() }
+
+// Shed returns the number of shed (overload-dropped) events.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+// Run starts the stage pools and accepts connections. Stage workers
+// stop on context cancellation; events in flight at shutdown are
+// dropped, as a staged server's queues would be.
+func (s *Server) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	stage := func(in chan *event, fn func(*event)) {
+		for i := 0; i < s.cfg.WorkersPerStage; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case ev := <-in:
+						fn(ev)
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+	}
+	stage(s.readQ, s.readStage)
+	stage(s.lookQ, s.lookupStage)
+	stage(s.fileQ, s.fileStage)
+	stage(s.sendQ, s.sendStage)
+
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			break
+		}
+		ev := &event{conn: conn, br: bufio.NewReader(conn)}
+		s.enqueue(s.readQ, ev)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// enqueue applies SEDA admission control: a full queue sheds the event.
+func (s *Server) enqueue(q chan *event, ev *event) {
+	select {
+	case q <- ev:
+	default:
+		s.shed.Add(1)
+		ev.conn.Close()
+	}
+}
+
+func (s *Server) readStage(ev *event) {
+	line, err := ev.br.ReadString('\n')
+	if err != nil {
+		ev.conn.Close()
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 {
+		ev.conn.Close()
+		return
+	}
+	ev.keep = true
+	for {
+		h, err := ev.br.ReadString('\n')
+		if err != nil {
+			ev.conn.Close()
+			return
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok &&
+			strings.EqualFold(strings.TrimSpace(k), "Connection") &&
+			strings.EqualFold(strings.TrimSpace(v), "close") {
+			ev.keep = false
+		}
+	}
+	ev.path = fields[1]
+	if i := strings.IndexByte(ev.path, '?'); i >= 0 {
+		ev.path = ev.path[:i]
+	}
+	s.enqueue(s.lookQ, ev)
+}
+
+func (s *Server) lookupStage(ev *event) {
+	if resp, ok := s.cache.Get(ev.path); ok {
+		s.cache.Release(ev.path)
+		ev.resp = resp
+		s.enqueue(s.sendQ, ev)
+		return
+	}
+	s.enqueue(s.fileQ, ev)
+}
+
+func (s *Server) fileStage(ev *event) {
+	body, ok := s.cfg.Files.Lookup(ev.path)
+	if !ok {
+		notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
+		ev.conn.Write(render(404, "Not Found", notFound))
+		ev.conn.Close()
+		return
+	}
+	ev.resp = render(200, "OK", body)
+	s.cache.Put(ev.path, ev.resp)
+	s.cache.Release(ev.path)
+	s.enqueue(s.sendQ, ev)
+}
+
+func (s *Server) sendStage(ev *event) {
+	if _, err := ev.conn.Write(ev.resp); err != nil {
+		ev.conn.Close()
+		return
+	}
+	s.served.Add(1)
+	ev.served++
+	if !ev.keep || ev.served >= s.cfg.MaxKeepAlive {
+		ev.conn.Close()
+		return
+	}
+	ev.resp = nil
+	s.enqueue(s.readQ, ev)
+}
+
+func render(code int, status string, body []byte) []byte {
+	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n",
+		code, status, len(body))
+	return append([]byte(head), body...)
+}

@@ -1,0 +1,570 @@
+// The Flux BitTorrent peer. The program graph follows Figure 7 of the
+// paper: a Listen source sets up incoming peer connections; a Poll
+// source (the select loop) feeds the message flow whose HandleMessage
+// node dispatches on the wire message type; choke, keep-alive, and
+// tracker timers drive their own flows. Peers are Flux sessions: the
+// per-peer protocol state is guarded by a session-scoped constraint
+// (§2.5.1), while the peer table and the piece store use global
+// constraints.
+//
+// Readiness substrate: the paper's runtime intercepts blocking socket
+// reads and multiplexes them with select; here every registered peer has
+// a pump goroutine reading raw frames into a bounded inbox that the Poll
+// source drains with a timeout. An empty poll errors at CheckSockets,
+// reproducing the paper's most frequently executed path ("... ->
+// CheckSockets -> ERROR", §5.2).
+package bittorrent
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+// FluxSource is the peer's Flux program (the shape of Figure 7).
+const FluxSource = `
+// --- incoming connections ---------------------------------------------
+Listen () => (peerconn c);
+SetupConnection (peerconn c) => (peerconn c);
+Handshake (peerconn c) => (peerconn c);
+SendBitfield (peerconn c) => ();
+DropConn (peerconn c) => ();
+
+source Listen => Accept;
+Accept = SetupConnection -> Handshake -> SendBitfield;
+handle error Handshake => DropConn;
+
+// --- message processing (the select loop) ------------------------------
+Poll () => (polltoken *tok);
+GetClients (polltoken *tok) => (polltoken *tok);
+SelectSockets (polltoken *tok) => (polltoken *tok);
+CheckSockets (polltoken *tok) => (peerref *p, bool close, message *msg);
+ReadMessage (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+MessageDone (peerref *p, bool close, message *msg) => ();
+DropPeer (peerref *p, bool close, message *msg) => ();
+
+Bitfield (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Have (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Interested (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Uninterested (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Choke (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Unchoke (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Request (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Cancel (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Piece (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+CompletePiece (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+Unregister (peerref *p, bool close, message *msg) => (peerref *p, bool close, message *msg);
+
+source Poll => Message;
+Message = GetClients -> SelectSockets -> CheckSockets -> ReadMessage -> HandleMessage -> MessageDone;
+handle error ReadMessage => DropPeer;
+
+typedef bitfield IsBitfield;
+typedef have IsHave;
+typedef interested IsInterested;
+typedef uninterested IsUninterested;
+typedef choke IsChoke;
+typedef unchoke IsUnchoke;
+typedef request IsRequest;
+typedef cancel IsCancel;
+typedef piece IsPiece;
+typedef closed IsClosed;
+typedef piececomplete IsPieceComplete;
+
+HandleMessage:[_, _, bitfield] = Bitfield;
+HandleMessage:[_, _, have] = Have;
+HandleMessage:[_, _, interested] = Interested;
+HandleMessage:[_, _, uninterested] = Uninterested;
+HandleMessage:[_, _, choke] = Choke;
+HandleMessage:[_, _, unchoke] = Unchoke;
+HandleMessage:[_, _, request] = Request;
+HandleMessage:[_, _, cancel] = Cancel;
+HandleMessage:[_, _, piece] = Piece -> PieceDone;
+HandleMessage:[_, _, closed] = Unregister;
+HandleMessage:[_, _, _] = ;
+
+PieceDone:[_, _, piececomplete] = CompletePiece;
+PieceDone:[_, _, _] = ;
+
+// --- timers -------------------------------------------------------------
+ChokeTimer () => (int tick);
+UpdateChokeList (int tick) => (chokeplan *plan);
+PickChoked (chokeplan *plan) => (chokeplan *plan);
+SendChokeUnchoke (chokeplan *plan) => ();
+source ChokeTimer => ChokeFlow;
+ChokeFlow = UpdateChokeList -> PickChoked -> SendChokeUnchoke;
+
+KeepAliveTimer () => (int tick);
+SendKeepAlives (int tick) => ();
+source KeepAliveTimer => KeepAlive;
+KeepAlive = SendKeepAlives;
+
+TrackerTimer () => (int tick);
+CheckinWithTracker (int tick) => (trackerreq *req);
+SendRequestToTracker (trackerreq *req) => (trackerresp *resp);
+GetTrackerResponse (trackerresp *resp) => ();
+TrackerFailed (trackerreq *req) => ();
+source TrackerTimer => Tracker;
+Tracker = CheckinWithTracker -> SendRequestToTracker -> GetTrackerResponse;
+handle error SendRequestToTracker => TrackerFailed;
+
+// --- sessions and constraints -------------------------------------------
+// Each peer is a session: per-peer protocol state contends only within
+// the peer's own message flows.
+session Poll PeerSession;
+
+atomic SetupConnection:{peers};
+atomic GetClients:{peers?};
+atomic Unregister:{peers};
+atomic DropPeer:{peers};
+atomic UpdateChokeList:{peers?};
+atomic SendKeepAlives:{peers?};
+atomic CompletePiece:{peers?, store};
+atomic Bitfield:{peerstate(session), store};
+atomic Have:{peerstate(session)};
+atomic Interested:{peerstate(session)};
+atomic Uninterested:{peerstate(session)};
+atomic Choke:{peerstate(session)};
+atomic Unchoke:{peerstate(session), store};
+atomic Request:{peerstate(session)?, store?};
+atomic Piece:{peerstate(session), store};
+`
+
+// Config tunes the peer.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Meta and Content define the torrent; with Content the peer seeds,
+	// without it the peer leeches.
+	Meta    *torrent.MetaInfo
+	Content []byte
+	// AnnounceURL overrides Meta.Announce ("" disables the tracker
+	// flow).
+	AnnounceURL string
+	// TrackerInterval is the check-in period (default 10s).
+	TrackerInterval time.Duration
+	// ChokeInterval is the choke recomputation period (default 10s).
+	// Per the paper's benchmark modifications all peers stay unchoked.
+	ChokeInterval time.Duration
+	// KeepAliveInterval is the keep-alive period (default 30s).
+	KeepAliveInterval time.Duration
+	// PollInterval is the select timeout of the message loop (default
+	// 500µs) — the paper's most frequent path is the empty poll.
+	PollInterval time.Duration
+	// Engine, PoolSize, SourceTimeout, Profiler configure the runtime.
+	Engine        runtime.EngineKind
+	PoolSize      int
+	SourceTimeout time.Duration
+	Profiler      runtime.Profiler
+}
+
+// Server is a runnable Flux BitTorrent peer.
+type Server struct {
+	cfg    Config
+	prog   *core.Program
+	rt     *runtime.Server
+	ln     net.Listener
+	store  *torrent.Store
+	peerID [20]byte
+
+	readyConns chan net.Conn
+	inbox      chan *inboxItem
+
+	// peers is guarded by the Flux "peers" constraint.
+	peers       map[*Peer]bool
+	nextSession uint64
+
+	// requested tracks pieces already requested from some peer while
+	// leeching; guarded by the "store" constraint (every toucher holds
+	// it).
+	requested map[int]bool
+
+	// totalOut counts piece payload bytes served.
+	totalOut atomic.Uint64
+
+	// trackerTick paces the tracker flow.
+	trackerTick runtime.SourceFunc
+
+	runCtx context.Context
+}
+
+// New compiles the program and prepares the peer.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Meta == nil {
+		return nil, errors.New("bittorrent: Config.Meta is required")
+	}
+	if cfg.TrackerInterval <= 0 {
+		cfg.TrackerInterval = 10 * time.Second
+	}
+	if cfg.ChokeInterval <= 0 {
+		cfg.ChokeInterval = 10 * time.Second
+	}
+	if cfg.KeepAliveInterval <= 0 {
+		cfg.KeepAliveInterval = 30 * time.Second
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Microsecond
+	}
+
+	astProg, err := parser.Parse("bittorrent.flux", FluxSource)
+	if err != nil {
+		return nil, fmt.Errorf("bittorrent: parse: %w", err)
+	}
+	prog, err := core.Build(astProg)
+	if err != nil {
+		return nil, fmt.Errorf("bittorrent: compile: %w", err)
+	}
+
+	var store *torrent.Store
+	if cfg.Content != nil {
+		store, err = torrent.NewSeeder(cfg.Meta, cfg.Content)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = torrent.NewLeecher(cfg.Meta)
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:        cfg,
+		prog:       prog,
+		ln:         ln,
+		store:      store,
+		readyConns: make(chan net.Conn, 256),
+		inbox:      make(chan *inboxItem, 4096),
+		peers:      make(map[*Peer]bool),
+		requested:  make(map[int]bool),
+	}
+	if _, err := rand.Read(s.peerID[:]); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	copy(s.peerID[:8], "-FLUX01-")
+	s.trackerTick = runtime.IntervalSource(cfg.TrackerInterval)
+
+	b := runtime.NewBindings().
+		BindSource("Listen", s.listen).
+		BindSource("Poll", s.poll).
+		BindSource("ChokeTimer", s.timer(cfg.ChokeInterval)).
+		BindSource("KeepAliveTimer", s.timer(cfg.KeepAliveInterval)).
+		BindSource("TrackerTimer", s.trackerTimer).
+		BindNode("SetupConnection", s.setupConnection).
+		BindNode("Handshake", s.handshake).
+		BindNode("SendBitfield", s.sendBitfield).
+		BindNode("DropConn", s.dropConn).
+		BindNode("GetClients", s.getClients).
+		BindNode("SelectSockets", s.selectSockets).
+		BindNode("CheckSockets", s.checkSockets).
+		BindNode("ReadMessage", s.readMessage).
+		BindNode("MessageDone", s.messageDone).
+		BindNode("DropPeer", s.dropPeer).
+		BindNode("Bitfield", s.onBitfield).
+		BindNode("Have", s.onHave).
+		BindNode("Interested", s.onInterested).
+		BindNode("Uninterested", s.onUninterested).
+		BindNode("Choke", s.onChoke).
+		BindNode("Unchoke", s.onUnchoke).
+		BindNode("Request", s.onRequest).
+		BindNode("Cancel", s.onCancel).
+		BindNode("Piece", s.onPiece).
+		BindNode("CompletePiece", s.completePiece).
+		BindNode("Unregister", s.unregister).
+		BindNode("UpdateChokeList", s.updateChokeList).
+		BindNode("PickChoked", s.pickChoked).
+		BindNode("SendChokeUnchoke", s.sendChokeUnchoke).
+		BindNode("SendKeepAlives", s.sendKeepAlives).
+		BindNode("CheckinWithTracker", s.checkinWithTracker).
+		BindNode("SendRequestToTracker", s.sendRequestToTracker).
+		BindNode("GetTrackerResponse", s.getTrackerResponse).
+		BindNode("TrackerFailed", s.trackerFailed).
+		BindSession("PeerSession", func(rec runtime.Record) uint64 {
+			tok := rec[0].(*pollToken)
+			if tok.item != nil && tok.item.peer != nil {
+				return tok.item.peer.session
+			}
+			return 0
+		}).
+		BindPredicate("IsBitfield", kindPred("bitfield")).
+		BindPredicate("IsHave", kindPred("have")).
+		BindPredicate("IsInterested", kindPred("interested")).
+		BindPredicate("IsUninterested", kindPred("uninterested")).
+		BindPredicate("IsChoke", kindPred("choke")).
+		BindPredicate("IsUnchoke", kindPred("unchoke")).
+		BindPredicate("IsRequest", kindPred("request")).
+		BindPredicate("IsCancel", kindPred("cancel")).
+		BindPredicate("IsPiece", kindPred("piece")).
+		BindPredicate("IsClosed", kindPred("closed")).
+		BindPredicate("IsPieceComplete", func(v any) bool { return v.(*wireMsg).completed }).
+		MarkBlocking("Handshake", "SendBitfield", "Request", "SendKeepAlives",
+			"SendRequestToTracker", "SendChokeUnchoke", "CompletePiece")
+
+	rt, err := runtime.NewServer(prog, b, runtime.Config{
+		Kind:          cfg.Engine,
+		PoolSize:      cfg.PoolSize,
+		SourceTimeout: cfg.SourceTimeout,
+		Profiler:      cfg.Profiler,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s.rt = rt
+	return s, nil
+}
+
+func kindPred(kind string) runtime.PredicateFunc {
+	return func(v any) bool { return v.(*wireMsg).kind == kind }
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Program exposes the compiled program.
+func (s *Server) Program() *core.Program { return s.prog }
+
+// Stats exposes runtime counters.
+func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
+
+// Store exposes the piece store (for completeness checks in tests).
+func (s *Server) Store() *torrent.Store { return s.store }
+
+// BytesServed totals piece payload bytes sent to all peers, including
+// ones that have disconnected.
+func (s *Server) BytesServed() uint64 { return s.totalOut.Load() }
+
+// Run serves until the context is cancelled.
+func (s *Server) Run(ctx context.Context) error {
+	s.runCtx = ctx
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			nc, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			select {
+			case s.readyConns <- nc:
+			case <-ctx.Done():
+				nc.Close()
+				return
+			}
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	err := s.rt.Run(ctx)
+	<-acceptDone
+	return err
+}
+
+// ConnectTo dials a remote peer (leecher bootstrap); the connection then
+// flows through the same Accept pipeline as inbound peers.
+func (s *Server) ConnectTo(addr string) error {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	select {
+	case s.readyConns <- nc:
+		return nil
+	default:
+		nc.Close()
+		return errors.New("bittorrent: connection backlog full")
+	}
+}
+
+// --- source nodes ----------------------------------------------------------
+
+func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
+	if fl.SourceTimeout > 0 {
+		t := time.NewTimer(fl.SourceTimeout)
+		defer t.Stop()
+		select {
+		case nc := <-s.readyConns:
+			return runtime.Record{nc}, nil
+		case <-t.C:
+			return nil, runtime.ErrNoData
+		case <-fl.Wake:
+			return nil, runtime.ErrNoData
+		case <-fl.Ctx.Done():
+			return nil, fl.Ctx.Err()
+		}
+	}
+	select {
+	case nc := <-s.readyConns:
+		return runtime.Record{nc}, nil
+	case <-fl.Ctx.Done():
+		return nil, fl.Ctx.Err()
+	}
+}
+
+// poll is the select loop: it returns a ready inbox item, or an empty
+// token when the poll interval elapses with nothing ready.
+func (s *Server) poll(fl *runtime.Flow) (runtime.Record, error) {
+	wait := s.cfg.PollInterval
+	if fl.SourceTimeout > 0 && fl.SourceTimeout < wait {
+		wait = fl.SourceTimeout
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	if fl.Wake != nil {
+		select {
+		case item := <-s.inbox:
+			return runtime.Record{&pollToken{item: item}}, nil
+		case <-t.C:
+			return runtime.Record{&pollToken{}}, nil
+		case <-fl.Wake:
+			// The engine has pending work; yield without consuming the
+			// empty-poll path (which would count as a flow).
+			return nil, runtime.ErrNoData
+		case <-fl.Ctx.Done():
+			return nil, fl.Ctx.Err()
+		}
+	}
+	select {
+	case item := <-s.inbox:
+		return runtime.Record{&pollToken{item: item}}, nil
+	case <-t.C:
+		return runtime.Record{&pollToken{}}, nil
+	case <-fl.Ctx.Done():
+		return nil, fl.Ctx.Err()
+	}
+}
+
+// timer builds a deadline-aware interval source.
+func (s *Server) timer(interval time.Duration) runtime.SourceFunc {
+	return runtime.IntervalSource(interval)
+}
+
+// trackerTimer stops immediately when no tracker is configured.
+func (s *Server) trackerTimer(fl *runtime.Flow) (runtime.Record, error) {
+	if s.announceURL() == "" {
+		return nil, runtime.ErrStop
+	}
+	return s.trackerTick(fl)
+}
+
+func (s *Server) announceURL() string {
+	if s.cfg.AnnounceURL != "" {
+		return s.cfg.AnnounceURL
+	}
+	return s.cfg.Meta.Announce
+}
+
+// --- accept flow -------------------------------------------------------------
+
+// setupConnection registers the peer under the peers constraint and
+// assigns its session id.
+func (s *Server) setupConnection(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	nc := in[0].(net.Conn)
+	s.nextSession++
+	p := &Peer{
+		conn:     nc,
+		session:  s.nextSession,
+		bitfield: torrent.NewBitfield(s.cfg.Meta.NumPieces()),
+		choked:   false, // benchmark modification: everyone starts unchoked
+	}
+	s.peers[p] = true
+	return runtime.Record{p}, nil
+}
+
+// handshake exchanges and validates handshakes.
+func (s *Server) handshake(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	p.conn.SetDeadline(time.Now().Add(10 * time.Second))
+	defer p.conn.SetDeadline(time.Time{})
+	if err := WriteHandshake(p.conn, s.cfg.Meta.InfoHash, s.peerID); err != nil {
+		return nil, err
+	}
+	infoHash, peerID, err := ReadHandshake(p.conn)
+	if err != nil {
+		return nil, err
+	}
+	if infoHash != s.cfg.Meta.InfoHash {
+		return nil, errors.New("bittorrent: info hash mismatch")
+	}
+	p.id = peerID
+	return in, nil
+}
+
+// sendBitfield announces our pieces and starts the peer's read pump.
+func (s *Server) sendBitfield(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	bf := s.store.Bitfield()
+	if err := p.send(&Message{ID: MsgBitfield, Payload: bf}); err != nil {
+		return nil, err
+	}
+	go s.pump(p)
+	return nil, nil
+}
+
+// dropConn handles handshake failures: the peer leaves the table.
+// It is the error handler for Handshake, so the record is the Accept
+// flow's (peerconn); depending on where the failure happened this is the
+// raw conn or the registered peer.
+func (s *Server) dropConn(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	switch v := in[0].(type) {
+	case net.Conn:
+		v.Close()
+	case *Peer:
+		v.close()
+		// The peers entry is removed by the Unregister flow when the
+		// pump reports the close; handshake failures happen before the
+		// pump starts, so remove eagerly via the inbox.
+		select {
+		case s.inbox <- &inboxItem{peer: v, err: io.EOF}:
+		default:
+		}
+	}
+	return nil, nil
+}
+
+// pump reads raw frames into the inbox until the connection dies — the
+// per-socket half of the readiness substrate.
+func (s *Server) pump(p *Peer) {
+	for {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(p.conn, lenBuf[:]); err != nil {
+			s.inbox <- &inboxItem{peer: p, err: err}
+			return
+		}
+		length := binary.BigEndian.Uint32(lenBuf[:])
+		if length == 0 {
+			s.inbox <- &inboxItem{peer: p, raw: &rawFrame{}}
+			continue
+		}
+		if length > maxFrame {
+			s.inbox <- &inboxItem{peer: p, err: fmt.Errorf("frame too large: %d", length)}
+			return
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(p.conn, body); err != nil {
+			s.inbox <- &inboxItem{peer: p, err: err}
+			return
+		}
+		p.bytesIn.Add(uint64(length))
+		s.inbox <- &inboxItem{peer: p, raw: &rawFrame{body: body}}
+	}
+}

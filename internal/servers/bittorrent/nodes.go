@@ -1,0 +1,407 @@
+package bittorrent
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"github.com/flux-lang/flux/internal/bencode"
+	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+// errEmptyPoll terminates the message flow when the select timeout fired
+// with nothing ready — the paper's most frequently executed BitTorrent
+// path ends in ERROR exactly here (§5.2).
+var errEmptyPoll = errors.New("bittorrent: no outstanding requests")
+
+// --- message flow ------------------------------------------------------------
+
+// getClients snapshots the peer count under the shared peers constraint
+// (reader mode: many message flows may read the table concurrently).
+func (s *Server) getClients(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	tok := in[0].(*pollToken)
+	tok.numPeers = len(s.peers)
+	return in, nil
+}
+
+// selectSockets is the select step; the readiness wait happened in the
+// Poll source, so this node only validates the token.
+func (s *Server) selectSockets(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	return in, nil
+}
+
+// checkSockets converts the token into the message record, erroring on
+// an empty poll.
+func (s *Server) checkSockets(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	tok := in[0].(*pollToken)
+	if tok.item == nil {
+		return nil, errEmptyPoll
+	}
+	item := tok.item
+	if item.err != nil {
+		// Peer connection is done: flow on to Unregister via the
+		// "closed" dispatch case.
+		return runtime.Record{item.peer, true, &wireMsg{kind: "closed"}}, nil
+	}
+	return runtime.Record{item.peer, false, &wireMsg{raw: item.raw, kind: "raw"}}, nil
+}
+
+// readMessage parses the raw frame into a typed message; malformed
+// frames error to DropPeer.
+func (s *Server) readMessage(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	m := in[2].(*wireMsg)
+	if m.kind == "closed" {
+		return in, nil
+	}
+	if m.raw == nil || m.raw.body == nil {
+		m.msg = &Message{ID: -1}
+		m.kind = "keepalive"
+		return in, nil
+	}
+	msg, err := ParseMessageBody(m.raw.body)
+	if err != nil {
+		return nil, err
+	}
+	m.msg = msg
+	m.kind = msg.Kind()
+	return in, nil
+}
+
+// messageDone finishes the message flow (bookkeeping hook).
+func (s *Server) messageDone(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	return nil, nil
+}
+
+// dropPeer is the error handler for ReadMessage: the offending peer is
+// disconnected and unregistered under the peers constraint.
+func (s *Server) dropPeer(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	p.close()
+	delete(s.peers, p)
+	return nil, nil
+}
+
+// unregister removes a dead peer (the "closed" dispatch case) under the
+// peers constraint.
+func (s *Server) unregister(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	p.close()
+	delete(s.peers, p)
+	return in, nil
+}
+
+// --- per-message handlers (peer state under the session constraint) ---------
+
+func (s *Server) onBitfield(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	m := in[2].(*wireMsg)
+	bf := torrent.Bitfield(m.msg.Payload)
+	if len(bf) != len(torrent.NewBitfield(s.cfg.Meta.NumPieces())) {
+		return nil, fmt.Errorf("bittorrent: bitfield of %d bytes", len(bf))
+	}
+	p.bitfield = bf.Clone()
+	// A leecher signals interest when the peer has pieces we miss, and
+	// — since the benchmark protocol starts everyone unchoked — begins
+	// requesting immediately.
+	if !s.store.Complete() {
+		_ = p.send(&Message{ID: MsgInterested})
+		if !p.theyChokeUs {
+			s.requestMoreBlocks(p)
+		}
+	}
+	return in, nil
+}
+
+func (s *Server) onHave(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	m := in[2].(*wireMsg)
+	p.bitfield.Set(int(m.msg.Index))
+	return in, nil
+}
+
+func (s *Server) onInterested(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	p.interested = true
+	// Benchmark modification (§4.3): every peer is unchoked.
+	if p.choked {
+		p.choked = false
+	}
+	_ = p.send(&Message{ID: MsgUnchoke})
+	return in, nil
+}
+
+func (s *Server) onUninterested(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	in[0].(*Peer).interested = false
+	return in, nil
+}
+
+func (s *Server) onChoke(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	in[0].(*Peer).theyChokeUs = true
+	return in, nil
+}
+
+func (s *Server) onUnchoke(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	p.theyChokeUs = false
+	// An unchoke opens the request window: start (or restart) the leech
+	// pipeline.
+	if !s.store.Complete() {
+		s.requestMoreBlocks(p)
+	}
+	return in, nil
+}
+
+// onRequest serves a block (the paper's file-transfer path: the most
+// expensive path in the profile of §5.2).
+func (s *Server) onRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	m := in[2].(*wireMsg)
+	req := m.msg
+	if p.choked {
+		return in, nil // choked peers get nothing
+	}
+	if req.Length > torrent.BlockSize {
+		return nil, fmt.Errorf("bittorrent: request of %d bytes", req.Length)
+	}
+	blk, err := s.store.ReadBlock(int(req.Index), int64(req.Begin), int64(req.Length))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.send(&Message{ID: MsgPiece, Index: req.Index, Begin: req.Begin, Payload: blk}); err != nil {
+		return nil, err
+	}
+	s.totalOut.Add(uint64(len(blk)))
+	return in, nil
+}
+
+func (s *Server) onCancel(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	// Requests are served synchronously, so there is no queue to cancel
+	// from; the node exists to complete the protocol (Figure 7).
+	return in, nil
+}
+
+// onPiece stores a received block (leecher side) and flags completion
+// for the piececomplete dispatch.
+func (s *Server) onPiece(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	p := in[0].(*Peer)
+	m := in[2].(*wireMsg)
+	msg := m.msg
+	done, err := s.store.WriteBlock(int(msg.Index), int64(msg.Begin), msg.Payload)
+	if err != nil {
+		// A failed (e.g. hash-corrupt) piece must become requestable
+		// again or the download would stall; the store has already
+		// discarded its blocks.
+		delete(s.requested, int(msg.Index))
+		return nil, err
+	}
+	if p.pendingBlocks > 0 {
+		p.pendingBlocks--
+	}
+	m.completed = done
+	m.pieceIndex = msg.Index
+	if !done {
+		s.requestMoreBlocks(p)
+	}
+	return in, nil
+}
+
+// requestMoreBlocks keeps the request pipeline full while leeching:
+// random piece selection, as the protocol prescribes.
+func (s *Server) requestMoreBlocks(p *Peer) {
+	const pipeline = 8
+	for p.pendingBlocks < pipeline {
+		piece, ok := s.pickMissingPiece(p)
+		if !ok {
+			return
+		}
+		n := s.store.NumBlocks(piece)
+		for b := 0; b < n; b++ {
+			begin, length := s.store.BlockSpec(piece, b)
+			if err := p.send(&Message{ID: MsgRequest, Index: uint32(piece), Begin: uint32(begin), Length: uint32(length)}); err != nil {
+				return
+			}
+			p.pendingBlocks++
+		}
+	}
+}
+
+// pickMissingPiece chooses a piece the peer has and we lack.
+func (s *Server) pickMissingPiece(p *Peer) (int, bool) {
+	missing := s.store.Bitfield().Missing(s.cfg.Meta.NumPieces())
+	for _, i := range missing {
+		if p.bitfield.Has(i) && !s.requested[i] {
+			s.requested[i] = true
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// completePiece broadcasts HAVE for a freshly verified piece to every
+// peer (reader hold on the peers table).
+func (s *Server) completePiece(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	m := in[2].(*wireMsg)
+	for p := range s.peers {
+		_ = p.send(&Message{ID: MsgHave, Index: m.pieceIndex})
+	}
+	// Keep the leech pipeline moving.
+	if p := in[0].(*Peer); !s.store.Complete() {
+		s.requestMoreBlocks(p)
+	}
+	return in, nil
+}
+
+// --- choke flow ---------------------------------------------------------------
+
+// chokePlan lists peers whose choke state should flip.
+type chokePlan struct {
+	unchoke []*Peer
+	choke   []*Peer
+}
+
+// updateChokeList snapshots candidate peers (reader on the table).
+func (s *Server) updateChokeList(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	plan := &chokePlan{}
+	for p := range s.peers {
+		if p.choked {
+			plan.unchoke = append(plan.unchoke, p)
+		}
+	}
+	return runtime.Record{plan}, nil
+}
+
+// pickChoked applies the choking policy. The paper's benchmark disables
+// choking ("all client peers are unchoked by default" and unlimited
+// unchoked peers), so the policy unchokes everyone.
+func (s *Server) pickChoked(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	return in, nil
+}
+
+// sendChokeUnchoke transmits the plan.
+func (s *Server) sendChokeUnchoke(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	plan := in[0].(*chokePlan)
+	for _, p := range plan.unchoke {
+		p.choked = false
+		_ = p.send(&Message{ID: MsgUnchoke})
+	}
+	for _, p := range plan.choke {
+		p.choked = true
+		_ = p.send(&Message{ID: MsgChoke})
+	}
+	return nil, nil
+}
+
+// --- keep-alive flow -----------------------------------------------------------
+
+func (s *Server) sendKeepAlives(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	for p := range s.peers {
+		_ = p.send(&Message{ID: -1})
+	}
+	return nil, nil
+}
+
+// --- tracker flow ---------------------------------------------------------------
+
+// trackerReq is the assembled announce request.
+type trackerReq struct {
+	url string
+}
+
+// trackerResp is the decoded announce response.
+type trackerResp struct {
+	interval int64
+	peers    []string // host:port
+}
+
+// checkinWithTracker assembles the announce URL.
+func (s *Server) checkinWithTracker(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	_, portStr, err := splitHostPort(s.Addr())
+	if err != nil {
+		return nil, err
+	}
+	q := url.Values{}
+	q.Set("info_hash", string(s.cfg.Meta.InfoHash[:]))
+	q.Set("peer_id", string(s.peerID[:]))
+	q.Set("port", portStr)
+	left := int64(0)
+	if !s.store.Complete() {
+		left = s.cfg.Meta.Length
+	}
+	q.Set("left", strconv.FormatInt(left, 10))
+	return runtime.Record{&trackerReq{url: s.announceURL() + "?" + q.Encode()}}, nil
+}
+
+func splitHostPort(addr string) (string, string, error) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			return addr[:i], addr[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("bittorrent: malformed address %q", addr)
+}
+
+// sendRequestToTracker performs the HTTP announce; failures route to
+// TrackerFailed.
+func (s *Server) sendRequestToTracker(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	req := in[0].(*trackerReq)
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(req.url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, err
+	}
+	v, err := bencode.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	dict, ok := v.(map[string]any)
+	if !ok {
+		return nil, errors.New("bittorrent: tracker response is not a dictionary")
+	}
+	tr := &trackerResp{}
+	tr.interval, _ = dict["interval"].(int64)
+	if plist, ok := dict["peers"].([]any); ok {
+		for _, pv := range plist {
+			pd, ok := pv.(map[string]any)
+			if !ok {
+				continue
+			}
+			ip, _ := pd["ip"].(string)
+			port, _ := pd["port"].(int64)
+			if ip != "" && port > 0 {
+				tr.peers = append(tr.peers, fmt.Sprintf("%s:%d", ip, port))
+			}
+		}
+	}
+	return runtime.Record{tr}, nil
+}
+
+// getTrackerResponse connects to newly discovered peers when leeching.
+func (s *Server) getTrackerResponse(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	tr := in[0].(*trackerResp)
+	if s.store.Complete() {
+		return nil, nil // seeders wait for inbound connections
+	}
+	self := s.Addr()
+	for _, addr := range tr.peers {
+		if addr == self {
+			continue
+		}
+		_ = s.ConnectTo(addr)
+	}
+	return nil, nil
+}
+
+// trackerFailed swallows announce errors; the next timer tick retries.
+func (s *Server) trackerFailed(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	return nil, nil
+}

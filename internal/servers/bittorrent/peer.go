@@ -1,0 +1,96 @@
+package bittorrent
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+// Peer is one connected remote peer. Wire writes are serialized by a
+// per-peer mutex because several flows (piece responses, haves,
+// keep-alives, choke updates) may target the same peer concurrently;
+// per-peer protocol state is guarded by the Flux session-scoped
+// "peerstate" constraint (§2.5.1), not by Go locking — each peer is a
+// session.
+type Peer struct {
+	conn net.Conn
+	id   [20]byte
+	// session is the Flux session identifier for this peer.
+	session uint64
+
+	// Protocol state guarded by the peerstate(session) constraint.
+	bitfield      torrent.Bitfield
+	interested    bool // they are interested in us
+	choked        bool // we choke them
+	theyChokeUs   bool
+	pendingBlocks int
+
+	writeMu sync.Mutex
+	closed  atomic.Bool
+
+	bytesOut atomic.Uint64
+	bytesIn  atomic.Uint64
+}
+
+// send writes one message, serialized per peer.
+func (p *Peer) send(m *Message) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	if p.closed.Load() {
+		return net.ErrClosed
+	}
+	if err := WriteMessage(p.conn, m); err != nil {
+		return err
+	}
+	if m.ID == MsgPiece {
+		p.bytesOut.Add(uint64(len(m.Payload)))
+	}
+	return nil
+}
+
+// close shuts the connection down once.
+func (p *Peer) close() {
+	if p.closed.CompareAndSwap(false, true) {
+		p.conn.Close()
+	}
+}
+
+// rawFrame is one length-delimited frame read by a peer's pump, before
+// the ReadMessage node parses it.
+type rawFrame struct {
+	body []byte // nil for keep-alive
+}
+
+// inboxItem is what the readiness substrate delivers to the Poll source:
+// a frame from a peer, or the peer's terminal error.
+type inboxItem struct {
+	peer *Peer
+	raw  *rawFrame
+	err  error // non-nil: the peer's connection is done
+}
+
+// pollToken is the Poll source's output: either one ready item or an
+// empty poll (the select timeout fired with nothing ready — the paper's
+// most frequently executed BitTorrent path ends in ERROR exactly here).
+type pollToken struct {
+	item     *inboxItem
+	numPeers int // filled by GetClients
+}
+
+// wireMsg is the message record flowing through HandleMessage. The Poll
+// source delivers it holding the raw frame; the ReadMessage node parses
+// it and fills msg and kind; the dispatch predicates test kind and the
+// completion flag.
+type wireMsg struct {
+	raw *rawFrame
+	msg *Message
+	// kind mirrors msg.Kind(); "closed" marks a dead peer needing
+	// unregistration, "raw" an unparsed frame.
+	kind string
+	// completed is set by the Piece node when a block completes and
+	// verifies a piece (tested by the piececomplete predicate).
+	completed  bool
+	pieceIndex uint32
+}

@@ -1,0 +1,129 @@
+package bittorrent
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/bencode"
+)
+
+// Tracker is a minimal HTTP BitTorrent tracker: peers announce
+// themselves with GET /announce and receive the current swarm. It backs
+// the peer's TrackerTimer flow (Figure 7's CheckinWithTracker ->
+// SendRequestToTracker -> GetTrackerResponse chain).
+type Tracker struct {
+	ln       net.Listener
+	srv      *http.Server
+	interval int64
+
+	mu     sync.Mutex
+	swarms map[string]map[string]trackedPeer // info_hash -> addr -> peer
+}
+
+type trackedPeer struct {
+	id       string
+	host     string
+	port     int
+	lastSeen time.Time
+}
+
+// NewTracker binds a tracker to addr ("127.0.0.1:0" for ephemeral).
+func NewTracker(addr string) (*Tracker, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		ln:       ln,
+		interval: 10,
+		swarms:   make(map[string]map[string]trackedPeer),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/announce", t.announce)
+	t.srv = &http.Server{Handler: mux}
+	return t, nil
+}
+
+// AnnounceURL returns the tracker's announce endpoint.
+func (t *Tracker) AnnounceURL() string {
+	return "http://" + t.ln.Addr().String() + "/announce"
+}
+
+// Serve blocks until the context is cancelled.
+func (t *Tracker) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = t.srv.Shutdown(shutdownCtx)
+	}()
+	err := t.srv.Serve(t.ln)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// SwarmSize reports the number of registered peers for an info hash.
+func (t *Tracker) SwarmSize(infoHash [20]byte) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.swarms[string(infoHash[:])])
+}
+
+// announce handles one GET /announce?info_hash=..&peer_id=..&port=..
+func (t *Tracker) announce(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	infoHash := q.Get("info_hash")
+	peerID := q.Get("peer_id")
+	port, err := strconv.Atoi(q.Get("port"))
+	if len(infoHash) != 20 || len(peerID) != 20 || err != nil || port <= 0 || port > 65535 {
+		writeBencode(w, map[string]any{"failure reason": "malformed announce"})
+		return
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = "127.0.0.1"
+	}
+	key := fmt.Sprintf("%s:%d", host, port)
+
+	t.mu.Lock()
+	swarm, ok := t.swarms[infoHash]
+	if !ok {
+		swarm = make(map[string]trackedPeer)
+		t.swarms[infoHash] = swarm
+	}
+	swarm[key] = trackedPeer{id: peerID, host: host, port: port, lastSeen: time.Now()}
+	peers := make([]any, 0, len(swarm))
+	for _, p := range swarm {
+		peers = append(peers, map[string]any{
+			"peer id": p.id,
+			"ip":      p.host,
+			"port":    int64(p.port),
+		})
+	}
+	t.mu.Unlock()
+
+	writeBencode(w, map[string]any{
+		"interval": t.interval,
+		"peers":    peers,
+	})
+}
+
+func writeBencode(w http.ResponseWriter, v map[string]any) {
+	data, err := bencode.Encode(v)
+	if err != nil {
+		http.Error(w, "encode failure", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain")
+	_, _ = w.Write(data)
+}

@@ -1,0 +1,220 @@
+// Package bittorrent implements the paper's peer-to-peer application
+// (§4.3): a BitTorrent peer whose protocol logic is a Flux program
+// following Figure 7. The wire protocol, handshake, and message framing
+// live in this file; the substrate packages bencode and torrent provide
+// metainfo and piece storage.
+package bittorrent
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+// Wire message IDs (BEP 3).
+const (
+	MsgChoke         = 0
+	MsgUnchoke       = 1
+	MsgInterested    = 2
+	MsgNotInterested = 3
+	MsgHave          = 4
+	MsgBitfield      = 5
+	MsgRequest       = 6
+	MsgPiece         = 7
+	MsgCancel        = 8
+	// msgKeepAlive is the zero-length frame; it has no ID byte.
+)
+
+// protocolString is the BitTorrent handshake magic.
+const protocolString = "BitTorrent protocol"
+
+// Message is one decoded wire message. KeepAlive is represented by
+// ID == -1.
+type Message struct {
+	ID      int
+	Index   uint32 // have, request, piece, cancel
+	Begin   uint32 // request, piece, cancel
+	Length  uint32 // request, cancel
+	Payload []byte // piece data or raw bitfield
+}
+
+// KeepAlive reports whether this is the zero-length keep-alive frame.
+func (m *Message) KeepAlive() bool { return m.ID == -1 }
+
+// Kind renders the message type for dispatch patterns and diagnostics.
+func (m *Message) Kind() string {
+	if m.KeepAlive() {
+		return "keepalive"
+	}
+	switch m.ID {
+	case MsgChoke:
+		return "choke"
+	case MsgUnchoke:
+		return "unchoke"
+	case MsgInterested:
+		return "interested"
+	case MsgNotInterested:
+		return "uninterested"
+	case MsgHave:
+		return "have"
+	case MsgBitfield:
+		return "bitfield"
+	case MsgRequest:
+		return "request"
+	case MsgPiece:
+		return "piece"
+	case MsgCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("unknown(%d)", m.ID)
+	}
+}
+
+// WriteHandshake sends the 68-byte BitTorrent handshake.
+func WriteHandshake(w io.Writer, infoHash, peerID [20]byte) error {
+	buf := make([]byte, 0, 68)
+	buf = append(buf, byte(len(protocolString)))
+	buf = append(buf, protocolString...)
+	buf = append(buf, make([]byte, 8)...) // reserved
+	buf = append(buf, infoHash[:]...)
+	buf = append(buf, peerID[:]...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadHandshake parses and validates the peer's handshake.
+func ReadHandshake(r io.Reader) (infoHash, peerID [20]byte, err error) {
+	var lenByte [1]byte
+	if _, err = io.ReadFull(r, lenByte[:]); err != nil {
+		return
+	}
+	if int(lenByte[0]) != len(protocolString) {
+		err = fmt.Errorf("bittorrent: bad protocol string length %d", lenByte[0])
+		return
+	}
+	rest := make([]byte, len(protocolString)+8+20+20)
+	if _, err = io.ReadFull(r, rest); err != nil {
+		return
+	}
+	if string(rest[:len(protocolString)]) != protocolString {
+		err = errors.New("bittorrent: bad protocol string")
+		return
+	}
+	copy(infoHash[:], rest[len(protocolString)+8:])
+	copy(peerID[:], rest[len(protocolString)+8+20:])
+	return
+}
+
+// WriteMessage frames and sends one message.
+func WriteMessage(w io.Writer, m *Message) error {
+	if m.KeepAlive() {
+		_, err := w.Write([]byte{0, 0, 0, 0})
+		return err
+	}
+	var body []byte
+	switch m.ID {
+	case MsgChoke, MsgUnchoke, MsgInterested, MsgNotInterested:
+		body = []byte{byte(m.ID)}
+	case MsgHave:
+		body = make([]byte, 5)
+		body[0] = MsgHave
+		binary.BigEndian.PutUint32(body[1:], m.Index)
+	case MsgBitfield:
+		body = append([]byte{MsgBitfield}, m.Payload...)
+	case MsgRequest, MsgCancel:
+		body = make([]byte, 13)
+		body[0] = byte(m.ID)
+		binary.BigEndian.PutUint32(body[1:5], m.Index)
+		binary.BigEndian.PutUint32(body[5:9], m.Begin)
+		binary.BigEndian.PutUint32(body[9:13], m.Length)
+	case MsgPiece:
+		body = make([]byte, 9+len(m.Payload))
+		body[0] = MsgPiece
+		binary.BigEndian.PutUint32(body[1:5], m.Index)
+		binary.BigEndian.PutUint32(body[5:9], m.Begin)
+		copy(body[9:], m.Payload)
+	default:
+		return fmt.Errorf("bittorrent: cannot encode message id %d", m.ID)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame[:4], uint32(len(body)))
+	copy(frame[4:], body)
+	_, err := w.Write(frame)
+	return err
+}
+
+// maxFrame bounds incoming frames: one block plus headers is the largest
+// legitimate message.
+const maxFrame = torrent.BlockSize + 1024
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	length := binary.BigEndian.Uint32(lenBuf[:])
+	if length == 0 {
+		return &Message{ID: -1}, nil
+	}
+	if length > maxFrame {
+		return nil, fmt.Errorf("bittorrent: frame of %d bytes exceeds limit", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return ParseMessageBody(body)
+}
+
+// ParseMessageBody decodes a frame body (everything after the length
+// prefix) into a Message.
+func ParseMessageBody(body []byte) (*Message, error) {
+	if len(body) == 0 {
+		return &Message{ID: -1}, nil
+	}
+	m := &Message{ID: int(body[0])}
+	body = body[1:]
+	switch m.ID {
+	case MsgChoke, MsgUnchoke, MsgInterested, MsgNotInterested:
+		// no payload
+	case MsgHave:
+		if len(body) != 4 {
+			return nil, errors.New("bittorrent: malformed have")
+		}
+		m.Index = binary.BigEndian.Uint32(body)
+	case MsgBitfield:
+		m.Payload = body
+	case MsgRequest, MsgCancel:
+		if len(body) != 12 {
+			return nil, errors.New("bittorrent: malformed request/cancel")
+		}
+		m.Index = binary.BigEndian.Uint32(body[0:4])
+		m.Begin = binary.BigEndian.Uint32(body[4:8])
+		m.Length = binary.BigEndian.Uint32(body[8:12])
+	case MsgPiece:
+		if len(body) < 8 {
+			return nil, errors.New("bittorrent: malformed piece")
+		}
+		m.Index = binary.BigEndian.Uint32(body[0:4])
+		m.Begin = binary.BigEndian.Uint32(body[4:8])
+		m.Payload = body[8:]
+	default:
+		return nil, fmt.Errorf("bittorrent: unknown message id %d", m.ID)
+	}
+	return m, nil
+}
+
+// readMessageDeadline reads one message with a read deadline.
+func readMessageDeadline(conn net.Conn, d time.Duration) (*Message, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(d)); err != nil {
+		return nil, err
+	}
+	defer conn.SetReadDeadline(time.Time{})
+	return ReadMessage(conn)
+}

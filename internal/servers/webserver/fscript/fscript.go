@@ -1,0 +1,608 @@
+// Package fscript is a small server-side template language standing in
+// for the PHP interpreter behind the paper's web server (§4.2). A page is
+// literal HTML with embedded <?fs ... ?> script blocks; scripts have
+// integer and string variables, arithmetic, conditionals, bounded loops,
+// and echo. Like the PHP layer in the paper, its role in the benchmark is
+// to burn per-request CPU inside the server's request path.
+//
+// Example:
+//
+//	<html><?fs
+//	  total = 0;
+//	  for i = 1 to n { total = total + i*i; }
+//	  echo "sum: "; echo total;
+//	?></html>
+package fscript
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxSteps bounds script execution; exceeding it aborts the page (a
+// server must not let one request loop forever).
+const MaxSteps = 10_000_000
+
+// Value is an FScript value: int64 or string.
+type Value struct {
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// IntVal wraps an integer.
+func IntVal(v int64) Value { return Value{Int: v} }
+
+// StrVal wraps a string.
+func StrVal(s string) Value { return Value{Str: s, IsStr: true} }
+
+func (v Value) text() string {
+	if v.IsStr {
+		return v.Str
+	}
+	return strconv.FormatInt(v.Int, 10)
+}
+
+func (v Value) truthy() bool {
+	if v.IsStr {
+		return v.Str != ""
+	}
+	return v.Int != 0
+}
+
+// Page is a parsed template ready for repeated execution.
+type Page struct {
+	segments []segment
+}
+
+type segment struct {
+	literal string // emitted verbatim when script is nil
+	script  []stmt // parsed block
+}
+
+// Parse splits the template into literal and script segments and parses
+// every script block.
+func Parse(src string) (*Page, error) {
+	p := &Page{}
+	for {
+		open := strings.Index(src, "<?fs")
+		if open < 0 {
+			if src != "" {
+				p.segments = append(p.segments, segment{literal: src})
+			}
+			return p, nil
+		}
+		if open > 0 {
+			p.segments = append(p.segments, segment{literal: src[:open]})
+		}
+		rest := src[open+4:]
+		close := strings.Index(rest, "?>")
+		if close < 0 {
+			return nil, errors.New("fscript: unterminated <?fs block")
+		}
+		block := rest[:close]
+		stmts, err := parseScript(block)
+		if err != nil {
+			return nil, err
+		}
+		p.segments = append(p.segments, segment{script: stmts})
+		src = rest[close+2:]
+	}
+}
+
+// Execute runs the page with the given variables, returning the rendered
+// output.
+func (p *Page) Execute(vars map[string]Value) (string, error) {
+	env := &env{vars: make(map[string]Value, len(vars))}
+	for k, v := range vars {
+		env.vars[k] = v
+	}
+	var out strings.Builder
+	env.out = &out
+	for _, seg := range p.segments {
+		if seg.script == nil {
+			out.WriteString(seg.literal)
+			continue
+		}
+		if err := execBlock(env, seg.script); err != nil {
+			return "", err
+		}
+	}
+	return out.String(), nil
+}
+
+type env struct {
+	vars  map[string]Value
+	out   *strings.Builder
+	steps int
+}
+
+func (e *env) step() error {
+	e.steps++
+	if e.steps > MaxSteps {
+		return errors.New("fscript: step limit exceeded")
+	}
+	return nil
+}
+
+// --- statements -----------------------------------------------------------
+
+type stmt interface{ exec(e *env) error }
+
+type assignStmt struct {
+	name string
+	expr expr
+}
+
+func (s *assignStmt) exec(e *env) error {
+	if err := e.step(); err != nil {
+		return err
+	}
+	v, err := s.expr.eval(e)
+	if err != nil {
+		return err
+	}
+	e.vars[s.name] = v
+	return nil
+}
+
+type echoStmt struct{ expr expr }
+
+func (s *echoStmt) exec(e *env) error {
+	if err := e.step(); err != nil {
+		return err
+	}
+	v, err := s.expr.eval(e)
+	if err != nil {
+		return err
+	}
+	e.out.WriteString(v.text())
+	return nil
+}
+
+type forStmt struct {
+	name     string
+	from, to expr
+	body     []stmt
+}
+
+func (s *forStmt) exec(e *env) error {
+	from, err := s.from.eval(e)
+	if err != nil {
+		return err
+	}
+	to, err := s.to.eval(e)
+	if err != nil {
+		return err
+	}
+	if from.IsStr || to.IsStr {
+		return errors.New("fscript: for bounds must be integers")
+	}
+	for i := from.Int; i <= to.Int; i++ {
+		if err := e.step(); err != nil {
+			return err
+		}
+		e.vars[s.name] = IntVal(i)
+		if err := execBlock(e, s.body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type ifStmt struct {
+	cond        expr
+	then, else_ []stmt
+}
+
+func (s *ifStmt) exec(e *env) error {
+	if err := e.step(); err != nil {
+		return err
+	}
+	c, err := s.cond.eval(e)
+	if err != nil {
+		return err
+	}
+	if c.truthy() {
+		return execBlock(e, s.then)
+	}
+	return execBlock(e, s.else_)
+}
+
+func execBlock(e *env, stmts []stmt) error {
+	for _, s := range stmts {
+		if err := s.exec(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- expressions -----------------------------------------------------------
+
+type expr interface{ eval(e *env) (Value, error) }
+
+type litExpr struct{ v Value }
+
+func (x *litExpr) eval(*env) (Value, error) { return x.v, nil }
+
+type varExpr struct{ name string }
+
+func (x *varExpr) eval(e *env) (Value, error) {
+	v, ok := e.vars[x.name]
+	if !ok {
+		return Value{}, fmt.Errorf("fscript: undefined variable %q", x.name)
+	}
+	return v, nil
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+func (x *binExpr) eval(e *env) (Value, error) {
+	if err := e.step(); err != nil {
+		return Value{}, err
+	}
+	l, err := x.l.eval(e)
+	if err != nil {
+		return Value{}, err
+	}
+	r, err := x.r.eval(e)
+	if err != nil {
+		return Value{}, err
+	}
+	// String concatenation and comparison.
+	if l.IsStr || r.IsStr {
+		switch x.op {
+		case "+":
+			return StrVal(l.text() + r.text()), nil
+		case "==":
+			return boolVal(l.text() == r.text()), nil
+		case "!=":
+			return boolVal(l.text() != r.text()), nil
+		default:
+			return Value{}, fmt.Errorf("fscript: operator %q not defined on strings", x.op)
+		}
+	}
+	switch x.op {
+	case "+":
+		return IntVal(l.Int + r.Int), nil
+	case "-":
+		return IntVal(l.Int - r.Int), nil
+	case "*":
+		return IntVal(l.Int * r.Int), nil
+	case "/":
+		if r.Int == 0 {
+			return Value{}, errors.New("fscript: division by zero")
+		}
+		return IntVal(l.Int / r.Int), nil
+	case "%":
+		if r.Int == 0 {
+			return Value{}, errors.New("fscript: modulo by zero")
+		}
+		return IntVal(l.Int % r.Int), nil
+	case "<":
+		return boolVal(l.Int < r.Int), nil
+	case ">":
+		return boolVal(l.Int > r.Int), nil
+	case "<=":
+		return boolVal(l.Int <= r.Int), nil
+	case ">=":
+		return boolVal(l.Int >= r.Int), nil
+	case "==":
+		return boolVal(l.Int == r.Int), nil
+	case "!=":
+		return boolVal(l.Int != r.Int), nil
+	}
+	return Value{}, fmt.Errorf("fscript: unknown operator %q", x.op)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+// --- script parser ----------------------------------------------------------
+
+type parser struct {
+	toks []stok
+	pos  int
+}
+
+type stok struct {
+	kind string // "ident", "int", "str", or the punctuation itself
+	lit  string
+}
+
+func parseScript(src string) ([]stmt, error) {
+	toks, err := scan(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []stmt
+	for !p.at("") {
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return stmts, nil
+}
+
+func scan(src string) ([]stok, error) {
+	var toks []stok
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				j++
+			}
+			if j >= len(src) {
+				return nil, errors.New("fscript: unterminated string literal")
+			}
+			toks = append(toks, stok{kind: "str", lit: src[i+1 : j]})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+				j++
+			}
+			toks = append(toks, stok{kind: "int", lit: src[i:j]})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < len(src) && isIdentByte(src[j]) {
+				j++
+			}
+			toks = append(toks, stok{kind: "ident", lit: src[i:j]})
+			i = j
+		default:
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "==", "!=", "<=", ">=":
+				toks = append(toks, stok{kind: two, lit: two})
+				i += 2
+				continue
+			}
+			switch c {
+			case '=', ';', '{', '}', '(', ')', '+', '-', '*', '/', '%', '<', '>':
+				toks = append(toks, stok{kind: string(c), lit: string(c)})
+				i++
+			default:
+				return nil, fmt.Errorf("fscript: unexpected character %q", c)
+			}
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentByte(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func (p *parser) at(kind string) bool {
+	if p.pos >= len(p.toks) {
+		return kind == ""
+	}
+	return p.toks[p.pos].kind == kind
+}
+
+func (p *parser) atIdent(lit string) bool {
+	return p.pos < len(p.toks) && p.toks[p.pos].kind == "ident" && p.toks[p.pos].lit == lit
+}
+
+func (p *parser) take() stok {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(kind string) (stok, error) {
+	if !p.at(kind) {
+		got := "end of script"
+		if p.pos < len(p.toks) {
+			got = fmt.Sprintf("%q", p.toks[p.pos].lit)
+		}
+		return stok{}, fmt.Errorf("fscript: expected %q, found %s", kind, got)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) stmt() (stmt, error) {
+	switch {
+	case p.atIdent("echo"):
+		p.take()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &echoStmt{expr: e}, nil
+
+	case p.atIdent("for"):
+		p.take()
+		name, err := p.expect("ident")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		from, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atIdent("to") {
+			return nil, errors.New("fscript: expected 'to' in for statement")
+		}
+		p.take()
+		to, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &forStmt{name: name.lit, from: from, to: to, body: body}, nil
+
+	case p.atIdent("if"):
+		p.take()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []stmt
+		if p.atIdent("else") {
+			p.take()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ifStmt{cond: cond, then: then, else_: els}, nil
+
+	case p.at("ident"):
+		name := p.take()
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &assignStmt{name: name.lit, expr: e}, nil
+	}
+	return nil, errors.New("fscript: expected statement")
+}
+
+func (p *parser) block() ([]stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []stmt
+	for !p.at("}") {
+		if p.at("") {
+			return nil, errors.New("fscript: unterminated block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.take()
+	return stmts, nil
+}
+
+// expr parses comparison-level precedence.
+func (p *parser) expr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := ""
+		for _, k := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+			if p.at(k) {
+				op = k
+				break
+			}
+		}
+		if op == "" {
+			return l, nil
+		}
+		p.take()
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r}
+	}
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("+") || p.at("-") {
+		op := p.take().kind
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at("*") || p.at("/") || p.at("%") {
+		op := p.take().kind
+		r, err := p.primary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	switch {
+	case p.at("int"):
+		t := p.take()
+		v, err := strconv.ParseInt(t.lit, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("fscript: bad integer %q", t.lit)
+		}
+		return &litExpr{v: IntVal(v)}, nil
+	case p.at("str"):
+		return &litExpr{v: StrVal(p.take().lit)}, nil
+	case p.at("ident"):
+		return &varExpr{name: p.take().lit}, nil
+	case p.at("("):
+		p.take()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errors.New("fscript: expected expression")
+}

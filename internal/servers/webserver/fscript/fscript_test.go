@@ -1,0 +1,188 @@
+package fscript
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src string, vars map[string]Value) string {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out, err := p.Execute(vars)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return out
+}
+
+func TestPlainTemplate(t *testing.T) {
+	if got := run(t, "<html>static</html>", nil); got != "<html>static</html>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestEcho(t *testing.T) {
+	if got := run(t, `<?fs echo "hi"; echo 42; ?>`, nil); got != "hi42" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestVariablesAndArithmetic(t *testing.T) {
+	src := `<?fs x = 3; y = x * 4 + 2; echo y; ?>`
+	if got := run(t, src, nil); got != "14" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	if got := run(t, `<?fs echo 2 + 3 * 4; ?>`, nil); got != "14" {
+		t.Errorf("got %q", got)
+	}
+	if got := run(t, `<?fs echo (2 + 3) * 4; ?>`, nil); got != "20" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestForLoop(t *testing.T) {
+	src := `<?fs total = 0; for i = 1 to n { total = total + i; } echo total; ?>`
+	if got := run(t, src, map[string]Value{"n": IntVal(10)}); got != "55" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	src := `<?fs c = 0; for i = 1 to 3 { for j = 1 to 4 { c = c + 1; } } echo c; ?>`
+	if got := run(t, src, nil); got != "12" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	src := `<?fs if n > 5 { echo "big"; } else { echo "small"; } ?>`
+	if got := run(t, src, map[string]Value{"n": IntVal(10)}); got != "big" {
+		t.Errorf("got %q", got)
+	}
+	if got := run(t, src, map[string]Value{"n": IntVal(2)}); got != "small" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	src := `<?fs greeting = "hello " + name; echo greeting; ?>`
+	if got := run(t, src, map[string]Value{"name": StrVal("world")}); got != "hello world" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestStringComparison(t *testing.T) {
+	src := `<?fs if name == "admin" { echo 1; } else { echo 0; } ?>`
+	if got := run(t, src, map[string]Value{"name": StrVal("admin")}); got != "1" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestMixedLiteralAndScript(t *testing.T) {
+	src := `<h1><?fs echo title; ?></h1><p><?fs for i=1 to 2 { echo "x"; } ?></p>`
+	if got := run(t, src, map[string]Value{"title": StrVal("T")}); got != "<h1>T</h1><p>xx</p>" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<?fs echo "unterminated ?>`,
+		`<?fs for i = 1 { } ?>`,
+		`<?fs x = ; ?>`,
+		`<?fs if { } ?>`,
+		`<?fs @ ?>`,
+		`<?fs x = 1`,
+		`<?fs for i = 1 to 3 { echo i; ?>`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`<?fs echo 1/0; ?>`, "division by zero"},
+		{`<?fs echo 1%0; ?>`, "modulo by zero"},
+		{`<?fs echo nope; ?>`, "undefined variable"},
+		{`<?fs echo "a" * "b"; ?>`, "not defined on strings"},
+		{`<?fs for i = "a" to 3 { } ?>`, "bounds must be integers"},
+	}
+	for _, tc := range cases {
+		p, err := Parse(tc.src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.src, err)
+		}
+		_, err = p.Execute(nil)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Execute(%q) error = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}
+
+func TestStepLimitHalts(t *testing.T) {
+	src := `<?fs x = 0; for i = 1 to 100000000 { x = x + 1; } ?>`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(nil); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("error = %v, want step limit", err)
+	}
+}
+
+func TestReusablePage(t *testing.T) {
+	p, err := Parse(`<?fs echo n * 2; ?>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 3; i++ {
+		out, err := p.Execute(map[string]Value{"n": IntVal(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := i * 2; out != strings.TrimSpace(string(rune('0'+want))) {
+			// Simpler check via Sprintf:
+			if out != itoa(want) {
+				t.Errorf("run %d: got %q", i, out)
+			}
+		}
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{byte('0' + v%10)}, b...)
+		v /= 10
+	}
+	return string(b)
+}
+
+func TestComparisonOperators(t *testing.T) {
+	cases := map[string]string{
+		`<?fs echo 3 <= 3; ?>`: "1",
+		`<?fs echo 3 >= 4; ?>`: "0",
+		`<?fs echo 3 != 4; ?>`: "1",
+		`<?fs echo 3 == 4; ?>`: "0",
+	}
+	for src, want := range cases {
+		if got := run(t, src, nil); got != want {
+			t.Errorf("%s = %q, want %q", src, got, want)
+		}
+	}
+}

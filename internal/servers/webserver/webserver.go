@@ -1,0 +1,467 @@
+// Package webserver is the paper's HTTP/1.1 web server (§4.2) written as
+// a Flux program: a 15-line coordination layer over sequential node
+// functions. It serves the SPECweb99-like static corpus with an LFU
+// response cache under Flux atomicity constraints, and dynamic pages
+// through the FScript interpreter (the PHP substitute).
+//
+// The paper's web server waits for network activity with select-plus-
+// timeout in its first node; the Go analogue is the Listen source
+// multiplexing fresh connections and keep-alive re-registrations over a
+// channel with a deadline, so the event runtime's dispatcher is never
+// blocked indefinitely.
+package webserver
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+	"github.com/flux-lang/flux/internal/lfu"
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
+)
+
+// FluxSource is the web server's Flux program. Its shape follows the
+// image server of Figure 2: a source, one abstract node, a three-way
+// predicate dispatch (dynamic page, cache hit, cache miss), error
+// handlers, and a cache constraint spanning the three cache-touching
+// nodes.
+const FluxSource = `
+// concrete node signatures
+Listen () => (conn c);
+ReadRequest (conn c) => (conn c, bool close, http_req *req);
+CheckCache (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
+ReadFile (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
+StoreInCache (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
+RunScript (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
+SendResponse (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
+Complete (conn c, bool close, http_req *req) => ();
+Discard (conn c) => ();
+FourOhFour (conn c, bool close, http_req *req) => ();
+Cleanup (conn c, bool close, http_req *req) => ();
+
+// request flow
+source Listen => Page;
+Page = ReadRequest -> CheckCache -> Handler -> SendResponse -> Complete;
+
+// predicate dispatch: dynamic pages run the script engine, cache hits
+// pass through, misses read and cache the file
+typedef dynamic TestDynamic;
+typedef hit TestInCache;
+Handler:[_, _, dynamic] = RunScript;
+Handler:[_, _, hit] = ;
+Handler:[_, _, _] = ReadFile -> StoreInCache;
+
+// error handling
+handle error ReadRequest => Discard;
+handle error ReadFile => FourOhFour;
+handle error SendResponse => Cleanup;
+
+// atomicity constraints guard the shared response cache
+atomic CheckCache:{cache};
+atomic StoreInCache:{cache};
+atomic Complete:{cache};
+atomic Cleanup:{cache};
+`
+
+// Request is the per-request state flowing through the graph (the
+// paper's http_req struct).
+type Request struct {
+	Method    string
+	Path      string
+	Query     string
+	KeepAlive bool
+
+	dynamic  bool
+	hit      bool
+	cacheKey string
+	response []byte
+}
+
+// Conn wraps a client connection with its buffered reader and keep-alive
+// bookkeeping.
+type Conn struct {
+	nc     net.Conn
+	br     *bufio.Reader
+	served int
+}
+
+// Config tunes the server.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Files is the static corpus (default: 1-directory SPECweb set).
+	Files *loadgen.FileSet
+	// CacheBytes bounds the response cache (default 64 MB).
+	CacheBytes int64
+	// Engine selects the Flux runtime (§3.2).
+	Engine runtime.EngineKind
+	// PoolSize is the worker count for the thread-pool engine.
+	PoolSize int
+	// SourceTimeout is the event engine's source polling deadline.
+	SourceTimeout time.Duration
+	// Profiler, when non-nil, receives path/node observations.
+	Profiler runtime.Profiler
+	// MaxKeepAlive bounds requests per connection (default 100).
+	MaxKeepAlive int
+	// ScriptWork is the loop bound handed to dynamic pages (default
+	// 2000), controlling per-request CPU like the paper's PHP pages.
+	ScriptWork int
+}
+
+// Server is a runnable Flux web server.
+type Server struct {
+	cfg   Config
+	prog  *core.Program
+	rt    *runtime.Server
+	ln    net.Listener
+	ready chan *Conn
+	cache *lfu.Cache
+	page  *fscript.Page
+}
+
+// dynamicTemplate is the built-in FScript page served under /dynamic.
+const dynamicTemplate = `<html><head><title>flux dynamic</title></head><body>
+<?fs
+total = 0;
+for i = 1 to work {
+  total = total + i * i % 97;
+}
+echo "<p>work="; echo work; echo " checksum="; echo total; echo "</p>";
+?>
+</body></html>
+`
+
+// New compiles the Flux program, binds the node implementations, and
+// opens the listener. Call Run to serve.
+func New(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.Files == nil {
+		cfg.Files = loadgen.NewFileSet(1)
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.MaxKeepAlive <= 0 {
+		cfg.MaxKeepAlive = 100
+	}
+	if cfg.ScriptWork <= 0 {
+		cfg.ScriptWork = 2000
+	}
+
+	astProg, err := parser.Parse("webserver.flux", FluxSource)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: parse: %w", err)
+	}
+	prog, err := core.Build(astProg)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: compile: %w", err)
+	}
+
+	page, err := fscript.Parse(dynamicTemplate)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: dynamic template: %w", err)
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("webserver: listen: %w", err)
+	}
+
+	s := &Server{
+		cfg:   cfg,
+		prog:  prog,
+		ln:    ln,
+		ready: make(chan *Conn, 1024),
+		cache: lfu.New(cfg.CacheBytes),
+		page:  page,
+	}
+
+	b := runtime.NewBindings().
+		BindSource("Listen", s.listen).
+		BindNode("ReadRequest", s.readRequest).
+		BindNode("CheckCache", s.checkCache).
+		BindNode("ReadFile", s.readFile).
+		BindNode("StoreInCache", s.storeInCache).
+		BindNode("RunScript", s.runScript).
+		BindNode("SendResponse", s.sendResponse).
+		BindNode("Complete", s.complete).
+		BindNode("Discard", s.discard).
+		BindNode("FourOhFour", s.fourOhFour).
+		BindNode("Cleanup", s.cleanup).
+		BindPredicate("TestDynamic", func(v any) bool { return v.(*Request).dynamic }).
+		BindPredicate("TestInCache", func(v any) bool { return v.(*Request).hit }).
+		MarkBlocking("ReadRequest", "SendResponse")
+
+	rt, err := runtime.NewServer(prog, b, runtime.Config{
+		Kind:          cfg.Engine,
+		PoolSize:      cfg.PoolSize,
+		SourceTimeout: cfg.SourceTimeout,
+		Profiler:      cfg.Profiler,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	s.rt = rt
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Program exposes the compiled Flux program (for DOT output, simulation,
+// and profiling reports).
+func (s *Server) Program() *core.Program { return s.prog }
+
+// Stats exposes the runtime's flow counters.
+func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
+
+// CacheStats exposes hit/miss/eviction counters.
+func (s *Server) CacheStats() (hits, misses, evictions uint64) { return s.cache.Stats() }
+
+// Run serves until the context is cancelled.
+func (s *Server) Run(ctx context.Context) error {
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			nc, err := s.ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			c := &Conn{nc: nc, br: bufio.NewReader(nc)}
+			select {
+			case s.ready <- c:
+			case <-ctx.Done():
+				nc.Close()
+				return
+			}
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	err := s.rt.Run(ctx)
+	<-acceptDone
+	return err
+}
+
+// --- node implementations --------------------------------------------------
+
+// listen is the source node: it waits (with a deadline under the event
+// engine) for the next connection needing service — fresh from accept or
+// re-registered by Complete for keep-alive.
+func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
+	if fl.SourceTimeout > 0 {
+		t := time.NewTimer(fl.SourceTimeout)
+		defer t.Stop()
+		select {
+		case c, ok := <-s.ready:
+			if !ok {
+				return nil, runtime.ErrStop
+			}
+			return runtime.Record{c}, nil
+		case <-t.C:
+			return nil, runtime.ErrNoData
+		case <-fl.Wake:
+			return nil, runtime.ErrNoData
+		case <-fl.Ctx.Done():
+			return nil, fl.Ctx.Err()
+		}
+	}
+	select {
+	case c, ok := <-s.ready:
+		if !ok {
+			return nil, runtime.ErrStop
+		}
+		return runtime.Record{c}, nil
+	case <-fl.Ctx.Done():
+		return nil, fl.Ctx.Err()
+	}
+}
+
+// readRequest parses one HTTP/1.1 request from the connection.
+func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	c := in[0].(*Conn)
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return nil, err // EOF or reset: handled by Discard
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("webserver: malformed request line %q", line)
+	}
+	req := &Request{Method: fields[0], KeepAlive: true}
+	if i := strings.IndexByte(fields[1], '?'); i >= 0 {
+		req.Path, req.Query = fields[1][:i], fields[1][i+1:]
+	} else {
+		req.Path = fields[1]
+	}
+	// Headers: we only honor Connection.
+	for {
+		h, err := c.br.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Connection") {
+			if strings.EqualFold(strings.TrimSpace(v), "close") {
+				req.KeepAlive = false
+			}
+		}
+	}
+	req.dynamic = strings.HasPrefix(req.Path, "/dynamic")
+	req.cacheKey = req.Path
+	closeAfter := !req.KeepAlive || c.served+1 >= s.cfg.MaxKeepAlive
+	return runtime.Record{c, closeAfter, req}, nil
+}
+
+// checkCache looks up the rendered response for static paths; the
+// "cache" constraint serializes it against StoreInCache and Complete.
+func (s *Server) checkCache(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	req := in[2].(*Request)
+	if req.dynamic {
+		return in, nil
+	}
+	if resp, ok := s.cache.Get(req.cacheKey); ok {
+		req.hit = true
+		req.response = resp
+	}
+	return in, nil
+}
+
+// readFile fetches the static file, failing (to FourOhFour) on unknown
+// paths.
+func (s *Server) readFile(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	req := in[2].(*Request)
+	body, ok := s.cfg.Files.Lookup(req.Path)
+	if !ok {
+		return nil, fmt.Errorf("webserver: no such file %q", req.Path)
+	}
+	req.response = renderResponse(200, "OK", "text/html", body)
+	return in, nil
+}
+
+// storeInCache publishes the rendered response.
+func (s *Server) storeInCache(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	req := in[2].(*Request)
+	s.cache.Put(req.cacheKey, req.response)
+	return in, nil
+}
+
+// runScript renders the dynamic page through FScript.
+func (s *Server) runScript(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	req := in[2].(*Request)
+	work := int64(s.cfg.ScriptWork)
+	if v := queryParam(req.Query, "n"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 && n <= 1_000_000 {
+			work = n
+		}
+	}
+	out, err := s.page.Execute(map[string]fscript.Value{"work": fscript.IntVal(work)})
+	if err != nil {
+		return nil, err
+	}
+	req.response = renderResponse(200, "OK", "text/html", []byte(out))
+	return in, nil
+}
+
+func queryParam(query, key string) string {
+	for _, kv := range strings.Split(query, "&") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
+			return v
+		}
+	}
+	return ""
+}
+
+// sendResponse writes the rendered response to the client.
+func (s *Server) sendResponse(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	c := in[0].(*Conn)
+	req := in[2].(*Request)
+	if req.response == nil {
+		return nil, errors.New("webserver: no response rendered")
+	}
+	if _, err := c.nc.Write(req.response); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// complete releases the cache reference and either closes the connection
+// or re-registers it for the next keep-alive request.
+func (s *Server) complete(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	c := in[0].(*Conn)
+	closeAfter := in[1].(bool)
+	req := in[2].(*Request)
+	if req.hit || (!req.dynamic && req.response != nil) {
+		s.cache.Release(req.cacheKey)
+	}
+	c.served++
+	if closeAfter {
+		c.nc.Close()
+		return nil, nil
+	}
+	select {
+	case s.ready <- c:
+	default:
+		// Ready queue saturated; shed the connection rather than block
+		// inside a constraint-holding node.
+		c.nc.Close()
+	}
+	return nil, nil
+}
+
+// discard closes a connection whose request could not be read (client
+// disconnect ends every keep-alive conversation this way).
+func (s *Server) discard(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	in[0].(*Conn).nc.Close()
+	return nil, nil
+}
+
+// cleanup releases the flow's cache reference and closes the connection
+// when the response could not be delivered; without it a vanished client
+// would leak a reference count and pin the entry in the cache forever.
+func (s *Server) cleanup(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	c := in[0].(*Conn)
+	req := in[2].(*Request)
+	if req.hit || (!req.dynamic && req.response != nil) {
+		s.cache.Release(req.cacheKey)
+	}
+	c.nc.Close()
+	return nil, nil
+}
+
+// fourOhFour answers unknown paths and closes.
+func (s *Server) fourOhFour(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	c := in[0].(*Conn)
+	body := []byte("<html><body><h1>404 Not Found</h1></body></html>")
+	_, _ = c.nc.Write(renderResponse(404, "Not Found", "text/html", body))
+	c.nc.Close()
+	return nil, nil
+}
+
+// renderResponse builds a complete HTTP/1.1 response.
+func renderResponse(code int, status, ctype string, body []byte) []byte {
+	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		code, status, ctype, len(body))
+	out := make([]byte, 0, len(head)+len(body))
+	out = append(out, head...)
+	out = append(out, body...)
+	return out
+}

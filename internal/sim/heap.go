@@ -1,0 +1,64 @@
+package sim
+
+// eventHeap is a binary min-heap of scheduled callbacks ordered by
+// simulated time, with a sequence number making ties FIFO and the
+// simulation fully deterministic for a given seed.
+type eventHeap struct {
+	items []schedEvent
+}
+
+type schedEvent struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+func (h *eventHeap) Len() int { return len(h.items) }
+
+func (h *eventHeap) push(e schedEvent) {
+	h.items = append(h.items, e)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() (schedEvent, bool) {
+	if len(h.items) == 0 {
+		return schedEvent{}, false
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top, true
+}
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

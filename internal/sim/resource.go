@@ -1,0 +1,143 @@
+package sim
+
+import "fmt"
+
+// resource is an m-server resource with a FIFO queue — the CPU model of
+// §5.1: "CPUs are modeled as resources that each Flux node acquires for a
+// given amount of time"; adding servers models more processors.
+type resource struct {
+	cap  int
+	busy int
+
+	queue []func()
+
+	// busyIntegral accumulates busy-server-seconds for utilization.
+	busyIntegral float64
+	lastChange   float64
+}
+
+// sync integrates busy time up to the current instant.
+func (r *resource) sync(now float64) {
+	r.busyIntegral += float64(r.busy) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// request grants a server immediately (calling grant synchronously) or
+// queues the grant callback FIFO.
+func (r *resource) request(s *Simulator, grant func()) {
+	if r.busy < r.cap {
+		r.sync(s.now)
+		r.busy++
+		grant()
+		return
+	}
+	r.queue = append(r.queue, grant)
+}
+
+// release frees a server and hands it to the next waiter, if any. The
+// waiter's grant runs as a fresh event at the current time, keeping the
+// event loop non-reentrant and deterministic.
+func (r *resource) release(s *Simulator) {
+	r.sync(s.now)
+	r.busy--
+	if len(r.queue) > 0 {
+		grant := r.queue[0]
+		r.queue = r.queue[1:]
+		r.busy++
+		s.schedule(s.now, grant)
+	}
+}
+
+// simLock is a reader-writer lock facility with FIFO waiters and per-flow
+// reentrancy, mirroring the runtime lock manager's semantics in simulated
+// time.
+type simLock struct {
+	writer  *flowProc
+	wdepth  int
+	holders map[*flowProc]int // reader depths
+	waiters []lockWaiter
+}
+
+type lockWaiter struct {
+	fp    *flowProc
+	write bool
+	grant func()
+}
+
+// acquire grants immediately (returning true without calling grant) or
+// parks the flow (queueing grant, returning false).
+func (l *simLock) acquire(fp *flowProc, write bool, grant func()) bool {
+	if l.writer == fp {
+		l.wdepth++
+		return true
+	}
+	if !write {
+		if l.holders[fp] > 0 {
+			l.holders[fp]++
+			return true
+		}
+		if l.writer == nil && len(l.waiters) == 0 {
+			l.holders[fp] = 1
+			return true
+		}
+	} else {
+		if l.holders[fp] > 0 {
+			panic(fmt.Sprintf("sim: read-to-write upgrade; the compiler's promotion pass forbids this"))
+		}
+		if l.writer == nil && len(l.holders) == 0 && len(l.waiters) == 0 {
+			l.writer = fp
+			l.wdepth = 1
+			return true
+		}
+	}
+	l.waiters = append(l.waiters, lockWaiter{fp: fp, write: write, grant: grant})
+	return false
+}
+
+// release undoes one acquisition and wakes eligible waiters in FIFO
+// order: one writer, or a maximal batch of readers.
+func (l *simLock) release(fp *flowProc, s *Simulator) {
+	if l.writer == fp {
+		l.wdepth--
+		if l.wdepth > 0 {
+			return
+		}
+		l.writer = nil
+	} else {
+		n, ok := l.holders[fp]
+		if !ok {
+			panic("sim: release of a lock not held")
+		}
+		if n == 1 {
+			delete(l.holders, fp)
+		} else {
+			l.holders[fp] = n - 1
+			return
+		}
+	}
+	l.wake(s)
+}
+
+// wake grants the head of the queue when the lock state allows.
+func (l *simLock) wake(s *Simulator) {
+	for len(l.waiters) > 0 {
+		head := l.waiters[0]
+		if head.write {
+			if l.writer != nil || len(l.holders) != 0 {
+				return
+			}
+			l.writer = head.fp
+			l.wdepth = 1
+			l.waiters = l.waiters[1:]
+			s.schedule(s.now, head.grant)
+			return
+		}
+		if l.writer != nil {
+			return
+		}
+		l.holders[head.fp]++
+		l.waiters = l.waiters[1:]
+		s.schedule(s.now, head.grant)
+		// Keep granting consecutive readers.
+	}
+}

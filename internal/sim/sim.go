@@ -1,0 +1,398 @@
+// Package sim is a process-oriented discrete-event simulator for Flux
+// programs, replacing the commercial CSIM simulator used in §5.1.
+//
+// CPUs are modeled as an m-server resource that each exec vertex must
+// reserve for an exponentially distributed service time (parameterized by
+// observed or estimated per-node means); atomicity constraints are
+// reader-writer lock facilities held for the duration of the bracketed
+// execution, exactly as the compiler-generated CSIM code of Figure 5
+// does; conditional nodes branch with observed probabilities. Following
+// the paper, session-scoped constraints are conservatively treated as
+// globals, and disk/network resources are not modeled — appropriate for
+// CPU-bound servers such as the image server the paper validates against.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/ast"
+)
+
+// SourceParams describes one source's arrival process.
+type SourceParams struct {
+	// Rate is the arrival rate in flows per simulated second.
+	Rate float64
+	// Exponential selects exponential inter-arrival times; false gives
+	// the deterministic 1/Rate spacing the paper's image-server load
+	// tester uses ("one every 1/n seconds").
+	Exponential bool
+}
+
+// Params parameterizes a simulation run.
+type Params struct {
+	// CPUs is the number of processors (servers of the CPU resource).
+	CPUs int
+	// Duration is the simulated time in seconds; Warmup seconds of
+	// measurements are discarded (the paper ignores the first twenty
+	// seconds of each two-minute run).
+	Duration float64
+	Warmup   float64
+	// Seed makes runs reproducible.
+	Seed int64
+
+	// Sources maps source node name to its arrival process. Sources
+	// absent from the map generate no flows.
+	Sources map[string]SourceParams
+
+	// NodeTime maps concrete node name to mean CPU service seconds
+	// (observed from a profiling run or estimated, §5.1). Nodes absent
+	// from the map cost zero CPU.
+	NodeTime map[string]float64
+
+	// BranchProb maps a conditional node name to per-case selection
+	// probabilities (in case order, summing to 1). Absent nodes choose
+	// uniformly.
+	BranchProb map[string][]float64
+
+	// ErrorProb maps a concrete node name to the probability its
+	// execution fails (taking the error edge). Absent nodes never fail.
+	ErrorProb map[string]float64
+
+	// SessionCount, when positive, models session-scoped constraints
+	// per session: each arriving flow draws a session uniformly from
+	// [0, SessionCount) and contends only within it. Zero keeps the
+	// paper's conservative treatment of session constraints as globals
+	// (§5.1); per-session modeling is the enhancement §8 plans.
+	SessionCount int
+
+	// MaxInFlight bounds concurrently active flows; arrivals beyond the
+	// bound are dropped (admission control). Zero means unbounded. Load
+	// generators bound their outstanding requests, so matching the
+	// simulator keeps overload predictions comparable: an unbounded
+	// open-loop queue over a lock-then-CPU structure collapses instead
+	// of saturating.
+	MaxInFlight int
+}
+
+// Result reports a simulation's measurements (post-warmup).
+type Result struct {
+	Flows       int     // flows completing inside the measurement window
+	Errored     int     // of which ended at the error terminal
+	Dropped     int     // arrivals shed by MaxInFlight admission control
+	Throughput  float64 // completions per simulated second
+	MeanLatency float64 // seconds
+	P50, P95    float64 // latency percentiles, seconds
+	Utilization float64 // mean fraction of CPU capacity in use
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("flows=%d errored=%d throughput=%.2f/s mean=%.4fs p50=%.4fs p95=%.4fs util=%.1f%%",
+		r.Flows, r.Errored, r.Throughput, r.MeanLatency, r.P50, r.P95, 100*r.Utilization)
+}
+
+// Simulator drives one program's graphs through simulated time.
+type Simulator struct {
+	prog   *core.Program
+	params Params
+
+	now  float64
+	seq  uint64
+	heap eventHeap
+	rng  *rand.Rand
+
+	cpu   *resource
+	locks map[string]*simLock
+
+	latencies []float64
+	flows     int
+	errored   int
+	inflight  int
+	dropped   int
+}
+
+// New prepares a simulator for the program with the given parameters.
+func New(prog *core.Program, params Params) *Simulator {
+	if params.CPUs <= 0 {
+		params.CPUs = 1
+	}
+	if params.Duration <= 0 {
+		params.Duration = 60
+	}
+	s := &Simulator{
+		prog:   prog,
+		params: params,
+		rng:    rand.New(rand.NewSource(params.Seed)),
+		cpu:    &resource{cap: params.CPUs},
+		locks:  make(map[string]*simLock),
+	}
+	return s
+}
+
+// schedule queues fn at absolute simulated time at.
+func (s *Simulator) schedule(at float64, fn func()) {
+	s.seq++
+	s.heap.push(schedEvent{at: at, seq: s.seq, fn: fn})
+}
+
+// exp draws an exponential variate with the given mean.
+func (s *Simulator) exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.rng.ExpFloat64() * mean
+}
+
+// Run executes the simulation and returns the measurements.
+func (s *Simulator) Run() Result {
+	for name, sp := range s.params.Sources {
+		g, ok := s.prog.Graphs[name]
+		if !ok || sp.Rate <= 0 {
+			continue
+		}
+		s.scheduleArrival(g, sp)
+	}
+
+	end := s.params.Duration
+	for {
+		ev, ok := s.heap.pop()
+		if !ok || ev.at > end {
+			break
+		}
+		s.now = ev.at
+		ev.fn()
+	}
+	s.now = end
+	s.cpu.sync(s.now)
+
+	res := Result{Flows: len(s.latencies) + s.errored, Errored: s.errored, Dropped: s.dropped}
+	window := s.params.Duration - s.params.Warmup
+	if window > 0 {
+		res.Throughput = float64(len(s.latencies)) / window
+	}
+	if len(s.latencies) > 0 {
+		sorted := append([]float64(nil), s.latencies...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, v := range sorted {
+			sum += v
+		}
+		res.MeanLatency = sum / float64(len(sorted))
+		res.P50 = percentile(sorted, 0.50)
+		res.P95 = percentile(sorted, 0.95)
+	}
+	if s.params.Duration > 0 {
+		res.Utilization = s.cpu.busyIntegral / (s.params.Duration * float64(s.cpu.cap))
+	}
+	return res
+}
+
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// scheduleArrival books the next flow arrival for a source.
+func (s *Simulator) scheduleArrival(g *core.FlatGraph, sp SourceParams) {
+	var gap float64
+	if sp.Exponential {
+		gap = s.exp(1 / sp.Rate)
+	} else {
+		gap = 1 / sp.Rate
+	}
+	s.schedule(s.now+gap, func() {
+		defer s.scheduleArrival(g, sp)
+		if s.params.MaxInFlight > 0 && s.inflight >= s.params.MaxInFlight {
+			s.dropped++
+			return
+		}
+		s.inflight++
+		fp := &flowProc{sim: s, g: g, v: g.Entry, arrival: s.now}
+		if s.params.SessionCount > 0 {
+			fp.session = s.rng.Intn(s.params.SessionCount)
+		}
+		fp.advance()
+	})
+}
+
+// flowProc is one simulated flow walking the flat graph.
+type flowProc struct {
+	sim     *Simulator
+	g       *core.FlatGraph
+	v       *core.FlatNode
+	arrival float64
+	// session is the flow's session id when SessionCount modeling is on.
+	session int
+	// held mirrors the runtime's lock stack for release bookkeeping.
+	held []*simLock
+	// consIdx is the resume position within an acquire vertex.
+	consIdx int
+}
+
+// advance walks vertices until the flow must wait (for a CPU or a lock)
+// or terminates.
+func (fp *flowProc) advance() {
+	s := fp.sim
+	for {
+		switch fp.v.Kind {
+		case core.FlatExec:
+			// Figure 5: reserve a processor, hold for an exponential
+			// service time, release, move on.
+			fp.sim.cpu.request(s, func() {
+				service := s.exp(s.params.NodeTime[fp.v.Node.Name])
+				s.schedule(s.now+service, func() {
+					s.cpu.release(s)
+					fp.afterExec()
+				})
+			})
+			return
+
+		case core.FlatBranch:
+			fp.v = fp.chooseCase().To
+			// continue walking
+
+		case core.FlatAcquire:
+			if !fp.acquireSet() {
+				return // parked on a lock; grant resumes us
+			}
+			fp.v = fp.v.Out[0].To
+
+		case core.FlatRelease:
+			for range fp.v.Cons {
+				fp.releaseTop()
+			}
+			fp.v = fp.v.Out[0].To
+
+		case core.FlatExit:
+			fp.finish(false)
+			return
+
+		case core.FlatError:
+			fp.finish(true)
+			return
+		}
+	}
+}
+
+// afterExec applies the post-service transition: error edge with
+// probability ErrorProb, else the normal edge.
+func (fp *flowProc) afterExec() {
+	s := fp.sim
+	if p := s.params.ErrorProb[fp.v.Node.Name]; p > 0 && fp.v.ErrEdge != nil && s.rng.Float64() < p {
+		for len(fp.held) > 0 {
+			fp.releaseTop()
+		}
+		fp.v = fp.v.ErrEdge.To
+	} else {
+		fp.v = fp.v.Out[0].To
+	}
+	fp.advance()
+}
+
+// chooseCase samples a dispatch case.
+func (fp *flowProc) chooseCase() *core.FlatEdge {
+	s := fp.sim
+	edges := fp.v.Out
+	probs := s.params.BranchProb[fp.v.Node.Name]
+	r := s.rng.Float64()
+	if len(probs) != len(edges) {
+		// Uniform fallback.
+		i := int(r * float64(len(edges)))
+		if i >= len(edges) {
+			i = len(edges) - 1
+		}
+		return edges[i]
+	}
+	var acc float64
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return edges[i]
+		}
+	}
+	return edges[len(edges)-1]
+}
+
+// acquireSet acquires the vertex's constraints in canonical order,
+// resuming from consIdx. It reports whether the full set is held; when
+// false, the flow is parked on a lock queue and will be resumed by the
+// grant callback.
+func (fp *flowProc) acquireSet() bool {
+	v := fp.v
+	for fp.consIdx < len(v.Cons) {
+		c := v.Cons[fp.consIdx]
+		l := fp.sim.lockForConstraint(c, fp.session)
+		granted := l.acquire(fp, c.Mode == ast.Writer, func() {
+			fp.consIdx++
+			fp.held = append(fp.held, l)
+			if fp.acquireSet() {
+				fp.v = fp.v.Out[0].To
+				fp.consIdx = 0
+				fp.advance()
+			}
+		})
+		if !granted {
+			return false
+		}
+		fp.consIdx++
+		fp.held = append(fp.held, l)
+	}
+	fp.consIdx = 0
+	return true
+}
+
+func (fp *flowProc) releaseTop() {
+	l := fp.held[len(fp.held)-1]
+	fp.held = fp.held[:len(fp.held)-1]
+	l.release(fp, fp.sim)
+}
+
+// finish records the flow's completion.
+func (fp *flowProc) finish(errored bool) {
+	s := fp.sim
+	for len(fp.held) > 0 {
+		fp.releaseTop()
+	}
+	if s.params.MaxInFlight > 0 {
+		s.inflight--
+	}
+	if s.now < s.params.Warmup {
+		return
+	}
+	if errored {
+		s.errored++
+		return
+	}
+	s.latencies = append(s.latencies, s.now-fp.arrival)
+}
+
+func (s *Simulator) lockFor(name string) *simLock {
+	l, ok := s.locks[name]
+	if !ok {
+		l = &simLock{holders: make(map[*flowProc]int)}
+		s.locks[name] = l
+	}
+	return l
+}
+
+// lockForConstraint resolves the lock instance for a constraint: a
+// per-session instance when session modeling is enabled and the
+// constraint is session-scoped, otherwise the global instance.
+func (s *Simulator) lockForConstraint(c ast.Constraint, session int) *simLock {
+	if c.Session && s.params.SessionCount > 0 {
+		return s.lockFor(fmt.Sprintf("%s#%d", c.Name, session))
+	}
+	return s.lockFor(c.Name)
+}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+)
+
+func compileSrc(t *testing.T, src string) *core.Program {
+	t.Helper()
+	astProg, err := parser.Parse("sim.flux", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := core.Build(astProg)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return p
+}
+
+const mm1Src = `
+Arrive () => (int v);
+Serve (int v) => ();
+source Arrive => Flow;
+Flow = Serve;
+`
+
+// TestMM1AgainstTheory validates the simulator core against the M/M/1
+// queue: with arrival rate lambda and service rate mu, the theoretical
+// mean sojourn time is 1/(mu-lambda). This is the strongest correctness
+// anchor available for a DES.
+func TestMM1AgainstTheory(t *testing.T) {
+	p := compileSrc(t, mm1Src)
+	lambda, mu := 50.0, 100.0
+	s := New(p, Params{
+		CPUs:     1,
+		Duration: 400,
+		Warmup:   40,
+		Seed:     7,
+		Sources:  map[string]SourceParams{"Arrive": {Rate: lambda, Exponential: true}},
+		NodeTime: map[string]float64{"Serve": 1 / mu},
+	})
+	res := s.Run()
+	want := 1 / (mu - lambda) // 20ms
+	if math.Abs(res.MeanLatency-want)/want > 0.15 {
+		t.Errorf("M/M/1 mean latency = %.4fs, theory %.4fs", res.MeanLatency, want)
+	}
+	if math.Abs(res.Throughput-lambda)/lambda > 0.1 {
+		t.Errorf("throughput = %.2f, want ~%.2f", res.Throughput, lambda)
+	}
+	// Utilization should be ~lambda/mu = 0.5.
+	if math.Abs(res.Utilization-0.5) > 0.08 {
+		t.Errorf("utilization = %.3f, want ~0.5", res.Utilization)
+	}
+}
+
+// TestMMcScaling: with m CPUs the system should sustain nearly m times
+// the single-CPU saturation throughput — the capacity scaling that
+// Figure 6 predicts for the image server.
+func TestMMcScaling(t *testing.T) {
+	p := compileSrc(t, mm1Src)
+	serviceMean := 0.010 // 10ms/request -> 100/s per CPU
+	for _, cpus := range []int{1, 2, 4} {
+		offered := 3.0 * 100 * float64(cpus) // 3x overload
+		s := New(p, Params{
+			CPUs:     cpus,
+			Duration: 60,
+			Warmup:   6,
+			Seed:     11,
+			Sources:  map[string]SourceParams{"Arrive": {Rate: offered, Exponential: true}},
+			NodeTime: map[string]float64{"Serve": serviceMean},
+		})
+		res := s.Run()
+		capacity := float64(cpus) / serviceMean
+		if res.Throughput < 0.9*capacity || res.Throughput > 1.1*capacity {
+			t.Errorf("cpus=%d: saturated throughput = %.1f/s, capacity %.1f/s", cpus, res.Throughput, capacity)
+		}
+	}
+}
+
+// TestDeterministicSeeds: identical seeds give identical results; a
+// different seed gives different latencies.
+func TestDeterministicSeeds(t *testing.T) {
+	p := compileSrc(t, mm1Src)
+	mk := func(seed int64) Result {
+		return New(p, Params{
+			CPUs: 1, Duration: 50, Warmup: 5, Seed: seed,
+			Sources:  map[string]SourceParams{"Arrive": {Rate: 40, Exponential: true}},
+			NodeTime: map[string]float64{"Serve": 0.01},
+		}).Run()
+	}
+	a, b, c := mk(3), mk(3), mk(4)
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a == c {
+		t.Errorf("different seeds identical: %+v", a)
+	}
+}
+
+const branchSrc = `
+Arrive () => (int v);
+Fast (int v) => (int v);
+Slow (int v) => (int v);
+Done (int v) => ();
+source Arrive => Flow;
+Flow = Route -> Done;
+typedef fast IsFast;
+Route:[fast] = Fast;
+Route:[_] = Slow;
+`
+
+// TestBranchProbabilities: with a 90/10 split and very different service
+// times, mean latency must sit near the weighted combination.
+func TestBranchProbabilities(t *testing.T) {
+	p := compileSrc(t, branchSrc)
+	s := New(p, Params{
+		CPUs: 4, Duration: 300, Warmup: 30, Seed: 5,
+		Sources:    map[string]SourceParams{"Arrive": {Rate: 20, Exponential: true}},
+		NodeTime:   map[string]float64{"Fast": 0.001, "Slow": 0.050},
+		BranchProb: map[string][]float64{"Route": {0.9, 0.1}},
+	})
+	res := s.Run()
+	// Expected service demand ~= 0.9*1ms + 0.1*50ms = 5.9ms; at rho
+	// ~0.03 queueing is negligible, so mean latency should be close.
+	want := 0.9*0.001 + 0.1*0.050
+	if res.MeanLatency < 0.8*want || res.MeanLatency > 1.5*want {
+		t.Errorf("mean latency = %.4fs, want near %.4fs", res.MeanLatency, want)
+	}
+}
+
+const lockedSrc = `
+Arrive () => (int v);
+Critical (int v) => ();
+source Arrive => Flow;
+Flow = Critical;
+atomic Critical:{mutex};
+`
+
+// TestWriterLockSerializes: a writer-constrained node cannot exceed
+// 1/serviceMean completions per second no matter how many CPUs exist.
+func TestWriterLockSerializes(t *testing.T) {
+	p := compileSrc(t, lockedSrc)
+	serviceMean := 0.005
+	s := New(p, Params{
+		CPUs: 8, Duration: 120, Warmup: 12, Seed: 9,
+		Sources:  map[string]SourceParams{"Arrive": {Rate: 2000, Exponential: true}},
+		NodeTime: map[string]float64{"Critical": serviceMean},
+	})
+	res := s.Run()
+	limit := 1 / serviceMean // 200/s
+	if res.Throughput > 1.1*limit {
+		t.Errorf("throughput = %.1f/s exceeds lock-serialized limit %.1f/s", res.Throughput, limit)
+	}
+	if res.Throughput < 0.85*limit {
+		t.Errorf("throughput = %.1f/s well below saturated limit %.1f/s", res.Throughput, limit)
+	}
+}
+
+// TestReaderLockDoesNotSerialize: the same program with a reader
+// constraint scales past the single-lock limit.
+func TestReaderLockDoesNotSerialize(t *testing.T) {
+	p := compileSrc(t, `
+Arrive () => (int v);
+Critical (int v) => ();
+source Arrive => Flow;
+Flow = Critical;
+atomic Critical:{mutex?};
+`)
+	serviceMean := 0.005
+	s := New(p, Params{
+		CPUs: 8, Duration: 60, Warmup: 6, Seed: 9,
+		Sources:  map[string]SourceParams{"Arrive": {Rate: 2000, Exponential: true}},
+		NodeTime: map[string]float64{"Critical": serviceMean},
+	})
+	res := s.Run()
+	if res.Throughput < 1.5/serviceMean {
+		t.Errorf("reader throughput = %.1f/s; should scale beyond %.1f/s", res.Throughput, 1/serviceMean)
+	}
+}
+
+// TestErrorProbabilityRoutesFlows: with a 30% error probability, about
+// 30% of flows should end at the error terminal.
+func TestErrorProbabilityRoutesFlows(t *testing.T) {
+	p := compileSrc(t, mm1Src)
+	s := New(p, Params{
+		CPUs: 2, Duration: 200, Warmup: 0, Seed: 13,
+		Sources:   map[string]SourceParams{"Arrive": {Rate: 50, Exponential: true}},
+		NodeTime:  map[string]float64{"Serve": 0.001},
+		ErrorProb: map[string]float64{"Serve": 0.3},
+	})
+	res := s.Run()
+	frac := float64(res.Errored) / float64(res.Flows)
+	if math.Abs(frac-0.3) > 0.05 {
+		t.Errorf("error fraction = %.3f, want ~0.30", frac)
+	}
+}
+
+// TestDeterministicArrivals: with deterministic arrivals below capacity
+// and deterministic-ish service, throughput equals the offered rate.
+func TestDeterministicArrivals(t *testing.T) {
+	p := compileSrc(t, mm1Src)
+	s := New(p, Params{
+		CPUs: 1, Duration: 100, Warmup: 10, Seed: 1,
+		Sources:  map[string]SourceParams{"Arrive": {Rate: 10}},
+		NodeTime: map[string]float64{"Serve": 0.001},
+	})
+	res := s.Run()
+	if math.Abs(res.Throughput-10) > 0.5 {
+		t.Errorf("throughput = %.2f, want 10", res.Throughput)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(vals, 0.5); got != 5 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := percentile(vals, 0.95); got != 10 {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+}
+
+// TestSessionAwareConstraints exercises the §8 extension: with session
+// modeling on, flows in different sessions do not contend on a
+// session-scoped constraint, so throughput scales past the single-lock
+// limit that the conservative global treatment imposes.
+func TestSessionAwareConstraints(t *testing.T) {
+	p := compileSrc(t, `
+Arrive () => (int v);
+Critical (int v) => ();
+source Arrive => Flow;
+Flow = Critical;
+atomic Critical:{mutex(session)};
+session Arrive SessOf;
+`)
+	serviceMean := 0.005
+	base := Params{
+		CPUs: 8, Duration: 60, Warmup: 6, Seed: 17,
+		Sources:  map[string]SourceParams{"Arrive": {Rate: 2000, Exponential: true}},
+		NodeTime: map[string]float64{"Critical": serviceMean},
+	}
+
+	conservative := base
+	global := New(p, conservative).Run()
+	limit := 1 / serviceMean // 200/s with the global lock
+	if global.Throughput > 1.15*limit {
+		t.Errorf("conservative treatment exceeded global-lock limit: %.1f/s > %.1f/s",
+			global.Throughput, limit)
+	}
+
+	sessioned := base
+	sessioned.SessionCount = 64
+	perSession := New(p, sessioned).Run()
+	if perSession.Throughput < 2*limit {
+		t.Errorf("session-aware throughput = %.1f/s; should scale well past %.1f/s",
+			perSession.Throughput, limit)
+	}
+}

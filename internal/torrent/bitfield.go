@@ -1,0 +1,74 @@
+package torrent
+
+// Bitfield is the wire-format piece possession set: one bit per piece,
+// most significant bit first, as exchanged in BitTorrent bitfield
+// messages.
+type Bitfield []byte
+
+// NewBitfield returns an empty bitfield sized for n pieces.
+func NewBitfield(n int) Bitfield {
+	return make(Bitfield, (n+7)/8)
+}
+
+// Has reports whether piece i is set.
+func (b Bitfield) Has(i int) bool {
+	if i < 0 || i/8 >= len(b) {
+		return false
+	}
+	return b[i/8]&(1<<(7-uint(i%8))) != 0
+}
+
+// Set marks piece i present.
+func (b Bitfield) Set(i int) {
+	if i < 0 || i/8 >= len(b) {
+		return
+	}
+	b[i/8] |= 1 << (7 - uint(i%8))
+}
+
+// Clear marks piece i absent.
+func (b Bitfield) Clear(i int) {
+	if i < 0 || i/8 >= len(b) {
+		return
+	}
+	b[i/8] &^= 1 << (7 - uint(i%8))
+}
+
+// Count returns the number of set pieces.
+func (b Bitfield) Count() int {
+	n := 0
+	for _, x := range b {
+		for ; x != 0; x &= x - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Complete reports whether all of the first n pieces are set.
+func (b Bitfield) Complete(n int) bool {
+	for i := 0; i < n; i++ {
+		if !b.Has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the bitfield.
+func (b Bitfield) Clone() Bitfield {
+	out := make(Bitfield, len(b))
+	copy(out, b)
+	return out
+}
+
+// Missing returns the indices of unset pieces among the first n.
+func (b Bitfield) Missing(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if !b.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package torrent implements the BitTorrent substrate the Flux peer is
+// built on: metainfo files, SHA-1 piece verification, bitfields, and a
+// block-granular piece store shared by seeders and leechers.
+package torrent
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+
+	"github.com/flux-lang/flux/internal/bencode"
+)
+
+// HashSize is the size of a SHA-1 piece hash.
+const HashSize = sha1.Size
+
+// BlockSize is the canonical request granularity of the wire protocol
+// (16 KiB).
+const BlockSize = 16384
+
+// MetaInfo is a parsed .torrent file (single-file mode).
+type MetaInfo struct {
+	Announce    string
+	Name        string
+	Length      int64
+	PieceLength int64
+	Pieces      [][HashSize]byte
+	InfoHash    [HashSize]byte
+}
+
+// New computes a MetaInfo over in-memory content, hashing each piece.
+func New(name, announce string, data []byte, pieceLength int64) (*MetaInfo, error) {
+	if pieceLength <= 0 {
+		return nil, errors.New("torrent: piece length must be positive")
+	}
+	m := &MetaInfo{
+		Announce:    announce,
+		Name:        name,
+		Length:      int64(len(data)),
+		PieceLength: pieceLength,
+	}
+	for off := int64(0); off < m.Length; off += pieceLength {
+		end := off + pieceLength
+		if end > m.Length {
+			end = m.Length
+		}
+		m.Pieces = append(m.Pieces, sha1.Sum(data[off:end]))
+	}
+	m.InfoHash = sha1.Sum(m.infoBytes())
+	return m, nil
+}
+
+// infoBytes renders the bencoded info dictionary (the hash pre-image).
+func (m *MetaInfo) infoBytes() []byte {
+	var pieces []byte
+	for _, h := range m.Pieces {
+		pieces = append(pieces, h[:]...)
+	}
+	enc, err := bencode.Encode(map[string]any{
+		"length":       m.Length,
+		"name":         m.Name,
+		"piece length": m.PieceLength,
+		"pieces":       string(pieces),
+	})
+	if err != nil {
+		// The value is built from plain types; Encode cannot fail.
+		panic("torrent: internal encode error: " + err.Error())
+	}
+	return enc
+}
+
+// Encode renders the complete .torrent file.
+func (m *MetaInfo) Encode() []byte {
+	var pieces []byte
+	for _, h := range m.Pieces {
+		pieces = append(pieces, h[:]...)
+	}
+	enc, err := bencode.Encode(map[string]any{
+		"announce": m.Announce,
+		"info": map[string]any{
+			"length":       m.Length,
+			"name":         m.Name,
+			"piece length": m.PieceLength,
+			"pieces":       string(pieces),
+		},
+	})
+	if err != nil {
+		panic("torrent: internal encode error: " + err.Error())
+	}
+	return enc
+}
+
+// Parse reads a .torrent file.
+func Parse(data []byte) (*MetaInfo, error) {
+	v, err := bencode.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("torrent: %w", err)
+	}
+	top, ok := v.(map[string]any)
+	if !ok {
+		return nil, errors.New("torrent: top-level value is not a dictionary")
+	}
+	info, ok := top["info"].(map[string]any)
+	if !ok {
+		return nil, errors.New("torrent: missing info dictionary")
+	}
+	m := &MetaInfo{}
+	m.Announce, _ = top["announce"].(string)
+	m.Name, _ = info["name"].(string)
+	m.Length, ok = info["length"].(int64)
+	if !ok {
+		return nil, errors.New("torrent: missing length")
+	}
+	m.PieceLength, ok = info["piece length"].(int64)
+	if !ok || m.PieceLength <= 0 {
+		return nil, errors.New("torrent: missing or invalid piece length")
+	}
+	pieces, ok := info["pieces"].(string)
+	if !ok || len(pieces)%HashSize != 0 {
+		return nil, errors.New("torrent: malformed pieces string")
+	}
+	for off := 0; off < len(pieces); off += HashSize {
+		var h [HashSize]byte
+		copy(h[:], pieces[off:off+HashSize])
+		m.Pieces = append(m.Pieces, h)
+	}
+	want := (m.Length + m.PieceLength - 1) / m.PieceLength
+	if int64(len(m.Pieces)) != want {
+		return nil, fmt.Errorf("torrent: %d piece hashes for %d pieces", len(m.Pieces), want)
+	}
+	m.InfoHash = sha1.Sum(m.infoBytes())
+	return m, nil
+}
+
+// NumPieces returns the piece count.
+func (m *MetaInfo) NumPieces() int { return len(m.Pieces) }
+
+// PieceSize returns the byte length of piece i (the last piece may be
+// short).
+func (m *MetaInfo) PieceSize(i int) int64 {
+	if i < 0 || i >= len(m.Pieces) {
+		return 0
+	}
+	if i == len(m.Pieces)-1 {
+		if rem := m.Length % m.PieceLength; rem != 0 {
+			return rem
+		}
+	}
+	return m.PieceLength
+}
+
+// VerifyPiece checks data against piece i's hash.
+func (m *MetaInfo) VerifyPiece(i int, data []byte) bool {
+	if i < 0 || i >= len(m.Pieces) {
+		return false
+	}
+	return sha1.Sum(data) == m.Pieces[i]
+}

@@ -1,0 +1,305 @@
+package torrent
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testContent(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, n)
+	rng.Read(data)
+	return data
+}
+
+func TestMetaInfoRoundTrip(t *testing.T) {
+	data := testContent(100_000, 1)
+	m, err := New("test.bin", "http://tracker/announce", data, 16384)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumPieces() != 7 { // ceil(100000/16384)
+		t.Errorf("pieces = %d", m.NumPieces())
+	}
+	enc := m.Encode()
+	m2, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != m.Name || m2.Length != m.Length || m2.PieceLength != m.PieceLength {
+		t.Errorf("round trip mismatch: %+v vs %+v", m2, m)
+	}
+	if m2.InfoHash != m.InfoHash {
+		t.Error("info hash changed across round trip")
+	}
+	if len(m2.Pieces) != len(m.Pieces) {
+		t.Fatalf("piece count mismatch")
+	}
+	for i := range m.Pieces {
+		if m.Pieces[i] != m2.Pieces[i] {
+			t.Errorf("piece hash %d differs", i)
+		}
+	}
+}
+
+func TestPieceSize(t *testing.T) {
+	data := testContent(100_000, 2)
+	m, _ := New("x", "", data, 16384)
+	if got := m.PieceSize(0); got != 16384 {
+		t.Errorf("piece 0 size = %d", got)
+	}
+	if got := m.PieceSize(6); got != 100_000-6*16384 {
+		t.Errorf("last piece size = %d", got)
+	}
+	if got := m.PieceSize(7); got != 0 {
+		t.Errorf("out of range piece size = %d", got)
+	}
+	// Exact multiple: last piece is full-size.
+	m2, _ := New("y", "", testContent(32768, 3), 16384)
+	if got := m2.PieceSize(1); got != 16384 {
+		t.Errorf("exact multiple last piece = %d", got)
+	}
+}
+
+func TestVerifyPiece(t *testing.T) {
+	data := testContent(50_000, 4)
+	m, _ := New("x", "", data, 16384)
+	if !m.VerifyPiece(0, data[:16384]) {
+		t.Error("valid piece rejected")
+	}
+	bad := append([]byte(nil), data[:16384]...)
+	bad[0] ^= 0xFF
+	if m.VerifyPiece(0, bad) {
+		t.Error("corrupt piece accepted")
+	}
+	if m.VerifyPiece(-1, nil) || m.VerifyPiece(99, nil) {
+		t.Error("out-of-range piece accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		[]byte("i42e"),
+		[]byte("de"),
+		[]byte("d4:infodee"),
+		[]byte("d4:infod6:lengthi10e4:name1:x12:piece lengthi0e6:pieces0:ee"),
+		[]byte("d4:infod6:lengthi10e4:name1:x12:piece lengthi4e6:pieces3:abcee"),
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestBitfield(t *testing.T) {
+	b := NewBitfield(10)
+	if len(b) != 2 {
+		t.Fatalf("bitfield bytes = %d", len(b))
+	}
+	b.Set(0)
+	b.Set(9)
+	if !b.Has(0) || !b.Has(9) || b.Has(1) {
+		t.Errorf("bitfield contents wrong: %08b", b)
+	}
+	// MSB-first wire format: piece 0 is bit 7 of byte 0.
+	if b[0] != 0x80 {
+		t.Errorf("byte 0 = %02x, want 80", b[0])
+	}
+	if b.Count() != 2 {
+		t.Errorf("count = %d", b.Count())
+	}
+	if b.Complete(10) {
+		t.Error("incomplete bitfield reported complete")
+	}
+	for i := 0; i < 10; i++ {
+		b.Set(i)
+	}
+	if !b.Complete(10) {
+		t.Error("complete bitfield reported incomplete")
+	}
+	b.Clear(5)
+	if b.Has(5) {
+		t.Error("clear failed")
+	}
+	if got := b.Missing(10); len(got) != 1 || got[0] != 5 {
+		t.Errorf("missing = %v", got)
+	}
+	// Out-of-range operations are no-ops.
+	b.Set(-1)
+	b.Set(1000)
+	if b.Has(-1) || b.Has(1000) {
+		t.Error("out-of-range Has true")
+	}
+}
+
+func TestSeederServesBlocks(t *testing.T) {
+	data := testContent(70_000, 5)
+	m, _ := New("x", "", data, 16384)
+	s, err := NewSeeder(m, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete() {
+		t.Fatal("seeder not complete")
+	}
+	blk, err := s.ReadBlock(1, 0, BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blk, data[16384:2*16384]) {
+		t.Error("block content wrong")
+	}
+	if _, err := s.ReadBlock(0, 0, BlockSize+1); err == nil {
+		t.Error("over-long block read should fail")
+	}
+	if _, err := s.ReadBlock(99, 0, 1); err == nil {
+		t.Error("missing piece read should fail")
+	}
+}
+
+func TestSeederLengthMismatch(t *testing.T) {
+	data := testContent(1000, 6)
+	m, _ := New("x", "", data, 256)
+	if _, err := NewSeeder(m, data[:999]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestLeecherAssemblesAndVerifies(t *testing.T) {
+	data := testContent(70_000, 7)
+	m, _ := New("x", "", data, 32768) // 3 pieces: 32768, 32768, 4464
+	l := NewLeecher(m)
+	if l.Complete() {
+		t.Fatal("fresh leecher complete")
+	}
+	// Transfer every block of every piece (out of order within pieces).
+	for piece := m.NumPieces() - 1; piece >= 0; piece-- {
+		n := l.NumBlocks(piece)
+		for b := n - 1; b >= 0; b-- {
+			begin, length := l.BlockSpec(piece, b)
+			off := int64(piece)*m.PieceLength + begin
+			done, err := l.WriteBlock(piece, begin, data[off:off+length])
+			if err != nil {
+				t.Fatalf("WriteBlock(%d,%d): %v", piece, begin, err)
+			}
+			if done != (b == 0) { // last written block completes the piece
+				t.Errorf("piece %d block %d: completed=%v", piece, b, done)
+			}
+		}
+	}
+	if !l.Complete() {
+		t.Fatal("leecher incomplete after all blocks")
+	}
+	if !bytes.Equal(l.Bytes(), data) {
+		t.Error("assembled content differs from original")
+	}
+}
+
+func TestLeecherRejectsCorruptPiece(t *testing.T) {
+	data := testContent(32768, 8)
+	m, _ := New("x", "", data, 16384)
+	l := NewLeecher(m)
+	bad := append([]byte(nil), data[:16384]...)
+	bad[100] ^= 1
+	if _, err := l.WriteBlock(0, 0, bad); err != ErrBadPiece {
+		t.Errorf("corrupt piece error = %v, want ErrBadPiece", err)
+	}
+	if l.Has(0) {
+		t.Error("corrupt piece marked present")
+	}
+	// The piece can be re-downloaded correctly afterwards.
+	done, err := l.WriteBlock(0, 0, data[:16384])
+	if err != nil || !done {
+		t.Errorf("retry = %v, %v", done, err)
+	}
+	if !l.Has(0) {
+		t.Error("retried piece not present")
+	}
+}
+
+func TestWriteBlockValidation(t *testing.T) {
+	data := testContent(32768, 9)
+	m, _ := New("x", "", data, 16384)
+	l := NewLeecher(m)
+	if _, err := l.WriteBlock(5, 0, data[:10]); err == nil {
+		t.Error("bad piece index accepted")
+	}
+	if _, err := l.WriteBlock(0, 3, data[:10]); err == nil {
+		t.Error("misaligned begin accepted")
+	}
+	if _, err := l.WriteBlock(0, 0, data); err == nil {
+		t.Error("oversized block accepted")
+	}
+	// Duplicate write of a verified piece is ignored.
+	if _, err := l.WriteBlock(0, 0, data[:16384]); err != nil {
+		t.Fatal(err)
+	}
+	done, err := l.WriteBlock(0, 0, data[:16384])
+	if err != nil || done {
+		t.Errorf("duplicate verified write = %v, %v", done, err)
+	}
+}
+
+// TestQuickBitfield: Set/Has agree for arbitrary indices.
+func TestQuickBitfield(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitfield(4096)
+		set := map[int]bool{}
+		for _, i := range idxs {
+			idx := int(i) % 4096
+			b.Set(idx)
+			set[idx] = true
+		}
+		if b.Count() != len(set) {
+			return false
+		}
+		for i := range set {
+			if !b.Has(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickStoreRoundTrip: random content, random piece length, block
+// transfer in random order reassembles exactly.
+func TestQuickStoreRoundTrip(t *testing.T) {
+	f := func(seed int64, sz uint16, plShift uint8) bool {
+		n := int(sz)%50000 + 1
+		pl := int64(1024 << (plShift % 5)) // 1K..16K
+		data := testContent(n, seed)
+		m, err := New("q", "", data, pl)
+		if err != nil {
+			return false
+		}
+		l := NewLeecher(m)
+		rng := rand.New(rand.NewSource(seed))
+		type blockRef struct{ piece, block int }
+		var blocks []blockRef
+		for p := 0; p < m.NumPieces(); p++ {
+			for b := 0; b < l.NumBlocks(p); b++ {
+				blocks = append(blocks, blockRef{p, b})
+			}
+		}
+		rng.Shuffle(len(blocks), func(i, j int) { blocks[i], blocks[j] = blocks[j], blocks[i] })
+		for _, br := range blocks {
+			begin, length := l.BlockSpec(br.piece, br.block)
+			off := int64(br.piece)*m.PieceLength + begin
+			if _, err := l.WriteBlock(br.piece, begin, data[off:off+length]); err != nil {
+				return false
+			}
+		}
+		return l.Complete() && bytes.Equal(l.Bytes(), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
