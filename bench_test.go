@@ -1,8 +1,9 @@
 // Package flux benchmarks: one testing.B entry point per table and
-// figure of the paper's evaluation, plus the ablation benches DESIGN.md
-// calls out. These are scaled to testing.B budgets; cmd/fluxbench runs
-// the full sweeps and prints the paper-style tables (see EXPERIMENTS.md
-// for measured-vs-paper results).
+// figure of the paper's evaluation, plus ablation benches (lock
+// granularity, reader/writer modes, profiling overhead). These are
+// scaled to testing.B budgets; cmd/fluxbench runs the full sweeps and
+// prints the paper-style tables (see EXPERIMENTS.md for how to run them
+// and where measured numbers land).
 package flux_test
 
 import (

@@ -1,0 +1,3 @@
+module github.com/flux-lang/flux
+
+go 1.22

@@ -59,6 +59,10 @@ type FlatEdge struct {
 
 // FlatNode is a vertex of the flattened executable graph.
 type FlatNode struct {
+	// ID is the vertex's dense per-graph index: FlatGraph.Nodes[ID] is
+	// this vertex. Runtimes rely on the density to build flat
+	// per-vertex dispatch tables indexed by ID instead of maps keyed by
+	// vertex pointer.
 	ID   int
 	Kind FlatKind
 	// Node is the program-graph node this vertex came from: the concrete

@@ -49,6 +49,30 @@ func TestFlattenImageServerShape(t *testing.T) {
 	}
 }
 
+// TestFlattenAssignsDenseIDs guards the invariant runtimes index their
+// per-vertex dispatch tables by: every vertex's ID is its position in
+// FlatGraph.Nodes, with no gaps, and edges only reference vertices of
+// the same graph.
+func TestFlattenAssignsDenseIDs(t *testing.T) {
+	p := compile(t, imageServerSrc)
+	for name, g := range p.Graphs {
+		byID := make(map[int]*FlatNode, len(g.Nodes))
+		for i, v := range g.Nodes {
+			if v.ID != i {
+				t.Fatalf("graph %q: Nodes[%d].ID = %d, want %d", name, i, v.ID, i)
+			}
+			byID[v.ID] = v
+		}
+		for _, v := range g.Nodes {
+			for _, e := range v.Edges() {
+				if byID[e.To.ID] != e.To {
+					t.Fatalf("graph %q: edge from %q targets vertex outside the graph", name, v.Label())
+				}
+			}
+		}
+	}
+}
+
 func TestFlattenEntryIsReadRequest(t *testing.T) {
 	g := imageGraph(t)
 	if g.Entry.Kind != FlatExec || g.Entry.Node.Name != "ReadRequest" {

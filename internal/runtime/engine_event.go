@@ -10,8 +10,10 @@ import (
 	"github.com/flux-lang/flux/internal/core"
 )
 
-// The event-driven runtime (§3.2.2). Every input to a node is an event on
-// a queue handled by a dispatcher that must never block:
+// The event-driven runtime (§3.2.2). Flows advance on a dispatcher that
+// must never block, in run-to-block segments: consecutive non-blocking
+// vertices execute inline in one dispatch, and a flow yields to the
+// queue only when it must —
 //
 //   - source nodes are repeatedly re-queued to originate new flows; they
 //     poll with a deadline (the select-with-timeout pattern the paper's
@@ -30,12 +32,15 @@ import (
 //   - async completions signal Flow.Wake, so a source poll in progress
 //     yields immediately instead of holding the dispatcher for its full
 //     timeout (the paper's single select sees all activity at once).
+//
+// Run-to-block dispatch removes one queue round trip per vertex: an
+// N-node non-blocking flow costs one queue trip total, not N.
 
 type eventKind int
 
 const (
 	evSource eventKind = iota // poll a source for the next record
-	evStep                    // execute one vertex of a flow
+	evStep                    // resume a flow at a vertex
 	evResult                  // apply the result of an offloaded node
 )
 
@@ -43,15 +48,17 @@ type event struct {
 	kind eventKind
 	st   *sourceState
 
+	// fl doubles as the flow being advanced (evStep/evResult) and the
+	// reusable poll context of an evSource event, so idle polling does
+	// not allocate a fresh Flow per ErrNoData round.
 	fl  *Flow
-	g   *core.FlatGraph
+	tbl *graphTable
 	v   *core.FlatNode
 	rec Record
 
 	// acquired tracks progress through an acquire vertex's constraint
-	// set across TryAcquire retries.
+	// set across parked-grant resumptions.
 	acquired int
-	retries  int
 
 	// out and err carry an offloaded node's results.
 	out Record
@@ -140,10 +147,10 @@ func (e *eventEngine) dispatch() {
 		case evSource:
 			e.handleSource(ev)
 		case evStep:
-			e.step(ev)
+			e.run(ev.fl, ev.tbl, ev.v, ev.rec, ev.acquired)
 		case evResult:
-			r := e.s.afterExec(ev.fl, ev.g, ev.v, ev.rec, ev.out, ev.err)
-			e.advance(ev.fl, ev.g, r)
+			r := e.s.afterExec(ev.fl, ev.v, ev.rec, ev.out, ev.err)
+			e.run(ev.fl, ev.tbl, r.next, r.rec, 0)
 		}
 		e.maybeFinish()
 	}
@@ -157,15 +164,27 @@ func (e *eventEngine) maybeFinish() {
 	}
 }
 
-// handleSource polls a source once and re-queues it.
+// retireSource ends a source's polling loop, releasing its poll context.
+func (e *eventEngine) retireSource(ev event) {
+	if ev.fl != nil {
+		e.s.freeFlow(ev.fl)
+	}
+	e.sources.Add(-1)
+}
+
+// handleSource polls a source once and re-queues it. The evSource event
+// owns a reusable poll Flow, so an idle source cycling through ErrNoData
+// allocates nothing.
 func (e *eventEngine) handleSource(ev event) {
 	if e.ctx.Err() != nil {
-		e.sources.Add(-1)
+		e.retireSource(ev)
 		return
 	}
-	fl := e.s.newFlow(e.ctx, 0)
-	fl.SourceTimeout = e.s.cfg.SourceTimeout
-	fl.Wake = e.wake
+	if ev.fl == nil {
+		ev.fl = e.s.newFlow(e.ctx, 0)
+		ev.fl.SourceTimeout = e.s.cfg.SourceTimeout
+		ev.fl.Wake = e.wake
+	}
 	// A poll must return promptly when the engine already has work;
 	// pre-arm the wake signal so a well-behaved source's select fires
 	// immediately.
@@ -174,15 +193,18 @@ func (e *eventEngine) handleSource(ev event) {
 		e.signalWake()
 	}
 	t0 := time.Now()
-	rec, err := ev.st.fn(fl)
+	rec, err := ev.st.fn(ev.fl)
 	switch {
 	case err == nil:
 		e.s.stats.Started.Add(1)
 		flow := e.s.newFlow(e.ctx, ev.st.sessionOf(rec))
 		flow.SourceTimeout = e.s.cfg.SourceTimeout
 		e.inflight.Add(1)
-		e.queue.push(event{kind: evStep, fl: flow, g: ev.st.graph, v: ev.st.graph.Entry, rec: rec})
+		// Re-queue the source first, then run the new flow inline until
+		// it blocks: the next dispatch iteration polls the source again,
+		// so flow execution and admission interleave at flow granularity.
 		e.queue.push(ev)
+		e.run(flow, ev.st.tbl, ev.st.tbl.g.Entry, rec, 0)
 	case errors.Is(err, ErrNoData):
 		// Guard against sources that return early instead of waiting
 		// out their deadline: an idle queue would otherwise hot-spin.
@@ -196,10 +218,10 @@ func (e *eventEngine) handleSource(ev event) {
 	case errors.Is(err, ErrStop),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
-		e.sources.Add(-1)
+		e.retireSource(ev)
 	default:
 		e.s.stats.NodeErrors.Add(1)
-		e.sources.Add(-1)
+		e.retireSource(ev)
 	}
 }
 
@@ -215,67 +237,69 @@ func (e *eventEngine) sleepWakeable(d time.Duration) {
 	}
 }
 
-// step executes one vertex on the dispatcher.
-func (e *eventEngine) step(ev event) {
+// run executes consecutive vertices of one flow inline — run-to-block —
+// returning only when the flow offloads a blocking node, parks on a
+// contended constraint, or terminates. acquired carries a parked acquire
+// vertex's progress through its constraint set.
+func (e *eventEngine) run(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record, acquired int) {
 	s := e.s
-	fl, g, v := ev.fl, ev.g, ev.v
-	switch v.Kind {
-	case core.FlatExec:
-		info := s.execs[v]
-		if info.blocking {
-			// Capture the node's state and move on; an async worker
-			// will run it and queue the continuation (§3.2.2).
-			e.asyncq.push(ev)
-			return
-		}
-		out, err := s.callNode(fl, g, v, ev.rec)
-		e.advance(fl, g, s.afterExec(fl, g, v, ev.rec, out, err))
-
-	case core.FlatBranch:
-		e.advance(fl, g, s.branchVertex(fl, g, v, ev.rec))
-
-	case core.FlatAcquire:
-		i := ev.acquired
-		for i < len(v.Cons) {
-			next := i + 1
-			cont := ev
-			cont.acquired = next
-			// Park the flow on the lock's FIFO queue when the
-			// constraint is contended: the grant callback re-queues the
-			// continuation. Arrival-order grants keep timer flows from
-			// being starved by a stream of later acquirers.
-			if !s.locks.AcquireAsync(fl, v.Cons[i], func() { e.pushEvent(cont) }) {
+	for {
+		switch v.Kind {
+		case core.FlatExec:
+			info := &tbl.info[v.ID]
+			if info.blocking {
+				// Capture the node's state and move on; an async worker
+				// will run it and queue the continuation (§3.2.2).
+				e.asyncq.push(event{kind: evStep, fl: fl, tbl: tbl, v: v, rec: rec})
 				return
 			}
-			i++
+			out, err := s.callNode(fl, tbl, v, rec)
+			r := s.afterExec(fl, v, rec, out, err)
+			v, rec = r.next, r.rec
+
+		case core.FlatBranch:
+			r := s.branchVertex(fl, tbl, v, rec)
+			if r.terminal {
+				e.inflight.Add(-1)
+				s.freeFlow(fl)
+				return
+			}
+			v, rec = r.next, r.rec
+
+		case core.FlatAcquire:
+			info := &tbl.info[v.ID]
+			for acquired < len(info.cons) {
+				rc := info.cons[acquired]
+				// Uncontended grants take the closure-free fast path;
+				// otherwise park the flow on the lock's FIFO queue and
+				// let the grant callback re-queue the continuation.
+				// Arrival-order grants keep timer flows from being
+				// starved by a stream of later acquirers.
+				if s.locks.tryAcquireResolved(fl, rc) {
+					acquired++
+					continue
+				}
+				cont := event{kind: evStep, fl: fl, tbl: tbl, v: v, rec: rec, acquired: acquired + 1}
+				if !s.locks.parkResolved(fl, rc, func() { e.pushEvent(cont) }) {
+					return
+				}
+				acquired++
+			}
+			acquired = 0
+			fl.path += v.Out[0].Inc
+			v = v.Out[0].To
+
+		case core.FlatRelease:
+			s.locks.releaseN(fl, len(v.Cons))
+			fl.path += v.Out[0].Inc
+			v = v.Out[0].To
+
+		case core.FlatExit, core.FlatError:
+			s.finishFlow(fl, tbl.g, v)
+			e.inflight.Add(-1)
+			s.freeFlow(fl)
+			return
 		}
-		fl.path += v.Out[0].Inc
-		e.advance(fl, g, stepResult{next: v.Out[0].To, rec: ev.rec})
-
-	case core.FlatRelease:
-		s.locks.ReleaseSet(fl, v.Cons)
-		fl.path += v.Out[0].Inc
-		e.advance(fl, g, stepResult{next: v.Out[0].To, rec: ev.rec})
-
-	case core.FlatExit, core.FlatError:
-		s.finishFlow(fl, g, v)
-		e.inflight.Add(-1)
-	}
-}
-
-// advance queues the next vertex of a flow, or retires it.
-func (e *eventEngine) advance(fl *Flow, g *core.FlatGraph, r stepResult) {
-	if r.terminal {
-		e.inflight.Add(-1)
-		return
-	}
-	switch r.next.Kind {
-	case core.FlatExit, core.FlatError:
-		// Finish inline rather than paying another queue round-trip.
-		e.s.finishFlow(fl, g, r.next)
-		e.inflight.Add(-1)
-	default:
-		e.queue.push(event{kind: evStep, fl: fl, g: g, v: r.next, rec: r.rec})
 	}
 }
 
@@ -286,7 +310,7 @@ func (e *eventEngine) asyncWorker() {
 		if !ok {
 			return
 		}
-		out, err := e.s.callNode(ev.fl, ev.g, ev.v, ev.rec)
+		out, err := e.s.callNode(ev.fl, ev.tbl, ev.v, ev.rec)
 		ev.kind = evResult
 		ev.out, ev.err = out, err
 		e.pushEvent(ev)

@@ -12,6 +12,12 @@ type pooledFlow struct {
 	rec Record
 }
 
+// poolBatch is how many queued admissions a worker claims per queue
+// round trip. Batching amortizes the queue mutex under backlog; under
+// light load popBatch returns what is available (usually one), so idle
+// workers still pick up new arrivals immediately.
+const poolBatch = 8
+
 // runPool implements the thread-pool runtime (§3.2.1): a fixed number of
 // workers service flows; a flow created while every worker is busy queues
 // and is handled in first-in first-out order.
@@ -22,13 +28,18 @@ func (s *Server) runPool(ctx context.Context) error {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
+			buf := make([]pooledFlow, poolBatch)
 			for {
-				pf, ok := queue.pop()
+				n, ok := queue.popBatch(buf)
 				if !ok {
 					return
 				}
-				fl := s.newFlow(ctx, pf.st.sessionOf(pf.rec))
-				s.runFlow(fl, pf.st.graph, pf.rec)
+				for i := 0; i < n; i++ {
+					pf := buf[i]
+					buf[i] = pooledFlow{} // release the record for GC
+					fl := s.newFlow(ctx, pf.st.sessionOf(pf.rec))
+					s.runFlow(fl, pf.st.tbl, pf.rec)
+				}
 			}
 		}()
 	}
@@ -38,11 +49,14 @@ func (s *Server) runPool(ctx context.Context) error {
 		sources.Add(1)
 		go func(st *sourceState) {
 			defer sources.Done()
+			// One poll context serves every iteration of this source
+			// loop; admitted records are handed flows by the workers.
+			fl := s.newFlow(ctx, 0)
+			defer s.freeFlow(fl)
 			for {
 				if ctx.Err() != nil {
 					return
 				}
-				fl := s.newFlow(ctx, 0)
 				rec, err := st.fn(fl)
 				switch {
 				case err == nil:

@@ -14,25 +14,32 @@ func (s *Server) runThreaded(ctx context.Context) error {
 	var flows sync.WaitGroup
 	var sources sync.WaitGroup
 
+	// Hoisted so spawning a flow copies plain arguments instead of
+	// allocating a fresh closure per request.
+	runOne := func(flow *Flow, tbl *graphTable, rec Record) {
+		defer flows.Done()
+		s.runFlow(flow, tbl, rec)
+	}
+
 	for _, st := range s.srcs {
 		sources.Add(1)
 		go func(st *sourceState) {
 			defer sources.Done()
+			// One poll context serves every iteration of this source
+			// loop; only accepted records get a flow of their own.
+			fl := s.newFlow(ctx, 0)
+			defer s.freeFlow(fl)
 			for {
 				if ctx.Err() != nil {
 					return
 				}
-				fl := s.newFlow(ctx, 0)
 				rec, err := st.fn(fl)
 				switch {
 				case err == nil:
 					s.stats.Started.Add(1)
 					flow := s.newFlow(ctx, st.sessionOf(rec))
 					flows.Add(1)
-					go func() {
-						defer flows.Done()
-						s.runFlow(flow, st.graph, rec)
-					}()
+					go runOne(flow, st.tbl, rec)
 				case errors.Is(err, ErrNoData):
 					continue
 				case errors.Is(err, ErrStop):

@@ -13,7 +13,19 @@ import (
 // the canonical order computed by the compiler and release them in
 // reverse (two-phase locking, §2.5); combined with acyclic flows this
 // makes deadlock impossible (§3.1.1).
+//
+// The table is sharded so concurrent flows resolving unrelated
+// constraints do not serialize on one mutex, and global (non-session)
+// constraints can be resolved once at server construction (Resolve) so
+// the hot path skips the table entirely.
 type LockManager struct {
+	shards [lockShardCount]lockShard
+}
+
+// lockShardCount must be a power of two.
+const lockShardCount = 32
+
+type lockShard struct {
 	mu    sync.Mutex
 	locks map[lockKey]*rwReentrant
 }
@@ -23,21 +35,108 @@ type lockKey struct {
 	session uint64 // 0 for global constraints
 }
 
+// hash spreads keys across shards (FNV-1a over the name, session mixed
+// in).
+func (k lockKey) hash() uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.name); i++ {
+		h ^= uint64(k.name[i])
+		h *= 1099511628211
+	}
+	h ^= k.session
+	h *= 1099511628211
+	return h
+}
+
 // NewLockManager returns an empty lock table; locks are created on first
 // acquisition.
 func NewLockManager() *LockManager {
-	return &LockManager{locks: make(map[lockKey]*rwReentrant)}
+	m := &LockManager{}
+	for i := range m.shards {
+		m.shards[i].locks = make(map[lockKey]*rwReentrant)
+	}
+	return m
 }
 
 func (m *LockManager) lock(key lockKey) *rwReentrant {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	l, ok := m.locks[key]
+	sh := &m.shards[key.hash()&(lockShardCount-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	l, ok := sh.locks[key]
 	if !ok {
 		l = newRWReentrant(key.name)
-		m.locks[key] = l
+		sh.locks[key] = l
 	}
 	return l
+}
+
+// resolvedCon is a constraint prepared for repeated acquisition: the
+// writer-mode test is precomputed and, for global constraints, the lock
+// pointer is resolved once so acquisition skips the table lookup.
+// Session-scoped constraints keep lock == nil — their identity depends
+// on the acquiring flow's session id.
+type resolvedCon struct {
+	c     ast.Constraint
+	write bool
+	lock  *rwReentrant
+}
+
+// Resolve prepares a constraint for repeated acquisition. Servers call
+// it once per acquire/release vertex at construction time.
+func (m *LockManager) Resolve(c ast.Constraint) resolvedCon {
+	rc := resolvedCon{c: c, write: c.Mode == ast.Writer}
+	if !c.Session {
+		rc.lock = m.lock(lockKey{name: c.Name})
+	}
+	return rc
+}
+
+// resolveFor returns the lock for a resolved constraint in the context
+// of a flow (session-scoped constraints shard by the flow's session id).
+func (m *LockManager) resolveFor(rc resolvedCon, fl *Flow) *rwReentrant {
+	if rc.lock != nil {
+		return rc.lock
+	}
+	return m.lock(lockKey{name: rc.c.Name, session: fl.Session})
+}
+
+// acquireResolved blocks until the flow holds the constraint (the
+// pre-resolved fast path of Acquire).
+func (m *LockManager) acquireResolved(fl *Flow, rc resolvedCon) {
+	l := m.resolveFor(rc, fl)
+	l.acquire(fl, rc.write)
+	fl.held = append(fl.held, heldToken{lock: l, c: rc.c})
+}
+
+// tryAcquireResolved is the uncontended fast path of an asynchronous
+// acquisition: it grants immediately — without constructing a resume
+// closure — exactly when AcquireAsync would have (fairness included: it
+// refuses to overtake parked waiters). On false the caller builds its
+// continuation and parks with parkResolved.
+func (m *LockManager) tryAcquireResolved(fl *Flow, rc resolvedCon) bool {
+	l := m.resolveFor(rc, fl)
+	if !l.tryAcquireFair(fl, rc.write) {
+		return false
+	}
+	fl.held = append(fl.held, heldToken{lock: l, c: rc.c})
+	return true
+}
+
+// parkResolved completes an asynchronous acquisition after
+// tryAcquireResolved failed: it re-attempts (the lock may have been
+// released in between) and otherwise parks the flow FIFO. Semantics
+// match AcquireAsync: true means acquired now; false means resume will
+// run — with the constraint held — when the lock is granted.
+func (m *LockManager) parkResolved(fl *Flow, rc resolvedCon, resume func()) bool {
+	l := m.resolveFor(rc, fl)
+	granted := l.acquireAsync(fl, rc.write, func() {
+		fl.held = append(fl.held, heldToken{lock: l, c: rc.c})
+		resume()
+	})
+	if granted {
+		fl.held = append(fl.held, heldToken{lock: l, c: rc.c})
+	}
+	return granted
 }
 
 // key resolves the lock identity for a constraint in the context of a
@@ -92,7 +191,12 @@ func (m *LockManager) AcquireAsync(fl *Flow, c ast.Constraint, resume func()) bo
 // order. The compiler guarantees acquire/release bracketing, so the tail
 // of the flow's held stack is exactly the set being released.
 func (m *LockManager) ReleaseSet(fl *Flow, cs []ast.Constraint) {
-	for i := 0; i < len(cs); i++ {
+	m.releaseN(fl, len(cs))
+}
+
+// releaseN pops the flow's n most recent acquisitions.
+func (m *LockManager) releaseN(fl *Flow, n int) {
+	for i := 0; i < n; i++ {
 		fl.releaseTop()
 	}
 }
@@ -161,6 +265,30 @@ func (l *rwReentrant) tryAcquire(fl *Flow, write bool) bool {
 	return l.grantLocked(fl, write)
 }
 
+// grantFairLocked is the immediate-grant policy shared by acquireAsync
+// and tryAcquireFair; callers hold l.mu. Reentrant reacquisition always
+// grants (the flow already holds the lock); any other grant must not
+// overtake parked waiters.
+func (l *rwReentrant) grantFairLocked(fl *Flow, write bool) bool {
+	if l.writer == fl || (!write && l.readers[fl] > 0) {
+		return l.grantLocked(fl, write)
+	}
+	if len(l.waiters) == 0 {
+		return l.grantLocked(fl, write)
+	}
+	return false
+}
+
+// tryAcquireFair is tryAcquire with asynchronous-waiter fairness: it
+// grants exactly when acquireAsync's immediate path would. This lets
+// callers probe for the common uncontended grant without building a
+// continuation first.
+func (l *rwReentrant) tryAcquireFair(fl *Flow, write bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.grantFairLocked(fl, write)
+}
+
 // acquireAsync acquires immediately (returning true without calling
 // grant) or parks the flow FIFO (queueing grant, returning false).
 // Arrivals behind parked waiters queue rather than overtaking, keeping
@@ -168,12 +296,7 @@ func (l *rwReentrant) tryAcquire(fl *Flow, write bool) bool {
 func (l *rwReentrant) acquireAsync(fl *Flow, write bool, grant func()) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	// Reentrant reacquisition must never queue behind other flows (the
-	// flow already holds the lock).
-	if l.writer == fl || (!write && l.readers[fl] > 0) {
-		return l.grantLocked(fl, write)
-	}
-	if len(l.waiters) == 0 && l.grantLocked(fl, write) {
+	if l.grantFairLocked(fl, write) {
 		return true
 	}
 	if write && l.readers[fl] > 0 {

@@ -6,16 +6,38 @@ import "sync"
 // admission (flows queue when all workers are busy, §3.2.1) and for the
 // event engine's event queue (§3.2.2). A channel would impose a fixed
 // capacity; the paper's queues are unbounded.
+//
+// Storage is a linked list of fixed-size chunks. Compared with a
+// compact-by-copy slice, a chunk ring never copies queued items to
+// reclaim space, steady-state operation recycles one spare chunk instead
+// of reallocating, and memory returns to the allocator as the queue
+// drains instead of pinning the high-water mark.
+const fifoChunkSize = 64
+
+type fifoChunk[T any] struct {
+	buf  [fifoChunkSize]T
+	next *fifoChunk[T]
+}
+
 type fifo[T any] struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []T
-	head   int
-	closed bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	// head is the chunk being popped from (read cursor hi), tail the
+	// chunk being pushed to (write cursor ti). head == tail when the
+	// queue fits in one chunk.
+	head, tail *fifoChunk[T]
+	hi, ti     int
+	size       int
+	closed     bool
+	// spare recycles the most recently drained chunk so a steady
+	// producer/consumer pair allocates nothing.
+	spare *fifoChunk[T]
 }
 
 func newFIFO[T any]() *fifo[T] {
 	q := &fifo[T]{}
+	c := &fifoChunk[T]{}
+	q.head, q.tail = c, c
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -24,10 +46,41 @@ func newFIFO[T any]() *fifo[T] {
 func (q *fifo[T]) push(v T) {
 	q.mu.Lock()
 	if !q.closed {
-		q.items = append(q.items, v)
+		if q.ti == fifoChunkSize {
+			c := q.spare
+			if c != nil {
+				q.spare = nil
+			} else {
+				c = &fifoChunk[T]{}
+			}
+			q.tail.next = c
+			q.tail = c
+			q.ti = 0
+		}
+		q.tail.buf[q.ti] = v
+		q.ti++
+		q.size++
 		q.cond.Signal()
 	}
 	q.mu.Unlock()
+}
+
+// popOneLocked removes and returns the head item; the caller holds q.mu
+// and guarantees size > 0.
+func (q *fifo[T]) popOneLocked() T {
+	if q.hi == fifoChunkSize {
+		old := q.head
+		q.head = old.next
+		old.next = nil
+		q.spare = old // keep one drained chunk for reuse; extras are GC'd
+		q.hi = 0
+	}
+	v := q.head.buf[q.hi]
+	var zero T
+	q.head.buf[q.hi] = zero // release for GC
+	q.hi++
+	q.size--
+	return v
 }
 
 // pop blocks until an item is available or the queue is closed and
@@ -35,45 +88,52 @@ func (q *fifo[T]) push(v T) {
 func (q *fifo[T]) pop() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for q.head >= len(q.items) && !q.closed {
+	for q.size == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if q.head >= len(q.items) {
+	if q.size == 0 {
 		return v, false
 	}
-	v = q.items[q.head]
-	var zero T
-	q.items[q.head] = zero // release for GC
-	q.head++
-	// Compact occasionally so the backing array does not grow without
-	// bound on long-running servers.
-	if q.head > 1024 && q.head*2 >= len(q.items) {
-		n := copy(q.items, q.items[q.head:])
-		q.items = q.items[:n]
-		q.head = 0
+	return q.popOneLocked(), true
+}
+
+// popBatch fills buf with up to len(buf) items in FIFO order, blocking
+// until at least one is available. It returns n == 0, ok == false only
+// when the queue is closed and drained. Batch popping amortizes the
+// queue's mutex over several items for pool workers draining a backlog;
+// with a short queue it degenerates to pop (n == 1), so idle workers are
+// not starved by one worker grabbing everything.
+func (q *fifo[T]) popBatch(buf []T) (n int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.size == 0 && !q.closed {
+		q.cond.Wait()
 	}
-	return v, true
+	if q.size == 0 {
+		return 0, false
+	}
+	for n < len(buf) && q.size > 0 {
+		buf[n] = q.popOneLocked()
+		n++
+	}
+	return n, true
 }
 
 // tryPop is the non-blocking variant.
 func (q *fifo[T]) tryPop() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.head >= len(q.items) {
+	if q.size == 0 {
 		return v, false
 	}
-	v = q.items[q.head]
-	var zero T
-	q.items[q.head] = zero
-	q.head++
-	return v, true
+	return q.popOneLocked(), true
 }
 
 // len reports the current queue length.
 func (q *fifo[T]) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items) - q.head
+	return q.size
 }
 
 // close wakes all waiters; pending items remain poppable.

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -132,12 +133,27 @@ type predCheck struct {
 	fn  PredicateFunc
 }
 
-// execInfo caches the lookup for one exec vertex.
-type execInfo struct {
+// vertexInfo is the pre-resolved execution state for one flat-graph
+// vertex, stored in a per-graph slice indexed by core.FlatNode.ID. The
+// hot path indexes this table instead of chasing map buckets keyed by
+// vertex pointer.
+type vertexInfo struct {
+	// exec vertices
 	fn       NodeFunc
 	blocking bool
 	outArity int
 	isSink   bool
+	// branch vertices
+	cases []compiledCase
+	// acquire/release vertices: constraints with global locks resolved
+	// to their *rwReentrant once, at server construction.
+	cons []resolvedCon
+}
+
+// graphTable pairs a flat graph with its dense vertex-info table.
+type graphTable struct {
+	g    *core.FlatGraph
+	info []vertexInfo
 }
 
 // Server executes one compiled Flux program on a chosen engine.
@@ -151,12 +167,12 @@ type Server struct {
 	// srcs lists the per-source execution state in declaration order.
 	srcs []*sourceState
 
-	execs    map[*core.FlatNode]*execInfo
-	branches map[*core.FlatNode][]compiledCase
+	// tables holds one dense vertex table per flat graph.
+	tables map[*core.FlatGraph]*graphTable
 }
 
 type sourceState struct {
-	graph   *core.FlatGraph
+	tbl     *graphTable
 	name    string
 	fn      SourceFunc
 	session SessionFunc // nil when the source has no session function
@@ -169,39 +185,61 @@ func NewServer(prog *core.Program, b *Bindings, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		prog:     prog,
-		b:        b,
-		cfg:      cfg.withDefaults(),
-		locks:    NewLockManager(),
-		execs:    make(map[*core.FlatNode]*execInfo),
-		branches: make(map[*core.FlatNode][]compiledCase),
+		prog:   prog,
+		b:      b,
+		cfg:    cfg.withDefaults(),
+		locks:  NewLockManager(),
+		tables: make(map[*core.FlatGraph]*graphTable),
 	}
 	for _, src := range prog.Sources {
 		g := prog.Graphs[src.Node.Name]
-		st := &sourceState{graph: g, name: src.Node.Name, fn: b.sources[src.Node.Name]}
+		tbl, err := s.buildTable(g)
+		if err != nil {
+			return nil, err
+		}
+		st := &sourceState{tbl: tbl, name: src.Node.Name, fn: b.sources[src.Node.Name]}
 		if fname, ok := prog.Sessions[src.Node.Name]; ok {
 			st.session = b.sessions[fname]
 		}
 		s.srcs = append(s.srcs, st)
-		for _, v := range g.Nodes {
-			switch v.Kind {
-			case core.FlatExec:
-				s.execs[v] = &execInfo{
-					fn:       b.nodes[v.Node.Name],
-					blocking: b.blocking[v.Node.Name],
-					outArity: len(v.Node.Out),
-					isSink:   v.Node.IsSink(),
-				}
-			case core.FlatBranch:
-				cc, err := s.compileBranch(v)
-				if err != nil {
-					return nil, err
-				}
-				s.branches[v] = cc
+	}
+	return s, nil
+}
+
+// buildTable resolves every vertex of a graph into its dense info slot.
+// Graph flattening assigns IDs densely (Nodes[v.ID] == v), so the table
+// is exactly len(g.Nodes) entries.
+func (s *Server) buildTable(g *core.FlatGraph) (*graphTable, error) {
+	if tbl, ok := s.tables[g]; ok {
+		return tbl, nil
+	}
+	tbl := &graphTable{g: g, info: make([]vertexInfo, len(g.Nodes))}
+	for _, v := range g.Nodes {
+		vi := &tbl.info[v.ID]
+		switch v.Kind {
+		case core.FlatExec:
+			vi.fn = s.b.nodes[v.Node.Name]
+			vi.blocking = s.b.blocking[v.Node.Name]
+			vi.outArity = len(v.Node.Out)
+			vi.isSink = v.Node.IsSink()
+		case core.FlatBranch:
+			cc, err := s.compileBranch(v)
+			if err != nil {
+				return nil, err
+			}
+			vi.cases = cc
+		case core.FlatAcquire:
+			// Release vertices need only the constraint count (the held
+			// stack's tail is the set being released), so resolution is
+			// acquire-side only.
+			vi.cons = make([]resolvedCon, len(v.Cons))
+			for i, c := range v.Cons {
+				vi.cons[i] = s.locks.Resolve(c)
 			}
 		}
 	}
-	return s, nil
+	s.tables[g] = tbl
+	return tbl, nil
 }
 
 func (s *Server) compileBranch(v *core.FlatNode) ([]compiledCase, error) {
@@ -246,9 +284,38 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 }
 
-// newFlow creates the per-request context.
+// flowPool recycles Flow objects across requests; each pooled flow keeps
+// its held-lock stack's backing array, so a steady-state server runs
+// request flows without a single heap allocation in the coordination
+// layer.
+var flowPool = sync.Pool{
+	New: func() any { return &Flow{held: make([]heldToken, 0, 4)} },
+}
+
+// newFlow creates (or recycles) the per-request context.
 func (s *Server) newFlow(ctx context.Context, session uint64) *Flow {
-	return &Flow{Ctx: ctx, Session: session, start: time.Now(), srv: s}
+	fl := flowPool.Get().(*Flow)
+	fl.Ctx = ctx
+	fl.Session = session
+	fl.srv = s
+	if s.cfg.Profiler != nil {
+		fl.start = time.Now()
+	}
+	return fl
+}
+
+// freeFlow returns a retired flow to the pool. Callers guarantee no
+// reference survives: the flow has reached a terminal (all locks
+// released) or was a source poll context that is no longer in use.
+func (s *Server) freeFlow(fl *Flow) {
+	fl.Ctx = nil
+	fl.Session = 0
+	fl.SourceTimeout = 0
+	fl.Wake = nil
+	fl.path = 0
+	fl.srv = nil
+	fl.held = fl.held[:0]
+	flowPool.Put(fl)
 }
 
 // sessionOf computes the session id for a fresh source record.
@@ -271,8 +338,8 @@ type stepResult struct {
 // callNode invokes an exec vertex's node function with profiling and
 // arity validation. It performs no flow-state transition, so the event
 // engine can run it on an async worker while the dispatcher continues.
-func (s *Server) callNode(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Record) (Record, error) {
-	info := s.execs[v]
+func (s *Server) callNode(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record) (Record, error) {
+	info := &tbl.info[v.ID]
 	var t0 time.Time
 	prof := s.cfg.Profiler
 	if prof != nil {
@@ -280,7 +347,7 @@ func (s *Server) callNode(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Rec
 	}
 	out, err := info.fn(fl, rec)
 	if prof != nil {
-		prof.NodeDone(g, v, time.Since(t0))
+		prof.NodeDone(tbl.g, v, time.Since(t0))
 	}
 	if err == nil && !info.isSink && len(out) != info.outArity {
 		s.stats.ArityErrors.Add(1)
@@ -293,8 +360,7 @@ func (s *Server) callNode(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Rec
 // afterExec performs the post-execution transition for an exec vertex:
 // the normal edge on success, the error edge (with lock unwind) on
 // failure, or the folded handler edge when both coincide.
-func (s *Server) afterExec(fl *Flow, g *core.FlatGraph, v *core.FlatNode, in, out Record, err error) stepResult {
-	_ = g
+func (s *Server) afterExec(fl *Flow, v *core.FlatNode, in, out Record, err error) stepResult {
 	if err != nil {
 		s.stats.NodeErrors.Add(1)
 		if v.ErrEdge != nil {
@@ -314,15 +380,15 @@ func (s *Server) afterExec(fl *Flow, g *core.FlatGraph, v *core.FlatNode, in, ou
 }
 
 // execVertex is the blocking engines' combined call-and-transition.
-func (s *Server) execVertex(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Record) stepResult {
-	out, err := s.callNode(fl, g, v, rec)
-	return s.afterExec(fl, g, v, rec, out, err)
+func (s *Server) execVertex(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record) stepResult {
+	out, err := s.callNode(fl, tbl, v, rec)
+	return s.afterExec(fl, v, rec, out, err)
 }
 
 // branchVertex evaluates dispatch cases in order and follows the first
 // match (§2.3). A record matching no case terminates the flow ("dropped").
-func (s *Server) branchVertex(fl *Flow, g *core.FlatGraph, v *core.FlatNode, rec Record) stepResult {
-	for _, c := range s.branches[v] {
+func (s *Server) branchVertex(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record) stepResult {
+	for _, c := range tbl.info[v.ID].cases {
 		matched := true
 		for _, chk := range c.checks {
 			if chk.arg >= len(rec) || !chk.fn(rec[chk.arg]) {
@@ -357,33 +423,36 @@ func (s *Server) finishFlow(fl *Flow, g *core.FlatGraph, v *core.FlatNode) {
 	}
 }
 
-// runFlow walks a flow to completion, blocking on locks as needed. Used
-// by the threaded and pool engines.
-func (s *Server) runFlow(fl *Flow, g *core.FlatGraph, rec Record) {
-	v := g.Entry
+// runFlow walks a flow to completion, blocking on locks as needed, and
+// retires the flow (returning it to the pool). Used by the threaded and
+// pool engines.
+func (s *Server) runFlow(fl *Flow, tbl *graphTable, rec Record) {
+	v := tbl.g.Entry
 	for {
 		switch v.Kind {
 		case core.FlatExec:
-			r := s.execVertex(fl, g, v, rec)
+			r := s.execVertex(fl, tbl, v, rec)
 			v, rec = r.next, r.rec
 		case core.FlatBranch:
-			r := s.branchVertex(fl, g, v, rec)
+			r := s.branchVertex(fl, tbl, v, rec)
 			if r.terminal {
+				s.freeFlow(fl)
 				return
 			}
 			v, rec = r.next, r.rec
 		case core.FlatAcquire:
-			for _, c := range v.Cons {
-				s.locks.Acquire(fl, c)
+			for _, rc := range tbl.info[v.ID].cons {
+				s.locks.acquireResolved(fl, rc)
 			}
 			fl.path += v.Out[0].Inc
 			v = v.Out[0].To
 		case core.FlatRelease:
-			s.locks.ReleaseSet(fl, v.Cons)
+			s.locks.releaseN(fl, len(v.Cons))
 			fl.path += v.Out[0].Inc
 			v = v.Out[0].To
 		case core.FlatExit, core.FlatError:
-			s.finishFlow(fl, g, v)
+			s.finishFlow(fl, tbl.g, v)
+			s.freeFlow(fl)
 			return
 		}
 	}

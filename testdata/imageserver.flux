@@ -1,0 +1,34 @@
+// concrete node signatures
+Listen () => (conn socket);
+ReadRequest (conn socket) => (conn socket, bool close, image_tag *request);
+CheckCache (conn socket, bool close, image_tag *request)
+  => (conn socket, bool close, image_tag *request);
+ReadInFromDisk (conn socket, bool close, image_tag *request)
+  => (conn socket, bool close, image_tag *request, rgb *rgb_data);
+Compress (conn socket, bool close, image_tag *request, rgb *rgb_data)
+  => (conn socket, bool close, image_tag *request);
+StoreInCache (conn socket, bool close, image_tag *request)
+  => (conn socket, bool close, image_tag *request);
+Write (conn socket, bool close, image_tag *request)
+  => (conn socket, bool close, image_tag *request);
+Complete (conn socket, bool close, image_tag *request) => ();
+FourOhFour (conn socket, bool close, image_tag *request) => ();
+
+// source node
+source Listen => Image;
+
+// abstract node
+Image = ReadRequest -> CheckCache -> Handler -> Write -> Complete;
+
+// predicate type & dispatch
+typedef hit TestInCache;
+Handler:[_, _, hit] = ;
+Handler:[_, _, _] = ReadInFromDisk -> Compress -> StoreInCache;
+
+// error handler
+handle error ReadInFromDisk => FourOhFour;
+
+// atomicity constraints
+atomic CheckCache:{cache};
+atomic StoreInCache:{cache};
+atomic Complete:{cache};
