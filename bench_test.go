@@ -442,7 +442,8 @@ Flow = Work -> Done;
 				}).
 				BindNode("Work", func(fl *flux.Flow, in flux.Record) (flux.Record, error) { return in, nil }).
 				BindNode("Done", func(fl *flux.Flow, in flux.Record) (flux.Record, error) { return nil, nil })
-			srv, err := flux.NewServer(prog, bind, flux.Config{Kind: kind, PoolSize: 8, SourceTimeout: time.Millisecond})
+			srv, err := flux.New(prog, bind, flux.WithEngine(kind), flux.WithPoolSize(8),
+				flux.WithSourceTimeout(time.Millisecond))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,158 @@
+// Command benchdiff compares two `go test -bench` outputs and fails on
+// hot-path regressions: ns/op above a threshold, or any increase in
+// allocs/op. It is the CI gate keeping the runtime's zero-allocation
+// flow path honest — a self-contained benchstat substitute with a
+// pass/fail exit code, needing nothing outside the repository.
+//
+//	go test -run=NONE -bench=. -benchmem -count=5 ./internal/runtime/ > old.txt   # at the base commit
+//	go test -run=NONE -bench=. -benchmem -count=5 ./internal/runtime/ > new.txt   # at HEAD
+//	go run ./cmd/benchdiff -old old.txt -new new.txt -threshold 0.10
+//
+// Each benchmark's repetitions collapse to the minimum ns/op and the
+// maximum allocs/op: the minimum time is the least-noisy estimate of
+// the code's true cost, while allocations are deterministic and any
+// repetition allocating is a real regression.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// result aggregates one benchmark's repetitions.
+type result struct {
+	ns     float64
+	allocs float64
+	seen   bool
+}
+
+// benchLine matches "BenchmarkName-8  1000  123.4 ns/op  0 B/op  0 allocs/op"
+// (the -procs suffix, B/op and allocs/op columns optional).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+func parse(r io.Reader) (map[string]*result, error) {
+	out := make(map[string]*result)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		allocs := 0.0
+		if m[4] != "" {
+			allocs, _ = strconv.ParseFloat(m[4], 64)
+		}
+		res := out[name]
+		if res == nil {
+			res = &result{ns: ns, allocs: allocs, seen: true}
+			out[name] = res
+			continue
+		}
+		if ns < res.ns {
+			res.ns = ns
+		}
+		if allocs > res.allocs {
+			res.allocs = allocs
+		}
+	}
+	return out, sc.Err()
+}
+
+func parseFile(path string) (map[string]*result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+// compare reports regressions of new against old. Benchmarks present in
+// only one file are reported but never fail the run (they were added or
+// removed by the change under review).
+func compare(old, new map[string]*result, threshold, minNs float64, w io.Writer) (regressions int) {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-55s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o := old[name]
+		n, ok := new[name]
+		if !ok {
+			fmt.Fprintf(w, "%-55s %12.1f %12s %8s\n", name, o.ns, "gone", "")
+			continue
+		}
+		delta := 0.0
+		if o.ns > 0 {
+			delta = (n.ns - o.ns) / o.ns
+		}
+		verdict := ""
+		// Sub-minNs benchmarks are timer-noise territory; judge them on
+		// allocations only.
+		if n.ns > o.ns*(1+threshold) && o.ns >= minNs {
+			verdict = "  REGRESSION(time)"
+			regressions++
+		}
+		if n.allocs > o.allocs {
+			verdict += fmt.Sprintf("  REGRESSION(allocs %v -> %v)", o.allocs, n.allocs)
+			regressions++
+		}
+		fmt.Fprintf(w, "%-55s %12.1f %12.1f %+7.1f%%%s\n", name, o.ns, n.ns, 100*delta, verdict)
+	}
+	for name := range new {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(w, "%-55s %12s %12.1f %8s\n", name, "new", new[name].ns, "")
+		}
+	}
+	return regressions
+}
+
+func main() {
+	oldPath := flag.String("old", "", "benchmark output at the base commit")
+	newPath := flag.String("new", "", "benchmark output at the candidate commit")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional ns/op growth")
+	minNs := flag.Float64("min-ns", 50, "ignore time deltas on benchmarks faster than this (noise floor)")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -old old.txt -new new.txt [-threshold 0.10]")
+		os.Exit(2)
+	}
+	old, err := parseFile(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines in -new; did the candidate bench run fail?")
+		os.Exit(2)
+	}
+	if len(old) == 0 {
+		// The base commit has no matching benchmarks (renamed, or it
+		// predates them): nothing to compare is not a regression.
+		fmt.Println("benchdiff: no benchmark lines in -old (base has no matching benchmarks); nothing to compare")
+		return
+	}
+	if n := compare(old, cur, *threshold, *minNs, os.Stdout); n > 0 {
+		fmt.Printf("\n%d regression(s) beyond +%.0f%% ns/op or allocs/op growth\n", n, 100**threshold)
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions")
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldBench = `
+goos: linux
+BenchmarkFlowOverhead/thread-8         	 1000000	      1100.0 ns/op	      72 B/op	       1 allocs/op
+BenchmarkFlowOverhead/thread-8         	 1000000	      1050.0 ns/op	      70 B/op	       1 allocs/op
+BenchmarkFlowOverhead/threadpool-8     	 5000000	       240.0 ns/op	      35 B/op	       0 allocs/op
+BenchmarkFlowOverhead/threadpool-8     	 5000000	       232.0 ns/op	      35 B/op	       0 allocs/op
+BenchmarkFlowOverhead/event-8          	 4000000	       271.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkTiny-8                        	90000000	        12.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func parseStr(t *testing.T, s string) map[string]*result {
+	t.Helper()
+	m, err := parse(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseTakesMinNsMaxAllocs(t *testing.T) {
+	m := parseStr(t, oldBench)
+	if len(m) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(m), m)
+	}
+	th := m["BenchmarkFlowOverhead/thread"]
+	if th == nil || th.ns != 1050.0 || th.allocs != 1 {
+		t.Errorf("thread = %+v, want min ns 1050 / allocs 1", th)
+	}
+	tp := m["BenchmarkFlowOverhead/threadpool"]
+	if tp == nil || tp.ns != 232.0 || tp.allocs != 0 {
+		t.Errorf("threadpool = %+v", tp)
+	}
+}
+
+func TestCompareFlagsTimeRegression(t *testing.T) {
+	old := parseStr(t, oldBench)
+	cur := parseStr(t, strings.ReplaceAll(oldBench, "271.0 ns/op", "340.0 ns/op"))
+	var sb strings.Builder
+	if n := compare(old, cur, 0.10, 50, &sb); n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION(time)") {
+		t.Errorf("report missing time regression:\n%s", sb.String())
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	old := parseStr(t, oldBench)
+	cur := parseStr(t, strings.ReplaceAll(oldBench,
+		"271.0 ns/op	       0 B/op	       0 allocs/op",
+		"271.0 ns/op	      16 B/op	       1 allocs/op"))
+	var sb strings.Builder
+	if n := compare(old, cur, 0.10, 50, &sb); n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION(allocs") {
+		t.Errorf("report missing alloc regression:\n%s", sb.String())
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	old := parseStr(t, oldBench)
+	cur := parseStr(t, strings.ReplaceAll(oldBench, "271.0 ns/op", "290.0 ns/op")) // +7%
+	var sb strings.Builder
+	if n := compare(old, cur, 0.10, 50, &sb); n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, sb.String())
+	}
+}
+
+func TestCompareIgnoresNoiseFloor(t *testing.T) {
+	old := parseStr(t, oldBench)
+	// +50% on a 12ns benchmark: below the noise floor, judged on allocs
+	// only.
+	cur := parseStr(t, strings.ReplaceAll(oldBench, "12.0 ns/op", "18.0 ns/op"))
+	var sb strings.Builder
+	if n := compare(old, cur, 0.10, 50, &sb); n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, sb.String())
+	}
+}
+
+func TestCompareAddedRemovedNeverFail(t *testing.T) {
+	old := parseStr(t, oldBench)
+	cur := parseStr(t, oldBench+`
+BenchmarkBrandNew-8  1000  999.0 ns/op  0 B/op  0 allocs/op
+`)
+	delete(cur, "BenchmarkTiny")
+	var sb strings.Builder
+	if n := compare(old, cur, 0.10, 50, &sb); n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "gone") || !strings.Contains(out, "BenchmarkBrandNew") {
+		t.Errorf("report missing added/removed rows:\n%s", out)
+	}
+}

@@ -128,10 +128,11 @@ func btTargets() []btTarget {
 			if err != nil {
 				return "", nil, err
 			}
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			go func() { defer close(done); _ = srv.Run(ctx) }()
-			return srv.Addr(), func() { cancel(); <-done }, nil
+			stop, err := startTarget(srv)
+			if err != nil {
+				return "", nil, err
+			}
+			return srv.Addr(), stop, nil
 		}
 	}
 	return []btTarget{
@@ -143,10 +144,11 @@ func btTargets() []btTarget {
 			if err != nil {
 				return "", nil, err
 			}
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			go func() { defer close(done); _ = srv.Run(ctx) }()
-			return srv.Addr(), func() { cancel(); <-done }, nil
+			stop, err := startTarget(srv)
+			if err != nil {
+				return "", nil, err
+			}
+			return srv.Addr(), stop, nil
 		}},
 	}
 }
@@ -170,9 +172,10 @@ func expProfile(cfg benchConfig) error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() { defer close(done); _ = srv.Run(ctx) }()
+	stop, err := startTarget(srv)
+	if err != nil {
+		return err
+	}
 
 	duration := 5 * time.Second
 	clients := 25
@@ -187,8 +190,7 @@ func expProfile(cfg benchConfig) error {
 		Warmup:   duration / 5,
 		Seed:     25,
 	})
-	cancel()
-	<-done
+	stop()
 
 	fmt.Printf("load: %d clients, %v — %s\n\n", clients, duration, res)
 	g := srv.Program().Graphs["Poll"]

@@ -49,9 +49,10 @@ func expGame(cfg benchConfig) error {
 			if err != nil {
 				return err
 			}
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			go func() { defer close(done); _ = srv.Run(ctx) }()
+			stop, err := startTarget(srv)
+			if err != nil {
+				return err
+			}
 
 			res := loadgen.RunGameLoad(context.Background(), loadgen.GameClientConfig{
 				Addr:     srv.Addr(),
@@ -62,8 +63,7 @@ func expGame(cfg benchConfig) error {
 				Seed:     int64(n),
 			})
 			_, meanTurn := srv.TickStats()
-			cancel()
-			<-done
+			stop()
 			fmt.Printf("  %-10d %-18v %-18v %-14d\n",
 				n, res.InterArrival.P95.Round(time.Millisecond), meanTurn, res.StatesReceived)
 		}

@@ -110,9 +110,10 @@ func profileImageServer(prof *flux.Profiler, compressWork, duration time.Duratio
 	if err != nil {
 		return nil, 0, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() { defer close(done); _ = srv.Run(ctx) }()
+	stop, err := startTarget(srv)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	rate := 0.5 / compressWork.Seconds() / 4 // ~half capacity
 	loadgen.RunImageLoad(context.Background(), loadgen.ImageClientConfig{
@@ -122,8 +123,7 @@ func profileImageServer(prof *flux.Profiler, compressWork, duration time.Duratio
 		Warmup:   duration / 5,
 		Seed:     3,
 	})
-	cancel()
-	<-done
+	stop()
 	return srv.Program(), rate, nil
 }
 
@@ -139,9 +139,10 @@ func measureImageServer(compressWork time.Duration, offered float64, duration ti
 	if err != nil {
 		return 0, err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	done := make(chan struct{})
-	go func() { defer close(done); _ = srv.Run(ctx) }()
+	stop, err := startTarget(srv)
+	if err != nil {
+		return 0, err
+	}
 	res := loadgen.RunImageLoad(context.Background(), loadgen.ImageClientConfig{
 		Addr:        srv.Addr(),
 		Rate:        offered,
@@ -150,7 +151,6 @@ func measureImageServer(compressWork time.Duration, offered float64, duration ti
 		Seed:        4,
 		MaxInFlight: 512,
 	})
-	cancel()
-	<-done
+	stop()
 	return res.Throughput, nil
 }

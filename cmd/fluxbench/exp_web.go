@@ -96,6 +96,26 @@ func expFigure3(cfg benchConfig) error {
 	return nil
 }
 
+// lifecycleServer is the Start/Shutdown surface every target — Flux or
+// baseline — now exposes; the harness drives them uniformly.
+type lifecycleServer interface {
+	Start(ctx context.Context) error
+	Shutdown(ctx context.Context) error
+}
+
+// startTarget starts a server and returns the stop hook: a graceful
+// shutdown bounded by a drain deadline.
+func startTarget(srv lifecycleServer) (func(), error) {
+	if err := srv.Start(context.Background()); err != nil {
+		return nil, err
+	}
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}, nil
+}
+
 func webTargets(files *loadgen.FileSet) []webTarget {
 	fluxStart := func(kind flux.EngineKind) func(*loadgen.FileSet) (string, func(), error) {
 		return func(files *loadgen.FileSet) (string, func(), error) {
@@ -108,10 +128,11 @@ func webTargets(files *loadgen.FileSet) []webTarget {
 			if err != nil {
 				return "", nil, err
 			}
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			go func() { defer close(done); _ = srv.Run(ctx) }()
-			return srv.Addr(), func() { cancel(); <-done }, nil
+			stop, err := startTarget(srv)
+			if err != nil {
+				return "", nil, err
+			}
+			return srv.Addr(), stop, nil
 		}
 	}
 	return []webTarget{
@@ -123,20 +144,22 @@ func webTargets(files *loadgen.FileSet) []webTarget {
 			if err != nil {
 				return "", nil, err
 			}
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			go func() { defer close(done); _ = srv.Run(ctx) }()
-			return srv.Addr(), func() { cancel(); <-done }, nil
+			stop, err := startTarget(srv)
+			if err != nil {
+				return "", nil, err
+			}
+			return srv.Addr(), stop, nil
 		}},
 		{"haboob-like", func(files *loadgen.FileSet) (string, func(), error) {
 			srv, err := sedaweb.New(sedaweb.Config{Files: files, WorkersPerStage: 4, QueueDepth: 64})
 			if err != nil {
 				return "", nil, err
 			}
-			ctx, cancel := context.WithCancel(context.Background())
-			done := make(chan struct{})
-			go func() { defer close(done); _ = srv.Run(ctx) }()
-			return srv.Addr(), func() { cancel(); <-done }, nil
+			stop, err := startTarget(srv)
+			if err != nil {
+				return "", nil, err
+			}
+			return srv.Addr(), stop, nil
 		}},
 	}
 }

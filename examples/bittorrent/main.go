@@ -54,7 +54,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go seeder.Run(ctx)
+	if err := seeder.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("seeder: ", seeder.Addr())
 
 	// Leecher: an empty Flux peer that finds the seeder via the tracker.
@@ -67,7 +69,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go leecher.Run(ctx)
+	if err := leecher.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("leecher:", leecher.Addr())
 
 	start := time.Now()
@@ -84,4 +88,14 @@ func main() {
 	mbps := float64(*size) * 8 / 1e6 / elapsed.Seconds()
 	fmt.Printf("\ndownload complete and verified in %v (%.0f Mb/s); seeder served %d bytes\n",
 		elapsed.Round(time.Millisecond), mbps, seeder.BytesServed())
+
+	// Tear the swarm down gracefully: leecher first, then seeder.
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := leecher.Shutdown(shCtx); err != nil {
+		log.Printf("leecher shutdown: %v", err)
+	}
+	if err := seeder.Shutdown(shCtx); err != nil {
+		log.Printf("seeder shutdown: %v", err)
+	}
 }

@@ -32,8 +32,9 @@ func main() {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- srv.Run(ctx) }()
+	if err := srv.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("tag server on udp://%s, %d players joining...\n", srv.Addr(), *players)
 
 	res := loadgen.RunGameLoad(ctx, loadgen.GameClientConfig{
@@ -50,6 +51,9 @@ func main() {
 	if res.InterArrival.Count > 0 {
 		fmt.Printf("heartbeat p95 inter-arrival at clients: %v\n", res.InterArrival.P95)
 	}
-	cancel()
-	<-done
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -45,12 +46,16 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- srv.Run(ctx) }()
+	if err := srv.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
 
 	if !*demo {
 		log.Println("serving until interrupted; GET /img<0-4>/<1-8>")
-		<-done
+		// Interrupt cancels the context; that is the clean exit here.
+		if err := srv.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -80,8 +85,12 @@ func main() {
 		fmt.Printf("  %d CPU(s): %6.1f req/s  (mean latency %.1fms, utilization %.0f%%)\n",
 			cpus, r.Throughput, 1000*r.MeanLatency, 100*r.Utilization)
 	}
-	cancel()
-	<-done
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }
 
 func engineKind(s string) flux.EngineKind {

@@ -78,11 +78,16 @@ func main() {
 
 	// The same program runs on any engine; try flux.EventDriven or
 	// flux.ThreadPerFlow.
-	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPool, PoolSize: 4})
+	srv, err := flux.New(prog, b, flux.WithEngine(flux.ThreadPool), flux.WithPoolSize(4))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := srv.Run(context.Background()); err != nil {
+	// Start/Wait is the server lifecycle; a bounded workload like this
+	// one ends on its own when the source reports ErrStop.
+	if err := srv.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
 		log.Fatal(err)
 	}
 	st := srv.Stats().Snapshot()

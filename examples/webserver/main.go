@@ -9,6 +9,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -43,11 +44,15 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
-	done := make(chan error, 1)
-	go func() { done <- srv.Run(ctx) }()
+	if err := srv.Start(ctx); err != nil {
+		log.Fatal(err)
+	}
 
 	if !*demo {
-		<-done
+		// Interrupt cancels the context; that is the clean exit here.
+		if err := srv.Wait(); err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -63,8 +68,13 @@ func main() {
 	fmt.Printf("\n16-client SPECweb-like load: %s\n", res)
 	hits, misses, evictions := srv.CacheStats()
 	fmt.Printf("cache: %d hits, %d misses, %d evictions\n", hits, misses, evictions)
-	cancel()
-	<-done
+
+	// Graceful teardown: stop admission, drain in-flight requests.
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
 }
 
 func engineKind(s string) flux.EngineKind {

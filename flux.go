@@ -19,20 +19,41 @@
 // an executable graph, and numbers every path with the Ball-Larus
 // algorithm for profiling (§5.2).
 //
-// The compiled program runs unchanged on three runtimes (§3.2):
-// goroutine-per-flow, a fixed pool with FIFO admission, and an
-// event-driven engine whose dispatcher never blocks. It can also be fed
-// to the discrete-event simulator to predict server performance on
-// hypothetical hardware before deployment (§5.1).
+// The compiled program runs unchanged on interchangeable runtime
+// engines (§3.2): goroutine-per-flow, a fixed pool with FIFO admission,
+// and an event-driven engine whose dispatcher never blocks — all behind
+// the runtime's Engine interface, so further engines plug in without
+// touching the server. It can also be fed to the discrete-event
+// simulator to predict server performance on hypothetical hardware
+// before deployment (§5.1).
 //
 // # Quick start
+//
+// A server is configured with functional options and driven through an
+// explicit lifecycle — Start launches the engine, Shutdown stops
+// admission and drains in-flight flows under a deadline, Wait blocks
+// until the run ends:
 //
 //	prog, err := flux.Compile("hello.flux", src)
 //	b := flux.NewBindings().
 //	        BindSource("Listen", listen).
 //	        BindNode("Handle", handle)
-//	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPool})
-//	err = srv.Run(ctx)
+//	srv, err := flux.New(prog, b, flux.WithEngine(flux.ThreadPool))
+//	if err := srv.Start(ctx); err != nil { ... }
+//	// ... serve traffic; srv.Inject can admit records from outside ...
+//	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	if err := srv.Shutdown(shCtx); err != nil { ... } // deadline hit, flows still draining
+//	err = srv.Wait()
+//
+// Bounded workloads (and tests) can use srv.Run(ctx), which is Start
+// followed by Wait: it returns once every source reports ErrStop and
+// the last flow drains.
+//
+// Observability is one plane: the always-on Stats counters, and an
+// optional Observer (flow terminals including drops and errors, node
+// completions, engine queue-depth samples) attached with WithObserver;
+// the §5.2 path profiler joins the same plane through WithProfiler.
 //
 // See examples/ for complete servers: the paper's image-compression
 // server (Figure 2), an HTTP/1.1 web server, a BitTorrent peer
@@ -61,6 +82,10 @@ type Warning = core.Warning
 // FlatGraph is one source's flattened, path-numbered executable flow.
 type FlatGraph = core.FlatGraph
 
+// FlatNode is one vertex of a flattened flow, as seen by Observer and
+// Profiler callbacks.
+type FlatNode = core.FlatNode
+
 // Compile parses and analyzes a Flux program. The name appears in
 // diagnostics. Compilation warnings are available on the returned
 // program's Warnings field.
@@ -88,14 +113,25 @@ type (
 	SessionFunc = runtime.SessionFunc
 	// Bindings associates Flux names with Go implementations.
 	Bindings = runtime.Bindings
-	// Config selects and tunes a runtime engine.
-	Config = runtime.Config
-	// Server executes a compiled program on an engine.
+	// Server executes a compiled program on an engine; it is driven
+	// through Start, Shutdown, Wait, Inject — or Run for bounded work.
 	Server = runtime.Server
-	// Stats holds a server's flow counters.
-	Stats = runtime.Stats
-	// EngineKind selects one of the three runtime systems of §3.2.
+	// Option configures a Server (see the With* constructors).
+	Option = runtime.Option
+	// Engine is the pluggable execution strategy behind a Server; new
+	// engines register with RegisterEngine.
+	Engine = runtime.Engine
+	// EngineKind selects a registered engine.
 	EngineKind = runtime.EngineKind
+	// Stats holds a server's always-on flow counters.
+	Stats = runtime.Stats
+	// StatsSnapshot is a point-in-time copy of Stats.
+	StatsSnapshot = runtime.StatsSnapshot
+	// Observer is the unified observability plane: flow terminals
+	// (including drops and errors), node completions, queue depths.
+	Observer = runtime.Observer
+	// FlowOutcome classifies how a flow ended.
+	FlowOutcome = runtime.FlowOutcome
 )
 
 // Engine kinds (§3.2).
@@ -109,23 +145,78 @@ const (
 	EventDriven = runtime.EventDriven
 )
 
-// Sentinel errors for source functions.
+// Flow outcomes, as reported to Observer.FlowDone.
+const (
+	// FlowCompleted reached the exit terminal.
+	FlowCompleted = runtime.FlowCompleted
+	// FlowErrored reached the error terminal.
+	FlowErrored = runtime.FlowErrored
+	// FlowDropped matched no dispatch case.
+	FlowDropped = runtime.FlowDropped
+)
+
+// Sentinel errors.
 var (
 	// ErrStop tells the engine a source is exhausted.
 	ErrStop = runtime.ErrStop
 	// ErrNoData tells the engine a polling source found nothing before
 	// its deadline.
 	ErrNoData = runtime.ErrNoData
+	// ErrServerClosed is returned by Inject once the server stops
+	// admitting flows.
+	ErrServerClosed = runtime.ErrServerClosed
 )
 
 // NewBindings returns an empty binding set.
 func NewBindings() *Bindings { return runtime.NewBindings() }
 
-// NewServer validates the bindings against the program and prepares a
-// server; Run starts it.
-func NewServer(p *Program, b *Bindings, cfg Config) (*Server, error) {
-	return runtime.NewServer(p, b, cfg)
+// New validates the bindings against the program and prepares a server
+// configured by functional options; the server is inert until Start (or
+// Run). With no options it is a thread-per-flow server with no observer.
+func New(p *Program, b *Bindings, opts ...Option) (*Server, error) {
+	return runtime.New(p, b, opts...)
 }
+
+// Server options.
+var (
+	// WithEngine selects the runtime system (§3.2) — any registered
+	// kind; default ThreadPerFlow.
+	WithEngine = runtime.WithEngine
+	// WithPoolSize sets the thread-pool worker count (default
+	// 4×GOMAXPROCS).
+	WithPoolSize = runtime.WithPoolSize
+	// WithDispatchers sets the event-loop count (default 1).
+	WithDispatchers = runtime.WithDispatchers
+	// WithAsyncWorkers sizes the event engine's blocking-call offload
+	// pool (default 16).
+	WithAsyncWorkers = runtime.WithAsyncWorkers
+	// WithSourceTimeout sets the event engine's source polling deadline
+	// (default 20ms).
+	WithSourceTimeout = runtime.WithSourceTimeout
+	// WithProfiler attaches a §5.2 path/node profiler.
+	WithProfiler = runtime.WithProfiler
+	// WithObserver attaches an observer to the unified plane.
+	WithObserver = runtime.WithObserver
+	// WithKeepAlive keeps the server admitting Inject flows after its
+	// sources are exhausted, until Shutdown.
+	WithKeepAlive = runtime.WithKeepAlive
+	// WithQueueSampleInterval sets the queue-depth sampling period
+	// (default 100ms; active only with an observer).
+	WithQueueSampleInterval = runtime.WithQueueSampleInterval
+)
+
+// RegisterEngine makes a new engine selectable through WithEngine —
+// the extension point behind the three built-in runtimes.
+func RegisterEngine(kind EngineKind, name string, factory runtime.EngineFactory) {
+	runtime.RegisterEngine(kind, name, factory)
+}
+
+// ParseEngineKind resolves an engine name ("thread", "threadpool",
+// "event", ...) to its kind — the inverse of EngineKind.String.
+func ParseEngineKind(name string) (EngineKind, bool) { return runtime.ParseEngineKind(name) }
+
+// MultiObserver combines observers into one, skipping nils.
+func MultiObserver(obs ...Observer) Observer { return runtime.MultiObserver(obs...) }
 
 // IntervalSource builds a source firing every interval — deadline-aware
 // so timer flows never wedge the event engine's dispatcher.
@@ -152,7 +243,8 @@ const (
 	ByMeanTime = profile.ByMeanTime
 )
 
-// NewProfiler returns an empty path profiler; pass it in Config.Profiler.
+// NewProfiler returns an empty path profiler; attach it with
+// WithProfiler.
 func NewProfiler() *Profiler { return profile.New() }
 
 // Simulation (§5.1).

@@ -53,11 +53,14 @@ func TestCompileAndRunPublicAPI(t *testing.T) {
 			sunk.Add(1)
 			return nil, nil
 		})
-	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPool, PoolSize: 4})
+	srv, err := flux.New(prog, b, flux.WithEngine(flux.ThreadPool), flux.WithPoolSize(4))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := srv.Run(context.Background()); err != nil {
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
 		t.Fatal(err)
 	}
 	if sunk.Load() != 20 {
@@ -94,7 +97,7 @@ Flow = Sink;
 			return flux.Record{1}, nil
 		}).
 		BindNode("Sink", func(fl *flux.Flow, in flux.Record) (flux.Record, error) { return nil, nil })
-	srv, err := flux.NewServer(prog, b, flux.Config{Kind: flux.ThreadPerFlow, Profiler: prof})
+	srv, err := flux.New(prog, b, flux.WithEngine(flux.ThreadPerFlow), flux.WithProfiler(prof))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,3 +162,77 @@ func TestIntervalSourcePublicAPI(t *testing.T) {
 		t.Error("interval source fired early")
 	}
 }
+
+// TestLifecycleAndObserverPublicAPI drives the full redesigned surface:
+// options, Start, Inject with KeepAlive, graceful Shutdown, Wait, and
+// the unified observer plane.
+func TestLifecycleAndObserverPublicAPI(t *testing.T) {
+	prog, err := flux.Compile("l.flux", `
+Gen () => (int v);
+Sink (int v) => ();
+source Gen => Flow;
+Flow = Sink;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var outcomes atomic.Int64
+	obs := countingObserver{n: &outcomes}
+	var sunk atomic.Int64
+	b := flux.NewBindings().
+		BindSource("Gen", func(fl *flux.Flow) (flux.Record, error) {
+			return nil, flux.ErrStop
+		}).
+		BindNode("Sink", func(fl *flux.Flow, in flux.Record) (flux.Record, error) {
+			sunk.Add(1)
+			return nil, nil
+		})
+	srv, err := flux.New(prog, b,
+		flux.WithEngine(flux.EventDriven),
+		flux.WithSourceTimeout(time.Millisecond),
+		flux.WithKeepAlive(),
+		flux.WithObserver(obs),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := srv.Inject("Gen", flux.Record{i}); err != nil {
+			t.Fatalf("Inject: %v", err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if sunk.Load() != 10 {
+		t.Errorf("sink executions = %d, want 10", sunk.Load())
+	}
+	if outcomes.Load() != 10 {
+		t.Errorf("observer FlowDone count = %d, want 10", outcomes.Load())
+	}
+	if err := srv.Inject("Gen", flux.Record{1}); err != flux.ErrServerClosed {
+		t.Errorf("Inject after Shutdown = %v, want ErrServerClosed", err)
+	}
+	k, ok := flux.ParseEngineKind("event")
+	if !ok || k != flux.EventDriven {
+		t.Errorf("ParseEngineKind(event) = %v, %v", k, ok)
+	}
+}
+
+// countingObserver counts FlowDone events through the public Observer
+// type.
+type countingObserver struct{ n *atomic.Int64 }
+
+func (c countingObserver) FlowDone(*flux.FlatGraph, uint64, flux.FlowOutcome, time.Duration) {
+	c.n.Add(1)
+}
+func (c countingObserver) NodeDone(*flux.FlatGraph, *flux.FlatNode, time.Duration) {}
+func (c countingObserver) QueueDepth(flux.EngineKind, string, int)                 {}

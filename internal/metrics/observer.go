@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/runtime"
+)
+
+// FlowObserver bridges the runtime's unified Observer plane into this
+// package's measurement plumbing — the replacement for the ad-hoc
+// wiring where harnesses sampled Stats counters and timed requests
+// client-side. Attached with WithObserver, it records:
+//
+//   - per-flow latency (every outcome) into a LatencyRecorder,
+//   - completed-flow throughput into a Throughput window, and
+//   - per-queue depth high-water marks from the engines' samplers.
+//
+// All methods are safe for concurrent use. Zero-valued fields are
+// skipped, so a harness can attach only the recorders it needs.
+type FlowObserver struct {
+	// Latency, when non-nil, receives every flow's elapsed time.
+	Latency *LatencyRecorder
+	// Completed, when non-nil, counts flows reaching the exit terminal
+	// (one op, zero bytes; byte accounting stays with the harness).
+	Completed *Throughput
+
+	mu       sync.Mutex
+	maxDepth map[string]int
+}
+
+// NewFlowObserver returns an observer recording latency and completion
+// throughput.
+func NewFlowObserver() *FlowObserver {
+	return &FlowObserver{Latency: NewLatencyRecorder(), Completed: NewThroughput()}
+}
+
+// FlowDone implements runtime.Observer.
+func (o *FlowObserver) FlowDone(_ *core.FlatGraph, _ uint64, outcome runtime.FlowOutcome, elapsed time.Duration) {
+	if o.Latency != nil {
+		o.Latency.Record(elapsed)
+	}
+	if o.Completed != nil && outcome == runtime.FlowCompleted {
+		o.Completed.Add(1, 0)
+	}
+}
+
+// NodeDone implements runtime.Observer; node-level timing belongs to the
+// path profiler, so it is ignored here.
+func (o *FlowObserver) NodeDone(*core.FlatGraph, *core.FlatNode, time.Duration) {}
+
+// QueueDepth implements runtime.Observer, keeping a high-water mark per
+// engine queue — the overload signal a capacity planner reads.
+func (o *FlowObserver) QueueDepth(kind runtime.EngineKind, queue string, depth int) {
+	key := kind.String() + "/" + queue
+	o.mu.Lock()
+	if o.maxDepth == nil {
+		o.maxDepth = make(map[string]int)
+	}
+	if depth > o.maxDepth[key] {
+		o.maxDepth[key] = depth
+	}
+	o.mu.Unlock()
+}
+
+// MaxQueueDepth returns the high-water mark recorded for an engine's
+// queue ("threadpool/admission", "event/events", "event/async").
+func (o *FlowObserver) MaxQueueDepth(key string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.maxDepth[key]
+}
+
+// Reset clears all recorders (warm-up trimming).
+func (o *FlowObserver) Reset() {
+	if o.Latency != nil {
+		o.Latency.Reset()
+	}
+	if o.Completed != nil {
+		o.Completed.Reset()
+	}
+	o.mu.Lock()
+	o.maxDepth = nil
+	o.mu.Unlock()
+}
+
+// The compile-time check that FlowObserver plugs into the plane.
+var _ runtime.Observer = (*FlowObserver)(nil)

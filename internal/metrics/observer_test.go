@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/lang/parser"
+	"github.com/flux-lang/flux/internal/runtime"
+)
+
+// TestFlowObserverEndToEnd attaches the observer to a live server and
+// checks latency samples, completion throughput, and queue watermarks
+// arrive through the unified plane.
+func TestFlowObserverEndToEnd(t *testing.T) {
+	astProg, err := parser.Parse("t.flux", `
+Gen () => (int v);
+Work (int v) => (int v);
+Sink (int v) => ();
+source Gen => F;
+F = Work -> Sink;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := core.Build(astProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int64
+	b := runtime.NewBindings().
+		BindSource("Gen", func(fl *runtime.Flow) (runtime.Record, error) {
+			if n.Add(1) > 40 {
+				return nil, runtime.ErrStop
+			}
+			return runtime.Record{1}, nil
+		}).
+		BindNode("Work", func(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+			time.Sleep(100 * time.Microsecond)
+			return in, nil
+		}).
+		BindNode("Sink", func(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+			return nil, nil
+		})
+	obs := NewFlowObserver()
+	s, err := runtime.New(prog, b,
+		runtime.WithEngine(runtime.ThreadPool),
+		runtime.WithPoolSize(2),
+		runtime.WithObserver(obs),
+		runtime.WithQueueSampleInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sum := obs.Latency.Summary()
+	if sum.Count != 40 {
+		t.Errorf("latency samples = %d, want 40", sum.Count)
+	}
+	if sum.P50 < 100*time.Microsecond {
+		t.Errorf("p50 = %v, want >= node sleep", sum.P50)
+	}
+	if ops, _ := obs.Completed.Totals(); ops != 40 {
+		t.Errorf("completed ops = %d, want 40", ops)
+	}
+	// With a 2-worker pool and a fast source, the admission queue backed
+	// up; at least one sample should have caught a non-zero depth. (Not
+	// asserted strictly — sampling is time-based — but the watermark
+	// accessor must at least be readable.)
+	_ = obs.MaxQueueDepth("threadpool/admission")
+
+	obs.Reset()
+	if obs.Latency.Count() != 0 {
+		t.Error("Reset left latency samples")
+	}
+}

@@ -8,6 +8,12 @@
 // server, including routes that end at the ERROR terminal — in the
 // paper's BitTorrent peer the most frequently executed path is an error
 // path (the no-outstanding-requests poll).
+//
+// A Profiler attaches to a server with WithProfiler (or through the
+// ObserveProfiler adapter when composing observers). The runtime's
+// observer plane reports every flow terminal, so flows dropped at an
+// unmatched dispatch case are recorded like error paths: their partial
+// path register identifies the route up to the drop point.
 package profile
 
 import (
@@ -53,6 +59,11 @@ func (n NodeStat) Mean() time.Duration {
 type graphStats struct {
 	paths map[uint64]*PathStat
 	nodes map[string]*NodeStat
+	// drops buckets flows terminated at an unmatched dispatch case,
+	// keyed by their partial path register. Kept apart from paths: a
+	// partial register can collide with a complete path's ID, and
+	// folding the two would corrupt that path's statistics.
+	drops map[uint64]*PathStat
 }
 
 // Profiler collects flow and node completions from a running server. It
@@ -71,7 +82,11 @@ func New() *Profiler {
 func (p *Profiler) stats(g *core.FlatGraph) *graphStats {
 	gs, ok := p.graphs[g]
 	if !ok {
-		gs = &graphStats{paths: make(map[uint64]*PathStat), nodes: make(map[string]*NodeStat)}
+		gs = &graphStats{
+			paths: make(map[uint64]*PathStat),
+			nodes: make(map[string]*NodeStat),
+			drops: make(map[uint64]*PathStat),
+		}
 		p.graphs[g] = gs
 	}
 	return gs
@@ -89,6 +104,39 @@ func (p *Profiler) FlowDone(g *core.FlatGraph, pathID uint64, elapsed time.Durat
 	}
 	ps.Count++
 	ps.Total += elapsed
+}
+
+// FlowDropped records a flow terminated at an unmatched dispatch case
+// (the runtime's DropProfiler extension). The ID is the flow's partial
+// path register — it identifies the route up to the drop point but is
+// bucketed apart from complete paths, whose IDs it can collide with.
+func (p *Profiler) FlowDropped(g *core.FlatGraph, pathID uint64, elapsed time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gs := p.stats(g)
+	ps, ok := gs.drops[pathID]
+	if !ok {
+		ps = &PathStat{ID: pathID}
+		gs.drops[pathID] = ps
+	}
+	ps.Count++
+	ps.Total += elapsed
+}
+
+// DroppedFlows returns the number of recorded dropped flows for a graph
+// and their cumulative time.
+func (p *Profiler) DroppedFlows(g *core.FlatGraph) (count uint64, total time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	gs := p.graphs[g]
+	if gs == nil {
+		return 0, 0
+	}
+	for _, ps := range gs.drops {
+		count += ps.Count
+		total += ps.Total
+	}
+	return count, total
 }
 
 // NodeDone records one node execution.
@@ -243,6 +291,10 @@ func (p *Profiler) Report(g *core.FlatGraph, by SortBy, limit int) string {
 	for i, r := range rows {
 		fmt.Fprintf(&b, "%4d  %10d  %12s  %12s  %s\n",
 			i+1, r.Count, r.Total.Round(time.Microsecond), r.Mean().Round(time.Nanosecond), r.Label)
+	}
+	if dc, dt := p.DroppedFlows(g); dc > 0 {
+		fmt.Fprintf(&b, "plus %d flows dropped at dispatch (no matching case), %s total\n",
+			dc, dt.Round(time.Microsecond))
 	}
 	return b.String()
 }

@@ -190,3 +190,37 @@ func TestEmptyProfilerReports(t *testing.T) {
 		t.Error("empty report should render")
 	}
 }
+
+// TestFlowDroppedBucketsSeparately: drops recorded through the runtime's
+// DropProfiler extension must not inflate a complete path's statistics,
+// even when the partial register collides with that path's ID.
+func TestFlowDroppedBucketsSeparately(t *testing.T) {
+	g := graph(t)
+	p := New()
+	id := pathIDFor(t, g, "Gen -> Evens -> Sink")
+	p.FlowDone(g, id, 2*time.Millisecond)
+	p.FlowDone(g, id, 2*time.Millisecond)
+	// A drop whose partial register aliases the same ID.
+	p.FlowDropped(g, id, time.Millisecond)
+	p.FlowDropped(g, id, time.Millisecond)
+	p.FlowDropped(g, id, time.Millisecond)
+
+	rows := p.HotPaths(g, ByCount, 0)
+	if len(rows) != 1 || rows[0].Count != 2 {
+		t.Fatalf("hot paths = %+v, want one path with count 2 (drops excluded)", rows)
+	}
+	if got := p.TotalFlows(g); got != 2 {
+		t.Errorf("TotalFlows = %d, want 2", got)
+	}
+	dc, dt := p.DroppedFlows(g)
+	if dc != 3 || dt != 3*time.Millisecond {
+		t.Errorf("DroppedFlows = %d, %v, want 3, 3ms", dc, dt)
+	}
+	if rep := p.Report(g, ByCount, 0); !strings.Contains(rep, "3 flows dropped at dispatch") {
+		t.Errorf("report missing drop line:\n%s", rep)
+	}
+	p.Reset()
+	if dc, _ := p.DroppedFlows(g); dc != 0 {
+		t.Errorf("Reset left %d drops", dc)
+	}
+}

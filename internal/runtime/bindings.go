@@ -99,5 +99,22 @@ func (b *Bindings) Validate(p *core.Program) error {
 				Msg: "not bound for source " + src + " (use BindSession)"}
 		}
 	}
+	// Blocking marks must name declared non-source concrete nodes: a
+	// misspelled MarkBlocking would otherwise be silently ignored and the
+	// event engine's dispatcher would block on the node's real I/O.
+	nodeNames := make(map[string]bool)
+	for _, n := range p.ConcreteNodes() {
+		nodeNames[n.Name] = true
+	}
+	for name := range b.blocking {
+		switch {
+		case sourceNames[name]:
+			return &BindingError{What: "blocking", Name: name,
+				Msg: "is a source; sources poll with a deadline instead of being offloaded"}
+		case !nodeNames[name]:
+			return &BindingError{What: "blocking", Name: name,
+				Msg: "does not name a concrete node (misspelled MarkBlocking?)"}
+		}
+	}
 	return nil
 }

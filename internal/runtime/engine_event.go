@@ -42,6 +42,7 @@ const (
 	evSource eventKind = iota // poll a source for the next record
 	evStep                    // resume a flow at a vertex
 	evResult                  // apply the result of an offloaded node
+	evNudge                   // wake a dispatcher to re-check termination
 )
 
 type event struct {
@@ -76,6 +77,20 @@ type eventEngine struct {
 	// completions never wait out a source timeout (the paper's single
 	// select sees all activity at once).
 	wake chan struct{}
+	done chan struct{}
+	// ctxDone is ctx.Done(), hoisted so the per-poll cancellation check
+	// is a non-blocking receive rather than a cancelCtx.Err() call.
+	ctxDone <-chan struct{}
+}
+
+func newEventEngine(s *Server) Engine {
+	return &eventEngine{
+		s:      s,
+		queue:  newFIFO[event](),
+		asyncq: newFIFO[event](),
+		wake:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
 }
 
 // pushEvent enqueues an event and nudges any polling source.
@@ -98,14 +113,10 @@ func (e *eventEngine) drainWake() {
 	}
 }
 
-func (s *Server) runEvent(ctx context.Context) error {
-	e := &eventEngine{
-		s:      s,
-		ctx:    ctx,
-		queue:  newFIFO[event](),
-		asyncq: newFIFO[event](),
-		wake:   make(chan struct{}, 1),
-	}
+func (e *eventEngine) Start(ctx context.Context) error {
+	e.ctx = ctx
+	e.ctxDone = ctx.Done()
+	s := e.s
 
 	var asyncWG sync.WaitGroup
 	for i := 0; i < s.cfg.AsyncWorkers; i++ {
@@ -120,6 +131,20 @@ func (s *Server) runEvent(ctx context.Context) error {
 		e.sources.Add(1)
 		e.queue.push(event{kind: evSource, st: st})
 	}
+	if s.cfg.KeepAlive {
+		// A virtual source holds the engine open for Inject admissions;
+		// cancellation retires it and nudges a dispatcher so the
+		// termination check runs even on an idle queue.
+		e.sources.Add(1)
+		go func() {
+			<-ctx.Done()
+			e.sources.Add(-1)
+			e.pushEvent(event{kind: evNudge})
+		}()
+	}
+	if s.obs != nil {
+		go e.sampleQueues()
+	}
 
 	var dispWG sync.WaitGroup
 	for i := 0; i < s.cfg.Dispatchers; i++ {
@@ -129,10 +154,50 @@ func (s *Server) runEvent(ctx context.Context) error {
 			e.dispatch()
 		}()
 	}
-	dispWG.Wait()
-	e.asyncq.close()
-	asyncWG.Wait()
-	return ctx.Err()
+	go func() {
+		dispWG.Wait()
+		e.asyncq.close()
+		asyncWG.Wait()
+		close(e.done)
+	}()
+	return nil
+}
+
+// Submit admits an externally-originated flow as an evStep event at its
+// graph entry, interleaving with source-originated flows at flow
+// granularity.
+func (e *eventEngine) Submit(fl *Flow, rec Record) error {
+	fl.SourceTimeout = e.s.cfg.SourceTimeout
+	e.inflight.Add(1)
+	tbl := fl.src.tbl
+	if !e.queue.offer(event{kind: evStep, fl: fl, tbl: tbl, v: tbl.g.Entry, rec: rec}) {
+		e.inflight.Add(-1)
+		e.s.freeFlow(fl)
+		return ErrServerClosed
+	}
+	e.signalWake()
+	return nil
+}
+
+func (e *eventEngine) Drain(ctx context.Context) error {
+	return awaitDone(e.done, ctx)
+}
+
+// sampleQueues feeds the observer plane the dispatcher and async-offload
+// queue depths — the event server's overload signals.
+func (e *eventEngine) sampleQueues() {
+	t := time.NewTicker(e.s.cfg.QueueSample)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			obs := e.s.obs
+			obs.QueueDepth(EventDriven, "events", e.queue.len())
+			obs.QueueDepth(EventDriven, "async", e.asyncq.len())
+		}
+	}
 }
 
 // dispatch is the event loop: it pops one event, handles it without
@@ -151,6 +216,8 @@ func (e *eventEngine) dispatch() {
 		case evResult:
 			r := e.s.afterExec(ev.fl, ev.v, ev.rec, ev.out, ev.err)
 			e.run(ev.fl, ev.tbl, r.next, r.rec, 0)
+		case evNudge:
+			// No work; exists to force the termination check below.
 		}
 		e.maybeFinish()
 	}
@@ -176,9 +243,11 @@ func (e *eventEngine) retireSource(ev event) {
 // owns a reusable poll Flow, so an idle source cycling through ErrNoData
 // allocates nothing.
 func (e *eventEngine) handleSource(ev event) {
-	if e.ctx.Err() != nil {
+	select {
+	case <-e.ctxDone:
 		e.retireSource(ev)
 		return
+	default:
 	}
 	if ev.fl == nil {
 		ev.fl = e.s.newFlow(e.ctx, 0)

@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // pooledFlow is one queued admission: a record waiting for a worker.
+// Kept to two words + record so the FIFO's chunk copies stay cheap;
+// injected flows are recycled at Submit and rebuilt by the worker.
 type pooledFlow struct {
 	st  *sourceState
 	rec Record
@@ -18,66 +21,145 @@ type pooledFlow struct {
 // workers still pick up new arrivals immediately.
 const poolBatch = 8
 
-// runPool implements the thread-pool runtime (§3.2.1): a fixed number of
-// workers service flows; a flow created while every worker is busy queues
-// and is handled in first-in first-out order.
-func (s *Server) runPool(ctx context.Context) error {
-	queue := newFIFO[pooledFlow]()
+// poolEngine implements the thread-pool runtime (§3.2.1): a fixed number
+// of workers service flows; a flow created while every worker is busy
+// queues and is handled in first-in first-out order.
+//
+// Graceful drain is inherent to the structure: cancelling the start
+// context stops the source loops, the admission queue closes once they
+// retire, and workers drain the remaining backlog before exiting.
+type poolEngine struct {
+	s     *Server
+	ctx   context.Context
+	queue *fifo[pooledFlow]
+	done  chan struct{}
+}
+
+func newPoolEngine(s *Server) Engine {
+	return &poolEngine{s: s, queue: newFIFO[pooledFlow](), done: make(chan struct{})}
+}
+
+func (e *poolEngine) Start(ctx context.Context) error {
+	e.ctx = ctx
+	s := e.s
 	var workers sync.WaitGroup
 	for i := 0; i < s.cfg.PoolSize; i++ {
 		workers.Add(1)
-		go func() {
-			defer workers.Done()
-			buf := make([]pooledFlow, poolBatch)
-			for {
-				n, ok := queue.popBatch(buf)
-				if !ok {
-					return
-				}
-				for i := 0; i < n; i++ {
-					pf := buf[i]
-					buf[i] = pooledFlow{} // release the record for GC
-					fl := s.newFlow(ctx, pf.st.sessionOf(pf.rec))
-					s.runFlow(fl, pf.st.tbl, pf.rec)
-				}
-			}
-		}()
+		go e.worker(&workers)
 	}
 
 	var sources sync.WaitGroup
 	for _, st := range s.srcs {
 		sources.Add(1)
-		go func(st *sourceState) {
-			defer sources.Done()
-			// One poll context serves every iteration of this source
-			// loop; admitted records are handed flows by the workers.
-			fl := s.newFlow(ctx, 0)
-			defer s.freeFlow(fl)
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				rec, err := st.fn(fl)
-				switch {
-				case err == nil:
-					s.stats.Started.Add(1)
-					queue.push(pooledFlow{st: st, rec: rec})
-				case errors.Is(err, ErrNoData):
-					continue
-				case errors.Is(err, ErrStop):
-					return
-				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-					return
-				default:
-					s.stats.NodeErrors.Add(1)
-					return
-				}
-			}
-		}(st)
+		go e.sourceLoop(&sources, st)
 	}
+	if s.cfg.KeepAlive {
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			<-ctx.Done()
+		}()
+	}
+	if s.obs != nil {
+		go e.sampleQueues()
+	}
+	go func() {
+		sources.Wait()
+		e.queue.close()
+		workers.Wait()
+		close(e.done)
+	}()
+	return nil
+}
 
-	sources.Wait()
-	queue.close()
-	workers.Wait()
-	return ctx.Err()
+func (e *poolEngine) worker(workers *sync.WaitGroup) {
+	defer workers.Done()
+	// Hoisted: the steady-state loop must not chase engine fields.
+	s, queue, ctx := e.s, e.queue, e.ctx
+	buf := make([]pooledFlow, poolBatch)
+	for {
+		n, ok := queue.popBatch(buf)
+		if !ok {
+			return
+		}
+		for i := 0; i < n; i++ {
+			pf := buf[i]
+			buf[i] = pooledFlow{} // release the record for GC
+			fl := s.newFlow(ctx, pf.st.sessionOf(pf.rec))
+			s.runFlow(fl, pf.st.tbl, pf.rec)
+		}
+	}
+}
+
+func (e *poolEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
+	defer sources.Done()
+	s, queue, ctx := e.s, e.queue, e.ctx
+	// Hoisted: ctx is a cancellable run context, so the per-record
+	// cancellation check is a non-blocking receive on its done channel,
+	// not a ctx.Err() call (an atomic load per admitted record).
+	done := ctx.Done()
+	// One poll context serves every iteration of this source loop;
+	// admitted records are handed flows by the workers.
+	fl := s.newFlow(ctx, 0)
+	defer s.freeFlow(fl)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		rec, err := st.fn(fl)
+		switch {
+		case err == nil:
+			s.stats.Started.Add(1)
+			queue.push(pooledFlow{st: st, rec: rec})
+		case errors.Is(err, ErrNoData):
+			continue
+		case errors.Is(err, ErrStop):
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return
+		default:
+			s.stats.NodeErrors.Add(1)
+			return
+		}
+	}
+}
+
+// sampleQueues feeds the observer plane the admission backlog depth —
+// the saturation signal of a fixed pool (§3.2.1's FIFO admission).
+func (e *poolEngine) sampleQueues() {
+	t := time.NewTicker(e.s.cfg.QueueSample)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			e.s.obs.QueueDepth(ThreadPool, "admission", e.queue.len())
+		}
+	}
+}
+
+// submitRecord admits an injected record through the same FIFO as
+// source admissions; the claiming worker builds the flow (and runs the
+// session function) exactly as it does for source records.
+func (e *poolEngine) submitRecord(st *sourceState, rec Record) error {
+	if !e.queue.offer(pooledFlow{st: st, rec: rec}) {
+		return ErrServerClosed
+	}
+	return nil
+}
+
+// Submit satisfies the Engine interface for callers holding a prebuilt
+// flow; the pool recycles it and admits the bare record (Inject uses
+// submitRecord directly and never builds one).
+func (e *poolEngine) Submit(fl *Flow, rec Record) error {
+	st := fl.src
+	e.s.freeFlow(fl)
+	return e.submitRecord(st, rec)
+}
+
+func (e *poolEngine) Drain(ctx context.Context) error {
+	return awaitDone(e.done, ctx)
 }

@@ -6,58 +6,117 @@ import (
 	"sync"
 )
 
-// runThreaded implements the one-to-one thread server (§3.2.1): every
+// threadEngine implements the one-to-one thread server (§3.2.1): every
 // data flow gets its own goroutine, created on demand and destroyed when
 // the flow completes. The paper measures this engine's per-flow creation
 // cost as its weakness (Figure 3); it is the simplest possible runtime.
-func (s *Server) runThreaded(ctx context.Context) error {
-	var flows sync.WaitGroup
+type threadEngine struct {
+	s   *Server
+	ctx context.Context
+
+	// flows tracks in-flight flow goroutines. Source loops Add before
+	// their own WaitGroup entry resolves, so those Adds are ordered
+	// before the monitor's Wait; Submit's Adds are ordered by admitMu
+	// against the monitor setting draining.
+	flows sync.WaitGroup
+
+	admitMu  sync.Mutex
+	draining bool
+
+	done chan struct{}
+}
+
+func newThreadEngine(s *Server) Engine {
+	return &threadEngine{s: s, done: make(chan struct{})}
+}
+
+func (e *threadEngine) Start(ctx context.Context) error {
+	e.ctx = ctx
 	var sources sync.WaitGroup
-
-	// Hoisted so spawning a flow copies plain arguments instead of
-	// allocating a fresh closure per request.
-	runOne := func(flow *Flow, tbl *graphTable, rec Record) {
-		defer flows.Done()
-		s.runFlow(flow, tbl, rec)
-	}
-
-	for _, st := range s.srcs {
+	for _, st := range e.s.srcs {
 		sources.Add(1)
-		go func(st *sourceState) {
-			defer sources.Done()
-			// One poll context serves every iteration of this source
-			// loop; only accepted records get a flow of their own.
-			fl := s.newFlow(ctx, 0)
-			defer s.freeFlow(fl)
-			for {
-				if ctx.Err() != nil {
-					return
-				}
-				rec, err := st.fn(fl)
-				switch {
-				case err == nil:
-					s.stats.Started.Add(1)
-					flow := s.newFlow(ctx, st.sessionOf(rec))
-					flows.Add(1)
-					go runOne(flow, st.tbl, rec)
-				case errors.Is(err, ErrNoData):
-					continue
-				case errors.Is(err, ErrStop):
-					return
-				case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-					return
-				default:
-					// A source error terminates that source, as an
-					// accept-loop failure would (§2.4 covers node
-					// errors; source errors have nowhere to flow).
-					s.stats.NodeErrors.Add(1)
-					return
-				}
-			}
-		}(st)
+		go e.sourceLoop(&sources, st)
 	}
+	if e.s.cfg.KeepAlive {
+		// A virtual source that only retires on cancellation keeps the
+		// engine admitting Inject flows after real sources exhaust.
+		sources.Add(1)
+		go func() {
+			defer sources.Done()
+			<-ctx.Done()
+		}()
+	}
+	go func() {
+		sources.Wait()
+		e.admitMu.Lock()
+		e.draining = true
+		e.admitMu.Unlock()
+		e.flows.Wait()
+		close(e.done)
+	}()
+	return nil
+}
 
-	sources.Wait()
-	flows.Wait()
-	return ctx.Err()
+// runOne is hoisted so spawning a flow copies plain arguments instead of
+// allocating a fresh closure per request.
+func (e *threadEngine) runOne(fl *Flow, tbl *graphTable, rec Record) {
+	defer e.flows.Done()
+	e.s.runFlow(fl, tbl, rec)
+}
+
+func (e *threadEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
+	defer sources.Done()
+	s, ctx := e.s, e.ctx
+	// Hoisted: the per-record cancellation check is a non-blocking
+	// receive, not a ctx.Err() call (an atomic load per admitted record
+	// on a cancellable context).
+	done := ctx.Done()
+	// One poll context serves every iteration of this source loop; only
+	// accepted records get a flow of their own.
+	fl := s.newFlow(ctx, 0)
+	defer s.freeFlow(fl)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		rec, err := st.fn(fl)
+		switch {
+		case err == nil:
+			s.stats.Started.Add(1)
+			flow := s.newFlow(ctx, st.sessionOf(rec))
+			e.flows.Add(1)
+			go e.runOne(flow, st.tbl, rec)
+		case errors.Is(err, ErrNoData):
+			continue
+		case errors.Is(err, ErrStop):
+			return
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			return
+		default:
+			// A source error terminates that source, as an accept-loop
+			// failure would (§2.4 covers node errors; source errors have
+			// nowhere to flow).
+			s.stats.NodeErrors.Add(1)
+			return
+		}
+	}
+}
+
+func (e *threadEngine) Submit(fl *Flow, rec Record) error {
+	e.admitMu.Lock()
+	if e.draining {
+		e.admitMu.Unlock()
+		e.s.freeFlow(fl)
+		return ErrServerClosed
+	}
+	e.flows.Add(1)
+	e.admitMu.Unlock()
+	go e.runOne(fl, fl.src.tbl, rec)
+	return nil
+}
+
+func (e *threadEngine) Drain(ctx context.Context) error {
+	return awaitDone(e.done, ctx)
 }

@@ -43,6 +43,10 @@ type Flow struct {
 	// held is the flow's lock stack, outermost first.
 	held []heldToken
 
+	// src is set on externally-injected flows (Server.Inject) so the
+	// engine's Submit knows which graph to run.
+	src *sourceState
+
 	srv *Server
 }
 

@@ -1,0 +1,152 @@
+package runtime
+
+import (
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+)
+
+// FlowOutcome classifies how a flow ended.
+type FlowOutcome uint8
+
+const (
+	// FlowCompleted means the flow reached the exit terminal.
+	FlowCompleted FlowOutcome = iota
+	// FlowErrored means the flow reached the error terminal (§2.4).
+	FlowErrored
+	// FlowDropped means a dispatch vertex matched no case (§2.3) and the
+	// flow terminated mid-graph.
+	FlowDropped
+)
+
+func (o FlowOutcome) String() string {
+	switch o {
+	case FlowCompleted:
+		return "completed"
+	case FlowErrored:
+		return "errored"
+	case FlowDropped:
+		return "dropped"
+	default:
+		return "unknown"
+	}
+}
+
+// Observer is the server's unified observability plane. It subsumes the
+// three observation paths that used to exist separately — the Stats
+// counters, the Profiler interface, and ad-hoc metrics plumbing — behind
+// one event surface:
+//
+//   - FlowDone fires at every flow terminal, including error terminals
+//     and drops at an unmatched dispatch, with the Ball-Larus path
+//     register at the point of termination (§5.2: error paths are
+//     paths, and so are dropped ones).
+//   - NodeDone fires after every node execution.
+//   - QueueDepth delivers periodic samples of an engine's internal
+//     queues (thread-pool admission backlog, event queue, async-I/O
+//     offload queue), the quantity SEDA-style servers monitor for
+//     overload control.
+//
+// The observer is resolved once at server construction and consulted
+// through one nil check on the hot path, so an unobserved server pays
+// nothing — the PR 1 zero-allocation path is preserved. Implementations
+// must be safe for concurrent use. The Stats counters remain the
+// always-on, allocation-free core the server maintains itself;
+// ObserveProfiler adapts a Profiler to this interface, and
+// MultiObserver fans events out to several observers.
+type Observer interface {
+	// FlowDone records a terminated flow: its graph, Ball-Larus path ID,
+	// outcome, and elapsed wall time.
+	FlowDone(g *core.FlatGraph, pathID uint64, outcome FlowOutcome, elapsed time.Duration)
+	// NodeDone records one node execution and its duration.
+	NodeDone(g *core.FlatGraph, v *core.FlatNode, elapsed time.Duration)
+	// QueueDepth records one sample of a named engine queue.
+	QueueDepth(kind EngineKind, queue string, depth int)
+}
+
+// DropProfiler is the optional extension a Profiler implements to
+// record dropped flows separately. A flow dropped at an unmatched
+// dispatch carries a partial Ball-Larus register, which can equal the ID
+// of a legitimate complete path (the zero-increment suffix reaches a
+// terminal), so folding drops into FlowDone would silently corrupt that
+// path's §5.2 statistics. The profile package implements this.
+type DropProfiler interface {
+	// FlowDropped records a flow terminated at an unmatched dispatch
+	// case, keyed by its partial path register.
+	FlowDropped(g *core.FlatGraph, pathID uint64, elapsed time.Duration)
+}
+
+// profilerObserver adapts the legacy Profiler interface to the Observer
+// plane. Dropped flows are recorded like error paths — the partial path
+// register identifies the route up to the unmatched dispatch — closing
+// the blind spot where drops never reached the profiler. Profilers
+// implementing DropProfiler get drops in their own bucket; plain
+// Profilers get them through FlowDone.
+type profilerObserver struct {
+	p Profiler
+}
+
+func (po profilerObserver) FlowDone(g *core.FlatGraph, pathID uint64, outcome FlowOutcome, elapsed time.Duration) {
+	if outcome == FlowDropped {
+		if dp, ok := po.p.(DropProfiler); ok {
+			dp.FlowDropped(g, pathID, elapsed)
+			return
+		}
+	}
+	po.p.FlowDone(g, pathID, elapsed)
+}
+
+func (po profilerObserver) NodeDone(g *core.FlatGraph, v *core.FlatNode, elapsed time.Duration) {
+	po.p.NodeDone(g, v, elapsed)
+}
+
+func (po profilerObserver) QueueDepth(EngineKind, string, int) {}
+
+// ObserveProfiler adapts a Profiler to the Observer plane. A nil
+// profiler yields a nil observer.
+func ObserveProfiler(p Profiler) Observer {
+	if p == nil {
+		return nil
+	}
+	return profilerObserver{p: p}
+}
+
+// multiObserver fans each event out to every member.
+type multiObserver []Observer
+
+func (m multiObserver) FlowDone(g *core.FlatGraph, pathID uint64, outcome FlowOutcome, elapsed time.Duration) {
+	for _, o := range m {
+		o.FlowDone(g, pathID, outcome, elapsed)
+	}
+}
+
+func (m multiObserver) NodeDone(g *core.FlatGraph, v *core.FlatNode, elapsed time.Duration) {
+	for _, o := range m {
+		o.NodeDone(g, v, elapsed)
+	}
+}
+
+func (m multiObserver) QueueDepth(kind EngineKind, queue string, depth int) {
+	for _, o := range m {
+		o.QueueDepth(kind, queue, depth)
+	}
+}
+
+// MultiObserver combines observers into one, skipping nils. It returns
+// nil when every argument is nil, preserving the nil-cost fast path.
+func MultiObserver(obs ...Observer) Observer {
+	var out multiObserver
+	for _, o := range obs {
+		if o != nil {
+			out = append(out, o)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	default:
+		return out
+	}
+}

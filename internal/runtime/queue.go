@@ -65,6 +65,35 @@ func (q *fifo[T]) push(v T) {
 	q.mu.Unlock()
 }
 
+// offer appends an item unless the queue is closed, reporting whether it
+// was accepted — the admission-side primitive external submitters use to
+// distinguish "queued" from "engine already draining". Kept separate
+// from push so the engines' per-flow push stays a single call.
+func (q *fifo[T]) offer(v T) bool {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	if q.ti == fifoChunkSize {
+		c := q.spare
+		if c != nil {
+			q.spare = nil
+		} else {
+			c = &fifoChunk[T]{}
+		}
+		q.tail.next = c
+		q.tail = c
+		q.ti = 0
+	}
+	q.tail.buf[q.ti] = v
+	q.ti++
+	q.size++
+	q.cond.Signal()
+	q.mu.Unlock()
+	return true
+}
+
 // popOneLocked removes and returns the head item; the caller holds q.mu
 // and guarantees size > 0.
 func (q *fifo[T]) popOneLocked() T {

@@ -11,7 +11,8 @@ import (
 	"github.com/flux-lang/flux/internal/core"
 )
 
-// EngineKind selects one of the three runtime systems of §3.2.
+// EngineKind selects one of the three runtime systems of §3.2, or any
+// engine registered through RegisterEngine.
 type EngineKind int
 
 const (
@@ -27,22 +28,22 @@ const (
 	EventDriven
 )
 
+// String returns the engine's registered name; ParseEngineKind inverts
+// it. Unregistered kinds format as "engine(N)".
 func (k EngineKind) String() string {
-	switch k {
-	case ThreadPerFlow:
-		return "thread"
-	case ThreadPool:
-		return "threadpool"
-	case EventDriven:
-		return "event"
-	default:
-		return fmt.Sprintf("engine(%d)", int(k))
+	if e, ok := lookupEngine(k); ok {
+		return e.name
 	}
+	return fmt.Sprintf("engine(%d)", int(k))
 }
 
 // Profiler observes flow and node completions. The profile package
 // provides the standard implementation; the zero cost of a nil Profiler
 // keeps uninstrumented servers fast.
+//
+// Profiler predates the Observer plane and remains as the §5.2-shaped
+// subset of it: a configured Profiler joins the plane through the
+// ObserveProfiler adapter and also sees dropped flows.
 type Profiler interface {
 	// FlowDone records a completed flow: its graph, Ball-Larus path ID,
 	// and elapsed wall time. Flows that end at the error terminal are
@@ -53,7 +54,8 @@ type Profiler interface {
 }
 
 // Config tunes a Server. The zero value is usable: thread-per-flow with
-// no profiler.
+// no observer. The functional options (WithEngine, WithPoolSize, ...)
+// are the public way to populate one.
 type Config struct {
 	Kind EngineKind
 
@@ -74,8 +76,21 @@ type Config struct {
 	// low-concurrency latency "hiccup" of Figure 3 more visibly.
 	SourceTimeout time.Duration
 
-	// Profiler, when non-nil, receives flow and node completions.
+	// Profiler, when non-nil, receives flow and node completions. It is
+	// folded into the observer plane at construction.
 	Profiler Profiler
+
+	// Observer, when non-nil, receives flow terminals (including drops
+	// and errors), node completions, and queue-depth samples.
+	Observer Observer
+
+	// KeepAlive keeps the server admitting Inject flows after all
+	// sources report ErrStop; the server then runs until Shutdown.
+	KeepAlive bool
+
+	// QueueSample is the engines' queue-depth sampling period for the
+	// observer (default 100ms; sampling runs only with an observer).
+	QueueSample time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -91,13 +106,18 @@ func (c Config) withDefaults() Config {
 	if c.SourceTimeout <= 0 {
 		c.SourceTimeout = 20 * time.Millisecond
 	}
+	if c.QueueSample <= 0 {
+		c.QueueSample = 100 * time.Millisecond
+	}
 	return c
 }
 
 // Stats counts flow outcomes; all fields are updated atomically while the
-// server runs and may be read at any time.
+// server runs and may be read at any time. Stats is the always-on core
+// of the observer plane: the server maintains these counters itself at
+// zero allocation, and anything richer attaches as an Observer.
 type Stats struct {
-	Started     atomic.Uint64 // flows initiated by sources
+	Started     atomic.Uint64 // flows initiated by sources or Inject
 	Completed   atomic.Uint64 // flows reaching the exit terminal
 	Errored     atomic.Uint64 // flows reaching the error terminal
 	Dropped     atomic.Uint64 // flows with no matching dispatch case
@@ -157,6 +177,12 @@ type graphTable struct {
 }
 
 // Server executes one compiled Flux program on a chosen engine.
+//
+// A server is inert after construction. Start launches its engine and
+// returns; Wait blocks until the run ends (sources exhausted, context
+// cancelled, or Shutdown); Shutdown stops admission and drains in-flight
+// flows under a deadline; Inject admits a record from outside the
+// program's own sources. Run is Start followed by Wait.
 type Server struct {
 	prog  *core.Program
 	b     *Bindings
@@ -164,11 +190,27 @@ type Server struct {
 	locks *LockManager
 	stats Stats
 
+	// obs is the observer plane, resolved once at construction (nil
+	// when neither Observer nor Profiler is configured) so the hot path
+	// pays a single nil check.
+	obs Observer
+
 	// srcs lists the per-source execution state in declaration order.
 	srcs []*sourceState
 
+	// srcByName indexes srcs for Inject.
+	srcByName map[string]*sourceState
+
 	// tables holds one dense vertex table per flat graph.
 	tables map[*core.FlatGraph]*graphTable
+
+	// Lifecycle state, guarded by mu.
+	mu     sync.Mutex
+	engine Engine
+	runCtx context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	runErr error
 }
 
 type sourceState struct {
@@ -179,17 +221,19 @@ type sourceState struct {
 }
 
 // NewServer validates bindings against the program and prepares the
-// dispatch tables. The returned server is inert until Run.
+// dispatch tables. The returned server is inert until Start or Run.
 func NewServer(prog *core.Program, b *Bindings, cfg Config) (*Server, error) {
 	if err := b.Validate(prog); err != nil {
 		return nil, err
 	}
 	s := &Server{
-		prog:   prog,
-		b:      b,
-		cfg:    cfg.withDefaults(),
-		locks:  NewLockManager(),
-		tables: make(map[*core.FlatGraph]*graphTable),
+		prog:      prog,
+		b:         b,
+		cfg:       cfg.withDefaults(),
+		locks:     NewLockManager(),
+		obs:       MultiObserver(cfg.Observer, ObserveProfiler(cfg.Profiler)),
+		srcByName: make(map[string]*sourceState),
+		tables:    make(map[*core.FlatGraph]*graphTable),
 	}
 	for _, src := range prog.Sources {
 		g := prog.Graphs[src.Node.Name]
@@ -202,6 +246,7 @@ func NewServer(prog *core.Program, b *Bindings, cfg Config) (*Server, error) {
 			st.session = b.sessions[fname]
 		}
 		s.srcs = append(s.srcs, st)
+		s.srcByName[st.name] = st
 	}
 	return s, nil
 }
@@ -269,19 +314,126 @@ func (s *Server) Stats() *Stats { return &s.stats }
 // Program returns the compiled program the server executes.
 func (s *Server) Program() *core.Program { return s.prog }
 
-// Run executes the program on the configured engine until the context is
-// cancelled and in-flight flows drain, or every source reports ErrStop.
-func (s *Server) Run(ctx context.Context) error {
-	switch s.cfg.Kind {
-	case ThreadPerFlow:
-		return s.runThreaded(ctx)
-	case ThreadPool:
-		return s.runPool(ctx)
-	case EventDriven:
-		return s.runEvent(ctx)
-	default:
+// --- lifecycle -----------------------------------------------------------
+
+// Start launches the configured engine and returns once its source
+// loops and workers are running. The context governs admission: when it
+// is cancelled sources stop, in-flight flows drain, and Wait returns.
+// Starting a started (or finished) server is an error; servers are
+// single-run.
+func (s *Server) Start(ctx context.Context) error {
+	entry, ok := lookupEngine(s.cfg.Kind)
+	if !ok {
 		return fmt.Errorf("flux/runtime: unknown engine %v", s.cfg.Kind)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.engine != nil {
+		return fmt.Errorf("flux/runtime: server already started")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	eng := entry.factory(s)
+	if err := eng.Start(runCtx); err != nil {
+		cancel()
+		return err
+	}
+	s.engine = eng
+	s.runCtx = runCtx
+	s.cancel = cancel
+	s.done = make(chan struct{})
+	done := s.done
+	go func() {
+		// Natural completion (every source ErrStop, no keep-alive) and
+		// cancellation both land here: wait for full quiescence, then
+		// publish the run error — the caller context's error, so a
+		// deliberate Shutdown reads as a clean (nil) run.
+		_ = eng.Drain(context.Background())
+		s.mu.Lock()
+		s.runErr = ctx.Err()
+		s.mu.Unlock()
+		cancel()
+		close(done)
+	}()
+	return nil
+}
+
+// Wait blocks until the run ends — every source exhausted and in-flight
+// flows drained, the Start context cancelled, or Shutdown complete —
+// and returns the run's error: the Start context's error, or nil after
+// a clean finish or deliberate Shutdown.
+func (s *Server) Wait() error {
+	s.mu.Lock()
+	done := s.done
+	s.mu.Unlock()
+	if done == nil {
+		return ErrNotStarted
+	}
+	<-done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+// Shutdown gracefully stops the server: sources stop originating flows,
+// Inject stops admitting, and in-flight flows run to their terminals.
+// It blocks until the drain completes or ctx expires, returning
+// ctx.Err() in the latter case (flows keep draining in the background;
+// Wait still reports the final outcome). Shutdown is safe to call
+// concurrently and more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	eng, cancel := s.engine, s.cancel
+	s.mu.Unlock()
+	if eng == nil {
+		return ErrNotStarted
+	}
+	cancel()
+	return eng.Drain(ctx)
+}
+
+// Inject admits one record on the named source's flow graph, as if that
+// source had produced it — the external-admission path for keep-alive
+// re-registration, macro benchmark harnesses, or any caller outside the
+// program's own sources. The source's session function, if any, applies.
+// It returns ErrServerClosed once the server no longer admits flows and
+// ErrNotStarted before Start.
+func (s *Server) Inject(source string, rec Record) error {
+	st, ok := s.srcByName[source]
+	if !ok {
+		return fmt.Errorf("flux/runtime: no source %q to inject into", source)
+	}
+	s.mu.Lock()
+	eng, runCtx := s.engine, s.runCtx
+	s.mu.Unlock()
+	if eng == nil {
+		return ErrNotStarted
+	}
+	if rs, ok := eng.(recordSubmitter); ok {
+		// The engine builds the flow itself (worker-side); hand it the
+		// bare record so the session function runs exactly once, there.
+		if err := rs.submitRecord(st, rec); err != nil {
+			return err
+		}
+	} else {
+		fl := s.newFlow(runCtx, st.sessionOf(rec))
+		fl.src = st
+		// Submit takes ownership of the flow, success or failure.
+		if err := eng.Submit(fl, rec); err != nil {
+			return err
+		}
+	}
+	s.stats.Started.Add(1)
+	return nil
+}
+
+// Run executes the program until the context is cancelled or every
+// source reports ErrStop, then drains in-flight flows: Start followed
+// by Wait.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+	return s.Wait()
 }
 
 // flowPool recycles Flow objects across requests; each pooled flow keeps
@@ -298,7 +450,7 @@ func (s *Server) newFlow(ctx context.Context, session uint64) *Flow {
 	fl.Ctx = ctx
 	fl.Session = session
 	fl.srv = s
-	if s.cfg.Profiler != nil {
+	if s.obs != nil {
 		fl.start = time.Now()
 	}
 	return fl
@@ -314,6 +466,7 @@ func (s *Server) freeFlow(fl *Flow) {
 	fl.Wake = nil
 	fl.path = 0
 	fl.srv = nil
+	fl.src = nil
 	fl.held = fl.held[:0]
 	flowPool.Put(fl)
 }
@@ -335,19 +488,19 @@ type stepResult struct {
 	terminal bool
 }
 
-// callNode invokes an exec vertex's node function with profiling and
+// callNode invokes an exec vertex's node function with observation and
 // arity validation. It performs no flow-state transition, so the event
 // engine can run it on an async worker while the dispatcher continues.
 func (s *Server) callNode(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record) (Record, error) {
 	info := &tbl.info[v.ID]
 	var t0 time.Time
-	prof := s.cfg.Profiler
-	if prof != nil {
+	obs := s.obs
+	if obs != nil {
 		t0 = time.Now()
 	}
 	out, err := info.fn(fl, rec)
-	if prof != nil {
-		prof.NodeDone(tbl.g, v, time.Since(t0))
+	if obs != nil {
+		obs.NodeDone(tbl.g, v, time.Since(t0))
 	}
 	if err == nil && !info.isSink && len(out) != info.outArity {
 		s.stats.ArityErrors.Add(1)
@@ -386,7 +539,9 @@ func (s *Server) execVertex(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Rec
 }
 
 // branchVertex evaluates dispatch cases in order and follows the first
-// match (§2.3). A record matching no case terminates the flow ("dropped").
+// match (§2.3). A record matching no case terminates the flow ("dropped");
+// the drop is observed like an error path, with the partial Ball-Larus
+// register identifying the route to the unmatched dispatch.
 func (s *Server) branchVertex(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record) stepResult {
 	for _, c := range tbl.info[v.ID].cases {
 		matched := true
@@ -403,6 +558,9 @@ func (s *Server) branchVertex(fl *Flow, tbl *graphTable, v *core.FlatNode, rec R
 	}
 	s.stats.Dropped.Add(1)
 	s.locks.ReleaseAll(fl)
+	if obs := s.obs; obs != nil {
+		obs.FlowDone(tbl.g, fl.path, FlowDropped, time.Since(fl.start))
+	}
 	return stepResult{terminal: true}
 }
 
@@ -412,14 +570,16 @@ func (s *Server) finishFlow(fl *Flow, g *core.FlatGraph, v *core.FlatNode) {
 	// path and the error transition releases the rest, but a dropped or
 	// malformed flow must never leak locks.
 	s.locks.ReleaseAll(fl)
+	outcome := FlowCompleted
 	switch v.Kind {
 	case core.FlatExit:
 		s.stats.Completed.Add(1)
 	case core.FlatError:
 		s.stats.Errored.Add(1)
+		outcome = FlowErrored
 	}
-	if prof := s.cfg.Profiler; prof != nil {
-		prof.FlowDone(g, fl.path, time.Since(fl.start))
+	if obs := s.obs; obs != nil {
+		obs.FlowDone(g, fl.path, outcome, time.Since(fl.start))
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
 	"github.com/flux-lang/flux/internal/torrent"
 )
 
@@ -36,6 +37,8 @@ type Server struct {
 
 	bytesOut atomic.Uint64
 	served   atomic.Uint64
+
+	lifecycle.Runner
 }
 
 // New opens the listener over a complete piece store.

@@ -17,6 +17,7 @@ import (
 
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
 )
 
 // Config tunes the baseline server.
@@ -34,6 +35,8 @@ type Server struct {
 	ln     net.Listener
 	cache  *lfu.Locked
 	served atomic.Uint64
+
+	lifecycle.Runner
 }
 
 // New opens the listener.

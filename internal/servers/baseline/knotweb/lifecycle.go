@@ -1,0 +1,10 @@
+package knotweb
+
+import "context"
+
+// Start runs the server in the background, mirroring the Flux servers'
+// Start/Shutdown/Wait lifecycle (Shutdown and Wait are promoted from
+// the embedded lifecycle.Runner) so harnesses drive either uniformly.
+func (s *Server) Start(ctx context.Context) error {
+	return s.Runner.Go(ctx, s.Run)
+}

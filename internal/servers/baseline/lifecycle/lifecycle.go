@@ -1,0 +1,61 @@
+// Package lifecycle wraps a blocking Run(ctx) server in the
+// Start/Shutdown/Wait lifecycle the Flux servers expose, so benchmark
+// harnesses drive baselines and Flux servers uniformly. Embed Runner in
+// the server and implement Start as a call to Go.
+package lifecycle
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrNotStarted is returned by Shutdown and Wait before Go.
+var ErrNotStarted = errors.New("baseline: server not started")
+
+// Runner holds the background-run state. The zero value is ready; it is
+// single-run, like the Flux runtime's server.
+type Runner struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	runErr error
+}
+
+// Go launches run in the background under a cancellable child of ctx.
+// The server then serves until ctx is cancelled or Shutdown is called.
+func (l *Runner) Go(ctx context.Context, run func(context.Context) error) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	l.cancel = cancel
+	l.done = make(chan struct{})
+	go func() {
+		defer close(l.done)
+		err := run(runCtx)
+		if ctx.Err() == nil && errors.Is(err, context.Canceled) {
+			err = nil // deliberate Shutdown reads as a clean run
+		}
+		l.runErr = err
+	}()
+	return nil
+}
+
+// Shutdown stops the run and waits for it to finish, bounded by ctx.
+func (l *Runner) Shutdown(ctx context.Context) error {
+	if l.cancel == nil {
+		return ErrNotStarted
+	}
+	l.cancel()
+	select {
+	case <-l.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wait blocks until the run ends and returns its error.
+func (l *Runner) Wait() error {
+	if l.done == nil {
+		return ErrNotStarted
+	}
+	<-l.done
+	return l.runErr
+}

@@ -18,6 +18,7 @@ import (
 
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
 )
 
 // Config tunes the staged server.
@@ -56,6 +57,8 @@ type Server struct {
 	sendQ  chan *event
 	served atomic.Uint64
 	shed   atomic.Uint64
+
+	lifecycle.Runner
 }
 
 // New opens the listener and builds the stage queues.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -197,6 +198,10 @@ type Server struct {
 	trackerTick runtime.SourceFunc
 
 	runCtx context.Context
+
+	stopOnce   sync.Once
+	stop       chan struct{}
+	acceptDone chan struct{}
 }
 
 // New compiles the program and prepares the peer.
@@ -317,12 +322,12 @@ func New(cfg Config) (*Server, error) {
 		MarkBlocking("Handshake", "SendBitfield", "Request", "SendKeepAlives",
 			"SendRequestToTracker", "SendChokeUnchoke", "CompletePiece")
 
-	rt, err := runtime.NewServer(prog, b, runtime.Config{
-		Kind:          cfg.Engine,
-		PoolSize:      cfg.PoolSize,
-		SourceTimeout: cfg.SourceTimeout,
-		Profiler:      cfg.Profiler,
-	})
+	rt, err := runtime.New(prog, b,
+		runtime.WithEngine(cfg.Engine),
+		runtime.WithPoolSize(cfg.PoolSize),
+		runtime.WithSourceTimeout(cfg.SourceTimeout),
+		runtime.WithProfiler(cfg.Profiler),
+	)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -351,12 +356,17 @@ func (s *Server) Store() *torrent.Store { return s.store }
 // ones that have disconnected.
 func (s *Server) BytesServed() uint64 { return s.totalOut.Load() }
 
-// Run serves until the context is cancelled.
-func (s *Server) Run(ctx context.Context) error {
+// Start launches the accept loop and the Flux runtime; the peer then
+// serves until the context is cancelled or Shutdown is called.
+func (s *Server) Start(ctx context.Context) error {
+	if err := s.rt.Start(ctx); err != nil {
+		return err
+	}
 	s.runCtx = ctx
-	acceptDone := make(chan struct{})
+	s.stop = make(chan struct{})
+	s.acceptDone = make(chan struct{})
 	go func() {
-		defer close(acceptDone)
+		defer close(s.acceptDone)
 		for {
 			nc, err := s.ln.Accept()
 			if err != nil {
@@ -364,6 +374,9 @@ func (s *Server) Run(ctx context.Context) error {
 			}
 			select {
 			case s.readyConns <- nc:
+			case <-s.stop:
+				nc.Close()
+				return
 			case <-ctx.Done():
 				nc.Close()
 				return
@@ -371,12 +384,44 @@ func (s *Server) Run(ctx context.Context) error {
 		}
 	}()
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-s.stop:
+		}
 		s.ln.Close()
 	}()
-	err := s.rt.Run(ctx)
-	<-acceptDone
+	return nil
+}
+
+// Shutdown gracefully stops the peer: the listener closes, Flux sources
+// stop admitting, and in-flight flows drain until their terminals or
+// ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stop == nil {
+		return runtime.ErrNotStarted
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	err := s.rt.Shutdown(ctx)
+	<-s.acceptDone
 	return err
+}
+
+// Wait blocks until the run ends and returns its error.
+func (s *Server) Wait() error {
+	if s.acceptDone == nil {
+		return runtime.ErrNotStarted
+	}
+	err := s.rt.Wait()
+	<-s.acceptDone
+	return err
+}
+
+// Run serves until the context is cancelled: Start followed by Wait.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+	return s.Wait()
 }
 
 // ConnectTo dials a remote peer (leecher bootstrap); the connection then

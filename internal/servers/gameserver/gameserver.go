@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -126,6 +127,9 @@ type Server struct {
 	broadcastErrs    atomic.Uint64
 	lastBroadcastErr atomic.Value // string
 
+	stopOnce sync.Once
+	stop     chan struct{}
+
 	heartbeatTick runtime.SourceFunc
 }
 
@@ -183,12 +187,12 @@ func New(cfg Config) (*Server, error) {
 		BindNode("Broadcast", s.broadcast).
 		MarkBlocking("Broadcast")
 
-	rt, err := runtime.NewServer(prog, b, runtime.Config{
-		Kind:          cfg.Engine,
-		PoolSize:      cfg.PoolSize,
-		SourceTimeout: cfg.SourceTimeout,
-		Profiler:      cfg.Profiler,
-	})
+	rt, err := runtime.New(prog, b,
+		runtime.WithEngine(cfg.Engine),
+		runtime.WithPoolSize(cfg.PoolSize),
+		runtime.WithSourceTimeout(cfg.SourceTimeout),
+		runtime.WithProfiler(cfg.Profiler),
+	)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -217,13 +221,43 @@ func (s *Server) TickStats() (turns uint64, meanTurn time.Duration) {
 	return n, time.Duration(s.tickNanos.Load() / n)
 }
 
-// Run serves until the context is cancelled.
-func (s *Server) Run(ctx context.Context) error {
+// Start launches the Flux runtime over the UDP socket; the server then
+// serves until the context is cancelled or Shutdown is called.
+func (s *Server) Start(ctx context.Context) error {
+	if err := s.rt.Start(ctx); err != nil {
+		return err
+	}
+	s.stop = make(chan struct{})
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-s.stop:
+		}
 		s.conn.Close()
 	}()
-	return s.rt.Run(ctx)
+	return nil
+}
+
+// Shutdown gracefully stops the server: the socket closes (unblocking
+// the receive source), sources stop, and in-flight flows drain until
+// their terminals or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stop == nil {
+		return runtime.ErrNotStarted
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	return s.rt.Shutdown(ctx)
+}
+
+// Wait blocks until the run ends and returns its error.
+func (s *Server) Wait() error { return s.rt.Wait() }
+
+// Run serves until the context is cancelled: Start followed by Wait.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+	return s.Wait()
 }
 
 // --- node implementations --------------------------------------------------

@@ -22,6 +22,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
@@ -104,7 +105,8 @@ type Config struct {
 	Profiler      runtime.Profiler
 }
 
-// Server is a runnable Flux image server.
+// Server is a runnable Flux image server, driven through the runtime's
+// lifecycle: Start, Shutdown, Wait — or Run.
 type Server struct {
 	cfg     Config
 	prog    *core.Program
@@ -113,6 +115,10 @@ type Server struct {
 	ready   chan net.Conn
 	cache   *lfu.Cache
 	library map[string]*ppm.Image
+
+	stopOnce   sync.Once
+	stop       chan struct{}
+	acceptDone chan struct{}
 }
 
 // New compiles Figure 2, synthesizes the image library, and opens the
@@ -173,12 +179,12 @@ func New(cfg Config) (*Server, error) {
 		BindPredicate("TestInCache", func(v any) bool { return v.(*Tag).hit }).
 		MarkBlocking("ReadRequest", "Write")
 
-	rt, err := runtime.NewServer(prog, b, runtime.Config{
-		Kind:          cfg.Engine,
-		PoolSize:      cfg.PoolSize,
-		SourceTimeout: cfg.SourceTimeout,
-		Profiler:      cfg.Profiler,
-	})
+	rt, err := runtime.New(prog, b,
+		runtime.WithEngine(cfg.Engine),
+		runtime.WithPoolSize(cfg.PoolSize),
+		runtime.WithSourceTimeout(cfg.SourceTimeout),
+		runtime.WithProfiler(cfg.Profiler),
+	)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -199,11 +205,16 @@ func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
 // CacheStats exposes hit/miss/eviction counters.
 func (s *Server) CacheStats() (hits, misses, evictions uint64) { return s.cache.Stats() }
 
-// Run serves until the context is cancelled.
-func (s *Server) Run(ctx context.Context) error {
-	acceptDone := make(chan struct{})
+// Start launches the accept loop and the Flux runtime; the server then
+// serves until the context is cancelled or Shutdown is called.
+func (s *Server) Start(ctx context.Context) error {
+	if err := s.rt.Start(ctx); err != nil {
+		return err
+	}
+	s.stop = make(chan struct{})
+	s.acceptDone = make(chan struct{})
 	go func() {
-		defer close(acceptDone)
+		defer close(s.acceptDone)
 		for {
 			nc, err := s.ln.Accept()
 			if err != nil {
@@ -211,6 +222,9 @@ func (s *Server) Run(ctx context.Context) error {
 			}
 			select {
 			case s.ready <- nc:
+			case <-s.stop:
+				nc.Close()
+				return
 			case <-ctx.Done():
 				nc.Close()
 				return
@@ -218,12 +232,44 @@ func (s *Server) Run(ctx context.Context) error {
 		}
 	}()
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-s.stop:
+		}
 		s.ln.Close()
 	}()
-	err := s.rt.Run(ctx)
-	<-acceptDone
+	return nil
+}
+
+// Shutdown gracefully stops the server: the listener closes, Flux
+// sources stop admitting, and in-flight requests drain until their
+// terminals or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stop == nil {
+		return runtime.ErrNotStarted
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	err := s.rt.Shutdown(ctx)
+	<-s.acceptDone
 	return err
+}
+
+// Wait blocks until the run ends and returns its error.
+func (s *Server) Wait() error {
+	if s.acceptDone == nil {
+		return runtime.ErrNotStarted
+	}
+	err := s.rt.Wait()
+	<-s.acceptDone
+	return err
+}
+
+// Run serves until the context is cancelled: Start followed by Wait.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+	return s.Wait()
 }
 
 // --- node implementations --------------------------------------------------

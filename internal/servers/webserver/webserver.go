@@ -19,6 +19,7 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
@@ -117,7 +118,8 @@ type Config struct {
 	ScriptWork int
 }
 
-// Server is a runnable Flux web server.
+// Server is a runnable Flux web server, driven through the same
+// lifecycle as the runtime underneath: Start, Shutdown, Wait — or Run.
 type Server struct {
 	cfg   Config
 	prog  *core.Program
@@ -126,6 +128,10 @@ type Server struct {
 	ready chan *Conn
 	cache *lfu.Cache
 	page  *fscript.Page
+
+	stopOnce   sync.Once
+	stop       chan struct{}
+	acceptDone chan struct{}
 }
 
 // dynamicTemplate is the built-in FScript page served under /dynamic.
@@ -203,12 +209,12 @@ func New(cfg Config) (*Server, error) {
 		BindPredicate("TestInCache", func(v any) bool { return v.(*Request).hit }).
 		MarkBlocking("ReadRequest", "SendResponse")
 
-	rt, err := runtime.NewServer(prog, b, runtime.Config{
-		Kind:          cfg.Engine,
-		PoolSize:      cfg.PoolSize,
-		SourceTimeout: cfg.SourceTimeout,
-		Profiler:      cfg.Profiler,
-	})
+	rt, err := runtime.New(prog, b,
+		runtime.WithEngine(cfg.Engine),
+		runtime.WithPoolSize(cfg.PoolSize),
+		runtime.WithSourceTimeout(cfg.SourceTimeout),
+		runtime.WithProfiler(cfg.Profiler),
+	)
 	if err != nil {
 		ln.Close()
 		return nil, err
@@ -230,11 +236,17 @@ func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
 // CacheStats exposes hit/miss/eviction counters.
 func (s *Server) CacheStats() (hits, misses, evictions uint64) { return s.cache.Stats() }
 
-// Run serves until the context is cancelled.
-func (s *Server) Run(ctx context.Context) error {
-	acceptDone := make(chan struct{})
+// Start launches the accept loop and the Flux runtime, returning once
+// both are running. The server then serves until the context is
+// cancelled or Shutdown is called.
+func (s *Server) Start(ctx context.Context) error {
+	if err := s.rt.Start(ctx); err != nil {
+		return err
+	}
+	s.stop = make(chan struct{})
+	s.acceptDone = make(chan struct{})
 	go func() {
-		defer close(acceptDone)
+		defer close(s.acceptDone)
 		for {
 			nc, err := s.ln.Accept()
 			if err != nil {
@@ -243,6 +255,9 @@ func (s *Server) Run(ctx context.Context) error {
 			c := &Conn{nc: nc, br: bufio.NewReader(nc)}
 			select {
 			case s.ready <- c:
+			case <-s.stop:
+				nc.Close()
+				return
 			case <-ctx.Done():
 				nc.Close()
 				return
@@ -250,12 +265,44 @@ func (s *Server) Run(ctx context.Context) error {
 		}
 	}()
 	go func() {
-		<-ctx.Done()
+		select {
+		case <-ctx.Done():
+		case <-s.stop:
+		}
 		s.ln.Close()
 	}()
-	err := s.rt.Run(ctx)
-	<-acceptDone
+	return nil
+}
+
+// Shutdown gracefully stops the server: the listener closes, the Flux
+// sources stop admitting, and in-flight requests drain until their
+// terminals or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.stop == nil {
+		return runtime.ErrNotStarted
+	}
+	s.stopOnce.Do(func() { close(s.stop) })
+	err := s.rt.Shutdown(ctx)
+	<-s.acceptDone
 	return err
+}
+
+// Wait blocks until the run ends and returns its error.
+func (s *Server) Wait() error {
+	if s.acceptDone == nil {
+		return runtime.ErrNotStarted
+	}
+	err := s.rt.Wait()
+	<-s.acceptDone
+	return err
+}
+
+// Run serves until the context is cancelled: Start followed by Wait.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.Start(ctx); err != nil {
+		return err
+	}
+	return s.Wait()
 }
 
 // --- node implementations --------------------------------------------------
