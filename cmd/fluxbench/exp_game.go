@@ -29,6 +29,7 @@ func expGame(cfg benchConfig) error {
 		{"flux-thread", flux.ThreadPerFlow},
 		{"flux-threadpool", flux.ThreadPool},
 		{"flux-event", flux.EventDriven},
+		{"flux-steal", flux.WorkStealing},
 	}
 
 	fmt.Println("10 Hz heartbeat; clients move at 10 Hz; measured: state inter-arrival p95 and")

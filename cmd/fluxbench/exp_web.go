@@ -139,6 +139,7 @@ func webTargets(files *loadgen.FileSet) []webTarget {
 		{"flux-thread", fluxStart(flux.ThreadPerFlow)},
 		{"flux-threadpool", fluxStart(flux.ThreadPool)},
 		{"flux-event", fluxStart(flux.EventDriven)},
+		{"flux-steal", fluxStart(flux.WorkStealing)},
 		{"knot-like", func(files *loadgen.FileSet) (string, func(), error) {
 			srv, err := knotweb.New(knotweb.Config{Files: files})
 			if err != nil {

@@ -2,7 +2,7 @@
 // server, plus the §5.1 workflow — profile a run, derive simulator
 // parameters, and predict throughput on more CPUs.
 //
-//	go run ./examples/imageserver [-addr host:port] [-engine thread|pool|event] [-demo]
+//	go run ./examples/imageserver [-addr host:port] [-engine thread|pool|event|steal] [-demo]
 //
 // With -demo (the default when no flags are given) the example starts
 // the server, drives a short load against it, prints the hot-path
@@ -27,7 +27,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
-	engine := flag.String("engine", "pool", "runtime engine: thread, pool, or event")
+	engine := flag.String("engine", "pool", "runtime engine: thread, pool, event, or steal")
 	demo := flag.Bool("demo", true, "run the built-in load + prediction demo, then exit")
 	flag.Parse()
 
@@ -93,13 +93,16 @@ func main() {
 	}
 }
 
+// engineKind resolves the flag through the engine registry, so any
+// registered engine ("steal", ...) is selectable; "pool" stays as the
+// short alias for threadpool.
 func engineKind(s string) flux.EngineKind {
-	switch s {
-	case "thread":
-		return flux.ThreadPerFlow
-	case "event":
-		return flux.EventDriven
-	default:
+	if s == "pool" {
 		return flux.ThreadPool
 	}
+	if k, ok := flux.ParseEngineKind(s); ok {
+		return k
+	}
+	log.Fatalf("unknown engine %q (want thread, pool, event, or steal)", s)
+	return flux.ThreadPool
 }

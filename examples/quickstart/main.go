@@ -76,8 +76,8 @@ func main() {
 			return nil, nil
 		})
 
-	// The same program runs on any engine; try flux.EventDriven or
-	// flux.ThreadPerFlow.
+	// The same program runs on any engine; try flux.EventDriven,
+	// flux.ThreadPerFlow, or flux.WorkStealing.
 	srv, err := flux.New(prog, b, flux.WithEngine(flux.ThreadPool), flux.WithPoolSize(4))
 	if err != nil {
 		log.Fatal(err)

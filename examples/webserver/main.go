@@ -1,7 +1,7 @@
 // The paper's HTTP/1.1 web server (§4.2): SPECweb99-like static corpus
-// plus dynamic FScript pages, on any of the three Flux runtimes.
+// plus dynamic FScript pages, on any of the Flux runtimes.
 //
-//	go run ./examples/webserver [-addr host:port] [-engine thread|pool|event] [-dirs n] [-demo]
+//	go run ./examples/webserver [-addr host:port] [-engine thread|pool|event|steal] [-dirs n] [-demo]
 //
 // With -demo the example drives its own SPECweb-like client swarm and
 // prints throughput/latency, then exits.
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:0", "listen address")
-	engine := flag.String("engine", "pool", "runtime engine: thread, pool, or event")
+	engine := flag.String("engine", "pool", "runtime engine: thread, pool, event, or steal")
 	dirs := flag.Int("dirs", 1, "SPECweb-like corpus directories (~5 MB each)")
 	demo := flag.Bool("demo", true, "drive a built-in load test, then exit")
 	flag.Parse()
@@ -77,13 +77,16 @@ func main() {
 	}
 }
 
+// engineKind resolves the flag through the engine registry, so any
+// registered engine ("steal", ...) is selectable; "pool" stays as the
+// short alias for threadpool.
 func engineKind(s string) flux.EngineKind {
-	switch s {
-	case "thread":
-		return flux.ThreadPerFlow
-	case "event":
-		return flux.EventDriven
-	default:
+	if s == "pool" {
 		return flux.ThreadPool
 	}
+	if k, ok := flux.ParseEngineKind(s); ok {
+		return k
+	}
+	log.Fatalf("unknown engine %q (want thread, pool, event, or steal)", s)
+	return flux.ThreadPool
 }

@@ -21,11 +21,12 @@
 //
 // The compiled program runs unchanged on interchangeable runtime
 // engines (§3.2): goroutine-per-flow, a fixed pool with FIFO admission,
-// and an event-driven engine whose dispatcher never blocks — all behind
-// the runtime's Engine interface, so further engines plug in without
-// touching the server. It can also be fed to the discrete-event
-// simulator to predict server performance on hypothetical hardware
-// before deployment (§5.1).
+// an event-driven engine whose dispatcher never blocks, and a
+// work-stealing engine that shards the event loop across one
+// deque-owning dispatcher per core — all behind the runtime's Engine
+// interface, so further engines plug in without touching the server. It
+// can also be fed to the discrete-event simulator to predict server
+// performance on hypothetical hardware before deployment (§5.1).
 //
 // # Quick start
 //
@@ -134,7 +135,8 @@ type (
 	FlowOutcome = runtime.FlowOutcome
 )
 
-// Engine kinds (§3.2).
+// Engine kinds: the three runtimes of §3.2 plus the multicore
+// work-stealing evolution of the event engine.
 const (
 	// ThreadPerFlow starts a goroutine per data flow.
 	ThreadPerFlow = runtime.ThreadPerFlow
@@ -143,6 +145,11 @@ const (
 	// EventDriven runs node activations as events on a non-blocking
 	// dispatcher with an async-I/O offload pool.
 	EventDriven = runtime.EventDriven
+	// WorkStealing runs one event dispatcher per core (default
+	// GOMAXPROCS, tune with WithDispatchers), each owning a local run
+	// deque with idle-core work stealing — the event engine's design
+	// scaled across cores.
+	WorkStealing = runtime.WorkStealing
 )
 
 // Flow outcomes, as reported to Observer.FlowDone.
@@ -185,7 +192,8 @@ var (
 	// WithPoolSize sets the thread-pool worker count (default
 	// 4×GOMAXPROCS).
 	WithPoolSize = runtime.WithPoolSize
-	// WithDispatchers sets the event-loop count (default 1).
+	// WithDispatchers sets the event-loop count (default 1 for
+	// EventDriven, GOMAXPROCS for WorkStealing).
 	WithDispatchers = runtime.WithDispatchers
 	// WithAsyncWorkers sizes the event engine's blocking-call offload
 	// pool (default 16).

@@ -225,6 +225,10 @@ Flow = Sink;
 	if !ok || k != flux.EventDriven {
 		t.Errorf("ParseEngineKind(event) = %v, %v", k, ok)
 	}
+	k, ok = flux.ParseEngineKind("steal")
+	if !ok || k != flux.WorkStealing {
+		t.Errorf("ParseEngineKind(steal) = %v, %v", k, ok)
+	}
 }
 
 // countingObserver counts FlowDone events through the public Observer

@@ -1,0 +1,194 @@
+package runtime
+
+// Tests for the work-stealing deque: LIFO owner end, FIFO steal end,
+// steal-half sizing, and conservation under concurrent owner/thief
+// traffic (run with -race).
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeOwnerLIFO(t *testing.T) {
+	var d deque[int]
+	for i := 1; i <= 5; i++ {
+		d.push(i)
+	}
+	for want := 5; want >= 1; want-- {
+		v, ok := d.pop()
+		if !ok || v != want {
+			t.Fatalf("pop = %d, %v; want %d (owner end must be LIFO)", v, ok, want)
+		}
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("pop on empty deque reported ok")
+	}
+}
+
+func TestDequeStealHalfTakesOldestInOrder(t *testing.T) {
+	var d deque[int]
+	for i := 1; i <= 7; i++ {
+		d.push(i)
+	}
+	var scratch []int
+	n := d.stealHalf(&scratch)
+	if n != 4 { // ceil(7/2)
+		t.Fatalf("stole %d of 7, want 4 (ceil half)", n)
+	}
+	for i := 0; i < n; i++ {
+		if scratch[i] != i+1 {
+			t.Fatalf("stolen[%d] = %d, want %d (steal end must be FIFO, oldest first)", i, scratch[i], i+1)
+		}
+	}
+	if d.len() != 3 {
+		t.Fatalf("victim left with %d, want 3", d.len())
+	}
+	// The owner keeps its LIFO view of the remainder.
+	if v, _ := d.pop(); v != 7 {
+		t.Fatalf("owner pop after steal = %d, want 7", v)
+	}
+}
+
+func TestDequeStealHalfSizing(t *testing.T) {
+	// k = n - n/2 for every n: a single queued item is worth taking.
+	f := func(n uint8) bool {
+		var d deque[int]
+		for i := 0; i < int(n); i++ {
+			d.push(i)
+		}
+		var scratch []int
+		got := d.stealHalf(&scratch)
+		want := int(n) - int(n)/2
+		if got != want || d.len() != int(n)-want {
+			t.Logf("n=%d: stole %d (want %d), left %d", n, got, want, d.len())
+			return false
+		}
+		for i := 0; i < got; i++ {
+			if scratch[i] != i {
+				t.Logf("n=%d: stolen[%d] = %d", n, i, scratch[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDequeGrowthAcrossWrap(t *testing.T) {
+	var d deque[int]
+	// Interleave pushes and pops so head walks around the ring, then
+	// force growth with the ring in a wrapped state.
+	for i := 0; i < 40; i++ {
+		d.push(i)
+	}
+	var scratch []int
+	d.stealHalf(&scratch) // advance head
+	for i := 40; i < 400; i++ {
+		d.push(i) // forces at least two growths
+	}
+	// Everything must come back exactly once: steal FIFO returns the
+	// oldest prefix, owner pops return the rest newest-first.
+	seen := make(map[int]bool)
+	for _, v := range scratch {
+		seen[v] = true
+	}
+	for {
+		v, ok := d.pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate element %d after growth", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 400 {
+		t.Fatalf("recovered %d of 400 elements", len(seen))
+	}
+}
+
+// TestDequeConcurrentStealConservation: one owner pushing and popping,
+// several thieves stealing halves — every pushed value must surface
+// exactly once across owner pops and steals. Run under -race this also
+// proves the locking discipline.
+func TestDequeConcurrentStealConservation(t *testing.T) {
+	var d deque[int]
+	const total = 20000
+	const thieves = 3
+
+	var mu sync.Mutex
+	counts := make(map[int]int, total)
+	record := func(vals ...int) {
+		mu.Lock()
+		for _, v := range vals {
+			counts[v]++
+		}
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []int
+			for {
+				if n := d.stealHalf(&scratch); n > 0 {
+					record(scratch[:n]...)
+					continue
+				}
+				select {
+				case <-done:
+					// One final sweep: the owner may have pushed between
+					// our last steal and its exit.
+					if n := d.stealHalf(&scratch); n > 0 {
+						record(scratch[:n]...)
+						continue
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+
+	// Owner: push everything, popping a few along the way.
+	for i := 0; i < total; i++ {
+		d.push(i)
+		if i%3 == 0 {
+			if v, ok := d.pop(); ok {
+				record(v)
+			}
+		}
+	}
+	for {
+		v, ok := d.pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+	close(done)
+	wg.Wait()
+	// Drain anything left after the thieves exited.
+	for {
+		v, ok := d.pop()
+		if !ok {
+			break
+		}
+		record(v)
+	}
+
+	if len(counts) != total {
+		t.Fatalf("recovered %d of %d distinct values", len(counts), total)
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Fatalf("value %d surfaced %d times", v, n)
+		}
+	}
+}

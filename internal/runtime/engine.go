@@ -129,6 +129,7 @@ func init() {
 	RegisterEngine(ThreadPerFlow, "thread", newThreadEngine)
 	RegisterEngine(ThreadPool, "threadpool", newPoolEngine)
 	RegisterEngine(EventDriven, "event", newEventEngine)
+	RegisterEngine(WorkStealing, "steal", newStealEngine)
 }
 
 // awaitDone is the shared Drain implementation: wait for the engine's

@@ -200,26 +200,45 @@ func (e *eventEngine) sampleQueues() {
 	}
 }
 
-// dispatch is the event loop: it pops one event, handles it without
-// blocking (beyond a source's bounded poll), and checks for termination.
+// eventBatch is how many queued events a dispatcher claims per queue
+// round trip. Under backlog the queue mutex amortizes over the batch;
+// with a short queue popBatch returns what is available (usually one),
+// so sibling dispatchers are not starved by one grabbing everything.
+const eventBatch = 8
+
+// dispatch is the event loop: it drains a batch of events per mutex
+// round trip, handles each without blocking (beyond a source's bounded
+// poll), and checks for termination after every event.
+//
+// The local buffer is termination-check-safe: maybeFinish closes the
+// queue only when no source is live and no flow is in flight, and every
+// buffered event except a nudge keeps one of those counters nonzero
+// (evSource holds sources > 0 until retired, evStep/evResult hold
+// inflight > 0), so events parked in a dispatcher's buffer can never be
+// stranded by the queue closing under them.
 func (e *eventEngine) dispatch() {
+	var buf [eventBatch]event
 	for {
-		ev, ok := e.queue.pop()
+		n, ok := e.queue.popBatch(buf[:])
 		if !ok {
 			return
 		}
-		switch ev.kind {
-		case evSource:
-			e.handleSource(ev)
-		case evStep:
-			e.run(ev.fl, ev.tbl, ev.v, ev.rec, ev.acquired)
-		case evResult:
-			r := e.s.afterExec(ev.fl, ev.v, ev.rec, ev.out, ev.err)
-			e.run(ev.fl, ev.tbl, r.next, r.rec, 0)
-		case evNudge:
-			// No work; exists to force the termination check below.
+		for i := 0; i < n; i++ {
+			ev := buf[i]
+			buf[i] = event{} // release the record/flow for GC
+			switch ev.kind {
+			case evSource:
+				e.handleSource(ev, i+1 < n)
+			case evStep:
+				e.run(ev.fl, ev.tbl, ev.v, ev.rec, ev.acquired)
+			case evResult:
+				r := e.s.afterExec(ev.fl, ev.v, ev.rec, ev.out, ev.err)
+				e.run(ev.fl, ev.tbl, r.next, r.rec, 0)
+			case evNudge:
+				// No work; exists to force the termination check below.
+			}
+			e.maybeFinish()
 		}
-		e.maybeFinish()
 	}
 }
 
@@ -241,8 +260,9 @@ func (e *eventEngine) retireSource(ev event) {
 
 // handleSource polls a source once and re-queues it. The evSource event
 // owns a reusable poll Flow, so an idle source cycling through ErrNoData
-// allocates nothing.
-func (e *eventEngine) handleSource(ev event) {
+// allocates nothing. morePending reports events still buffered by this
+// dispatcher's batch, which count as ready work for poll-shortening.
+func (e *eventEngine) handleSource(ev event, morePending bool) {
 	select {
 	case <-e.ctxDone:
 		e.retireSource(ev)
@@ -253,12 +273,13 @@ func (e *eventEngine) handleSource(ev event) {
 		ev.fl = e.s.newFlow(e.ctx, 0)
 		ev.fl.SourceTimeout = e.s.cfg.SourceTimeout
 		ev.fl.Wake = e.wake
+		ev.fl.src = ev.st
 	}
 	// A poll must return promptly when the engine already has work;
 	// pre-arm the wake signal so a well-behaved source's select fires
 	// immediately.
 	e.drainWake()
-	if e.queue.len() > 0 {
+	if morePending || e.queue.len() > 0 {
 		e.signalWake()
 	}
 	t0 := time.Now()
@@ -268,6 +289,7 @@ func (e *eventEngine) handleSource(ev event) {
 		e.s.stats.Started.Add(1)
 		flow := e.s.newFlow(e.ctx, ev.st.sessionOf(rec))
 		flow.SourceTimeout = e.s.cfg.SourceTimeout
+		flow.adoptRecord(ev.fl)
 		e.inflight.Add(1)
 		// Re-queue the source first, then run the new flow inline until
 		// it blocks: the next dispatch iteration polls the source again,
@@ -275,10 +297,11 @@ func (e *eventEngine) handleSource(ev event) {
 		e.queue.push(ev)
 		e.run(flow, ev.st.tbl, ev.st.tbl.g.Entry, rec, 0)
 	case errors.Is(err, ErrNoData):
+		ev.fl.releaseRecord() // a drawn-but-unused record goes back now
 		// Guard against sources that return early instead of waiting
 		// out their deadline: an idle queue would otherwise hot-spin.
 		// The guard sleep is interrupted by new work arriving.
-		if e.queue.len() == 0 {
+		if !morePending && e.queue.len() == 0 {
 			if rest := e.s.cfg.SourceTimeout - time.Since(t0); rest > 0 {
 				e.sleepWakeable(rest)
 			}
@@ -340,16 +363,17 @@ func (e *eventEngine) run(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Recor
 			for acquired < len(info.cons) {
 				rc := info.cons[acquired]
 				// Uncontended grants take the closure-free fast path;
-				// otherwise park the flow on the lock's FIFO queue and
-				// let the grant callback re-queue the continuation.
-				// Arrival-order grants keep timer flows from being
-				// starved by a stream of later acquirers.
+				// otherwise park the flow on the lock's FIFO queue via
+				// its embedded waiter node — the grant re-queues the
+				// continuation, and neither side allocates. Arrival-
+				// order grants keep timer flows from being starved by a
+				// stream of later acquirers.
 				if s.locks.tryAcquireResolved(fl, rc) {
 					acquired++
 					continue
 				}
-				cont := event{kind: evStep, fl: fl, tbl: tbl, v: v, rec: rec, acquired: acquired + 1}
-				if !s.locks.parkResolved(fl, rc, func() { e.pushEvent(cont) }) {
+				fl.lw.tbl, fl.lw.v, fl.lw.rec, fl.lw.acquired = tbl, v, rec, acquired+1
+				if !s.locks.parkWaiter(fl, rc, e) {
 					return
 				}
 				acquired++
@@ -370,6 +394,14 @@ func (e *eventEngine) run(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Recor
 			return
 		}
 	}
+}
+
+// resumeGranted re-queues a lock-granted flow's continuation: the
+// engine's side of the allocation-free contended acquire (parkWaiter).
+func (e *eventEngine) resumeGranted(n *lockWaiterNode, by *Flow) {
+	ev := event{kind: evStep, fl: n.fl, tbl: n.tbl, v: n.v, rec: n.rec, acquired: n.acquired}
+	n.rec = nil // the event owns the record now; drop the node's pin
+	e.pushEvent(ev)
 }
 
 // asyncWorker runs offloaded blocking nodes and queues their results.

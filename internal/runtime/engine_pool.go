@@ -8,11 +8,15 @@ import (
 )
 
 // pooledFlow is one queued admission: a record waiting for a worker.
-// Kept to two words + record so the FIFO's chunk copies stay cheap;
-// injected flows are recycled at Submit and rebuilt by the worker.
+// Kept to three words + record so the FIFO's chunk copies stay cheap;
+// injected flows are recycled at Submit and rebuilt by the worker. box
+// carries the record's pool slot (when the source drew it from the
+// per-source record pool) to the worker-built flow, which frees it at
+// the flow's terminal.
 type pooledFlow struct {
 	st  *sourceState
 	rec Record
+	box *pooledRec
 }
 
 // poolBatch is how many queued admissions a worker claims per queue
@@ -86,6 +90,7 @@ func (e *poolEngine) worker(workers *sync.WaitGroup) {
 			pf := buf[i]
 			buf[i] = pooledFlow{} // release the record for GC
 			fl := s.newFlow(ctx, pf.st.sessionOf(pf.rec))
+			fl.recBox = pf.box
 			s.runFlow(fl, pf.st.tbl, pf.rec)
 		}
 	}
@@ -101,6 +106,7 @@ func (e *poolEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
 	// One poll context serves every iteration of this source loop;
 	// admitted records are handed flows by the workers.
 	fl := s.newFlow(ctx, 0)
+	fl.src = st // lets the source draw from its record pool (NewRecord)
 	defer s.freeFlow(fl)
 	for {
 		select {
@@ -112,8 +118,9 @@ func (e *poolEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
 		switch {
 		case err == nil:
 			s.stats.Started.Add(1)
-			queue.push(pooledFlow{st: st, rec: rec})
+			queue.push(pooledFlow{st: st, rec: rec, box: fl.takeRecBox()})
 		case errors.Is(err, ErrNoData):
+			fl.releaseRecord()
 			continue
 		case errors.Is(err, ErrStop):
 			return

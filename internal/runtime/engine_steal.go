@@ -1,0 +1,663 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+)
+
+// The work-stealing engine: the event-driven runtime (§3.2.2) decomposed
+// into one dispatcher per core, each owning a local run deque, so event
+// throughput scales with dispatcher count instead of collapsing on a
+// single shared queue's mutex — the multicore design the paper's
+// single-threaded event server predates.
+//
+// Scheduling follows the shape of multicore runtime schedulers (Go's own
+// P-local run queues, Cilk-style deques):
+//
+//   - each dispatcher owns a deque of events: it pushes and pops at the
+//     LIFO end, so a flow's continuation runs while its state is still
+//     cache-hot, and sources re-queue locally, keeping a flow's whole
+//     life on one core in the common case;
+//   - admissions are sharded: sources are distributed round-robin across
+//     the dispatchers at start, and each source's flows originate on its
+//     home dispatcher;
+//   - a dispatcher that runs dry batch-drains the overflow/injection
+//     queue (external Submit admissions and any work without a home),
+//     then steals the oldest half of a random victim's deque — oldest
+//     first, so migrated work preserves rough admission order;
+//   - lock grants resume the waiter on the *releasing* flow's dispatcher
+//     (the lock handoff already moved the protected state to that core),
+//     via the lock manager's intrusive waiter nodes — no closures, no
+//     global queue trip;
+//   - idle dispatchers park on a per-dispatcher token channel. The
+//     parking protocol is announce-then-verify: a dispatcher publishes
+//     its parked flag, then re-scans every queue before sleeping, while
+//     producers publish work before reading parked flags — whichever
+//     side loses the race still observes the other's write, so no wakeup
+//     is missed and Drain cannot deadlock on a sleeping core.
+//
+// Run-to-block dispatch, the async-I/O offload pool, the poll-shortening
+// wake signal, and the zero-allocation flow path carry over from the
+// event engine unchanged.
+
+// stealBatch is how many injection-queue events an idle dispatcher
+// claims per mutex round trip.
+const stealBatch = 8
+
+type stealEngine struct {
+	s        *Server
+	ctx      context.Context
+	ctxDone  <-chan struct{}
+	disp     []*stealDispatcher
+	injectq  *fifo[event]
+	asyncq   *fifo[event]
+	inflight atomic.Int64
+	sources  atomic.Int64
+	// nparked counts dispatchers currently in (or entering) the parked
+	// state, so the admission path skips the per-dispatcher wake scan —
+	// the common all-busy case costs one atomic load.
+	nparked atomic.Int32
+	// ninject mirrors the injection queue's length (incremented after a
+	// successful offer, decremented by drainInject), so every dispatcher
+	// iteration can probe for external admissions with one atomic load
+	// instead of the queue mutex — an injected flow is picked up on the
+	// next event boundary, not after a poll-timeout backlog. Transiently
+	// negative under racing drains; only > 0 is meaningful.
+	ninject atomic.Int64
+	// closing elects the single closer; closed is what dispatchers gate
+	// on, stored only after the injection queue is closed. The ordering
+	// is what makes a Submit racing the close safe: an offer that
+	// succeeded happened before injectq.close(), hence before closed
+	// became visible, hence before any dispatcher's first closing-drain
+	// pass — the straggler is always found.
+	closing atomic.Bool
+	closed  atomic.Bool
+	done    chan struct{}
+}
+
+type stealDispatcher struct {
+	e  *stealEngine
+	id int
+	dq deque[event]
+	// wake is the dispatcher's parking token and poll interrupt: parking
+	// blocks on it, and pushes to this dispatcher's deque signal it so a
+	// source poll in progress yields immediately.
+	wake   chan struct{}
+	parked atomic.Bool
+	steals atomic.Uint64
+	// scratch is the reusable steal buffer, so migrating half a victim's
+	// deque allocates nothing in steady state.
+	scratch []event
+	rng     uint64
+	// depthName is the observer label ("disp0", ...), precomputed so
+	// sampling does not format strings.
+	depthName string
+}
+
+func newStealEngine(s *Server) Engine {
+	e := &stealEngine{
+		s:       s,
+		injectq: newFIFO[event](),
+		asyncq:  newFIFO[event](),
+		done:    make(chan struct{}),
+	}
+	n := s.cfg.Dispatchers
+	e.disp = make([]*stealDispatcher, n)
+	for i := range e.disp {
+		e.disp[i] = &stealDispatcher{
+			e:         e,
+			id:        i,
+			wake:      make(chan struct{}, 1),
+			rng:       uint64(i)*0x9E3779B97F4A7C15 + 1,
+			depthName: "disp" + strconv.Itoa(i),
+		}
+	}
+	return e
+}
+
+func (e *stealEngine) Start(ctx context.Context) error {
+	e.ctx = ctx
+	e.ctxDone = ctx.Done()
+	s := e.s
+
+	var asyncWG sync.WaitGroup
+	for i := 0; i < s.cfg.AsyncWorkers; i++ {
+		asyncWG.Add(1)
+		go func() {
+			defer asyncWG.Done()
+			e.asyncWorker()
+		}()
+	}
+
+	// Shard sources round-robin across dispatchers: each source's flows
+	// originate — and usually complete — on its home core.
+	for i, st := range s.srcs {
+		e.sources.Add(1)
+		e.disp[i%len(e.disp)].dq.push(event{kind: evSource, st: st})
+	}
+	if s.cfg.KeepAlive {
+		// A virtual source holds the engine open for Inject admissions;
+		// cancellation retires it and re-checks termination directly (a
+		// parked engine has no dispatcher to do it).
+		e.sources.Add(1)
+		go func() {
+			<-ctx.Done()
+			e.sources.Add(-1)
+			e.maybeFinish()
+		}()
+	}
+	if s.obs != nil {
+		go e.sampleQueues()
+	}
+
+	var dispWG sync.WaitGroup
+	for _, d := range e.disp {
+		dispWG.Add(1)
+		go func(d *stealDispatcher) {
+			defer dispWG.Done()
+			d.loop()
+		}(d)
+	}
+	go func() {
+		dispWG.Wait()
+		e.asyncq.close()
+		asyncWG.Wait()
+		close(e.done)
+	}()
+	return nil
+}
+
+// Submit admits an externally-originated flow through the injection
+// queue; the next idle dispatcher batch-drains it.
+func (e *stealEngine) Submit(fl *Flow, rec Record) error {
+	fl.SourceTimeout = e.s.cfg.SourceTimeout
+	e.inflight.Add(1)
+	tbl := fl.src.tbl
+	if !e.injectq.offer(event{kind: evStep, fl: fl, tbl: tbl, v: tbl.g.Entry, rec: rec}) {
+		e.inflight.Add(-1)
+		// The transient inflight bump may have been the last thing
+		// holding a closing dispatcher in its drain loop; re-announce
+		// quiescence so it re-checks and exits (a lost wake here would
+		// hang Drain).
+		e.maybeFinish()
+		e.s.freeFlow(fl)
+		return ErrServerClosed
+	}
+	e.ninject.Add(1)
+	e.wakeOne()
+	return nil
+}
+
+func (e *stealEngine) Drain(ctx context.Context) error {
+	return awaitDone(e.done, ctx)
+}
+
+// maybeFinish begins shutdown once no source is live and no flow is in
+// flight: evSource events hold sources > 0 until retired and
+// evStep/evResult events hold inflight > 0, so no settled work can be
+// stranded by closing. A Submit can still race the close — its flow
+// accepted by the injection queue an instant after the counters read
+// zero — which is why dispatchers keep draining after closed flips
+// (nextClosing) and why the wake fan-out below runs on every quiescence
+// observation, not just the closing one: the dispatcher that retires
+// such a straggler re-wakes the others so they can re-check and exit.
+func (e *stealEngine) maybeFinish() {
+	if e.sources.Load() != 0 || e.inflight.Load() != 0 {
+		return
+	}
+	if e.closing.CompareAndSwap(false, true) {
+		e.injectq.close()
+		e.closed.Store(true)
+	}
+	for _, d := range e.disp {
+		d.signalWake()
+	}
+}
+
+// nextClosing is the dispatcher loop's tail once the engine has closed:
+// drain any straggler events — a Submit that won its race against the
+// close has its flow sitting in the injection queue (fifo pendings
+// survive close), and its async completions land on deques — and exit
+// only when no flow is left in flight. Parking here needs no flag
+// protocol: async completions signal the owning dispatcher's buffered
+// wake token directly, and maybeFinish wakes everyone whenever the
+// engine is observed quiescent.
+func (d *stealDispatcher) nextClosing(buf []event) (event, bool) {
+	e := d.e
+	for {
+		if ev, ok := d.dq.pop(); ok {
+			return ev, true
+		}
+		if ev, ok := d.drainInject(buf); ok {
+			return ev, true
+		}
+		if e.inflight.Load() == 0 {
+			return event{}, false
+		}
+		<-d.wake
+	}
+}
+
+// sampleQueues feeds the observer plane each dispatcher's deque depth,
+// the injection and async-offload backlogs, and the cumulative steal
+// count (reported through the queue-depth surface as a monotonic
+// sample named "steals").
+func (e *stealEngine) sampleQueues() {
+	t := time.NewTicker(e.s.cfg.QueueSample)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			obs := e.s.obs
+			var steals uint64
+			for _, d := range e.disp {
+				obs.QueueDepth(WorkStealing, d.depthName, d.dq.len())
+				steals += d.steals.Load()
+			}
+			obs.QueueDepth(WorkStealing, "inject", e.injectq.len())
+			obs.QueueDepth(WorkStealing, "async", e.asyncq.len())
+			obs.QueueDepth(WorkStealing, "steals", int(steals))
+		}
+	}
+}
+
+// wakeOne unparks one parked dispatcher, or failing that interrupts one
+// dispatcher's source poll, so externally-pushed work is picked up
+// promptly.
+func (e *stealEngine) wakeOne() {
+	for _, d := range e.disp {
+		if d.parked.Load() {
+			d.signalWake()
+			return
+		}
+	}
+	e.disp[0].signalWake()
+}
+
+func (d *stealDispatcher) signalWake() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (d *stealDispatcher) drainWake() {
+	select {
+	case <-d.wake:
+	default:
+	}
+}
+
+// pushTo lands an event on a specific dispatcher's deque and signals it,
+// cutting short a poll or unparking it if necessary.
+func (e *stealEngine) pushTo(d *stealDispatcher, ev event) {
+	d.dq.push(ev)
+	d.signalWake()
+}
+
+// loop is the dispatcher body. With at most one dispatcher per core
+// (the default), each is pinned to an OS thread, approximating the
+// per-core event loops of multicore event designs and keeping a deque's
+// cache lines home; oversubscribed configurations stay unpinned so
+// dispatcher switches remain cheap goroutine switches.
+func (d *stealDispatcher) loop() {
+	e := d.e
+	if len(e.disp) <= runtime.GOMAXPROCS(0) {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	var buf [stealBatch]event
+	for {
+		ev, ok := d.next(buf[:])
+		if !ok {
+			return
+		}
+		d.handle(ev)
+		e.maybeFinish()
+	}
+}
+
+// next returns the dispatcher's next event: pending external admissions
+// first (one atomic probe — a never-empty local deque must not starve
+// the injection queue), then the local deque (LIFO), then half of a
+// random victim's deque, and otherwise parks until a producer signals.
+func (d *stealDispatcher) next(buf []event) (event, bool) {
+	e := d.e
+	for {
+		if e.closed.Load() {
+			return d.nextClosing(buf)
+		}
+		if e.ninject.Load() > 0 {
+			if ev, ok := d.drainInject(buf); ok {
+				return ev, true
+			}
+		}
+		if ev, ok := d.dq.pop(); ok {
+			return ev, true
+		}
+		if ev, ok := d.drainInject(buf); ok {
+			return ev, true
+		}
+		if ev, ok := d.steal(); ok {
+			return ev, true
+		}
+		// Announce-then-verify parking: publish the parked flag, then
+		// re-scan every queue. A producer publishes work before reading
+		// parked flags, so one of the two sides always sees the other.
+		e.nparked.Add(1)
+		d.parked.Store(true)
+		if e.closed.Load() || d.dq.len() > 0 || e.injectq.len() > 0 || e.anyDequeued(d) {
+			d.parked.Store(false)
+			e.nparked.Add(-1)
+			continue
+		}
+		<-d.wake
+		d.parked.Store(false)
+		e.nparked.Add(-1)
+	}
+}
+
+// drainInject claims a batch from the overflow/injection queue: the
+// first event is returned to run now, the rest spill onto the local
+// deque where parked peers can steal them.
+func (d *stealDispatcher) drainInject(buf []event) (event, bool) {
+	n := d.e.injectq.tryPopBatch(buf)
+	if n == 0 {
+		return event{}, false
+	}
+	d.e.ninject.Add(-int64(n))
+	for i := 1; i < n; i++ {
+		d.dq.push(buf[i])
+		buf[i] = event{}
+	}
+	ev := buf[0]
+	buf[0] = event{}
+	if n > 1 {
+		// The surplus is stealable; invite a parked peer.
+		d.e.wakeOneParked()
+	}
+	return ev, true
+}
+
+// anyDequeued reports whether any other dispatcher's deque holds work —
+// the pre-park verification scan.
+func (e *stealEngine) anyDequeued(self *stealDispatcher) bool {
+	for _, d := range e.disp {
+		if d != self && d.dq.len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// wakeOneParked unparks one parked dispatcher if there is one; unlike
+// wakeOne it never interrupts a busy dispatcher's poll. The all-busy
+// fast path is a single atomic load.
+func (e *stealEngine) wakeOneParked() {
+	if e.nparked.Load() == 0 {
+		return
+	}
+	for _, d := range e.disp {
+		if d.parked.Load() {
+			d.signalWake()
+			return
+		}
+	}
+}
+
+// nextRand is a xorshift step for victim selection; deterministic seeds
+// per dispatcher, no shared state.
+func (d *stealDispatcher) nextRand() uint64 {
+	x := d.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.rng = x
+	return x
+}
+
+// steal takes the oldest half of a random victim's deque: the first
+// stolen event is returned to run now, the rest land on the thief's
+// deque. The victim's mutex is released before the thief's is taken
+// (stealHalf copies into the scratch buffer), so mutual steals cannot
+// deadlock.
+func (d *stealDispatcher) steal() (event, bool) {
+	e := d.e
+	n := len(e.disp)
+	if n < 2 {
+		return event{}, false
+	}
+	off := int(d.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := e.disp[(off+i)%n]
+		if v == d {
+			continue
+		}
+		if k := v.dq.stealHalf(&d.scratch); k > 0 {
+			d.steals.Add(1)
+			for j := 1; j < k; j++ {
+				d.dq.push(d.scratch[j])
+				d.scratch[j] = event{}
+			}
+			ev := d.scratch[0]
+			d.scratch[0] = event{}
+			return ev, true
+		}
+	}
+	return event{}, false
+}
+
+// handle runs one event. The flow's dispatcher affinity is updated
+// first: lock releases performed while it runs resume their waiters
+// onto this dispatcher's deque.
+func (d *stealDispatcher) handle(ev event) {
+	switch ev.kind {
+	case evSource:
+		d.handleSource(ev)
+	case evStep:
+		ev.fl.disp = d
+		d.run(ev.fl, ev.tbl, ev.v, ev.rec, ev.acquired)
+	case evResult:
+		ev.fl.disp = d
+		r := d.e.s.afterExec(ev.fl, ev.v, ev.rec, ev.out, ev.err)
+		d.run(ev.fl, ev.tbl, r.next, r.rec, 0)
+	case evNudge:
+		// No work; exists to force the termination check in loop.
+	}
+}
+
+// retireSource ends a source's polling loop, releasing its poll context.
+func (d *stealDispatcher) retireSource(ev event) {
+	if ev.fl != nil {
+		d.e.s.freeFlow(ev.fl)
+	}
+	d.e.sources.Add(-1)
+}
+
+// handleSource polls a source once and re-queues it on this dispatcher's
+// deque; its flows originate here and stay here unless stolen.
+func (d *stealDispatcher) handleSource(ev event) {
+	e := d.e
+	select {
+	case <-e.ctxDone:
+		d.retireSource(ev)
+		return
+	default:
+	}
+	if ev.fl == nil {
+		ev.fl = e.s.newFlow(e.ctx, 0)
+		ev.fl.SourceTimeout = e.s.cfg.SourceTimeout
+		ev.fl.src = ev.st
+	}
+	// The poll context's wake follows the source to its current
+	// dispatcher (the event may have been stolen).
+	ev.fl.Wake = d.wake
+	// Pre-arm the wake signal when work is already waiting — locally or
+	// in the injection queue — so a well-behaved source's select fires
+	// immediately. Both probes are atomic loads.
+	d.drainWake()
+	if d.dq.len() > 0 || e.ninject.Load() > 0 {
+		d.signalWake()
+	}
+	t0 := time.Now()
+	rec, err := ev.st.fn(ev.fl)
+	switch {
+	case err == nil:
+		e.s.stats.Started.Add(1)
+		flow := e.s.newFlow(e.ctx, ev.st.sessionOf(rec))
+		flow.SourceTimeout = e.s.cfg.SourceTimeout
+		flow.adoptRecord(ev.fl)
+		flow.disp = d
+		e.inflight.Add(1)
+		// Re-queue the source first — at the FIFO end, so a dispatcher
+		// owning several sources rotates through them — then run the new
+		// flow inline until it blocks. The queued source event sits at
+		// the steal end, so a parked peer can take over admission while
+		// this core runs the flow.
+		d.dq.pushTop(ev)
+		e.wakeOneParked()
+		d.run(flow, ev.st.tbl, ev.st.tbl.g.Entry, rec, 0)
+	case errors.Is(err, ErrNoData):
+		ev.fl.releaseRecord() // a drawn-but-unused record goes back now
+		// Guard against sources that return early instead of waiting out
+		// their deadline: an idle engine would otherwise hot-spin. The
+		// guard sleep is interrupted by new work arriving (deque pushes
+		// and Submit both signal wake tokens).
+		if d.dq.len() == 0 && e.ninject.Load() <= 0 {
+			if rest := e.s.cfg.SourceTimeout - time.Since(t0); rest > 0 {
+				d.sleepWakeable(rest)
+			}
+		}
+		d.dq.pushTop(ev)
+	case errors.Is(err, ErrStop),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		d.retireSource(ev)
+	default:
+		e.s.stats.NodeErrors.Add(1)
+		d.retireSource(ev)
+	}
+}
+
+// sleepWakeable waits without outliving the run context, returning early
+// when new work arrives.
+func (d *stealDispatcher) sleepWakeable(dur time.Duration) {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-d.wake:
+	case <-d.e.ctx.Done():
+	}
+}
+
+// run executes consecutive vertices of one flow inline — run-to-block —
+// identical in structure to the event engine's dispatch, with blocking
+// nodes offloaded to the shared async pool and contended constraints
+// parked through the flow's intrusive waiter node.
+func (d *stealDispatcher) run(fl *Flow, tbl *graphTable, v *core.FlatNode, rec Record, acquired int) {
+	e := d.e
+	s := e.s
+	for {
+		switch v.Kind {
+		case core.FlatExec:
+			info := &tbl.info[v.ID]
+			if info.blocking {
+				e.asyncq.push(event{kind: evStep, fl: fl, tbl: tbl, v: v, rec: rec})
+				return
+			}
+			out, err := s.callNode(fl, tbl, v, rec)
+			r := s.afterExec(fl, v, rec, out, err)
+			v, rec = r.next, r.rec
+
+		case core.FlatBranch:
+			r := s.branchVertex(fl, tbl, v, rec)
+			if r.terminal {
+				e.inflight.Add(-1)
+				s.freeFlow(fl)
+				return
+			}
+			v, rec = r.next, r.rec
+
+		case core.FlatAcquire:
+			info := &tbl.info[v.ID]
+			for acquired < len(info.cons) {
+				rc := info.cons[acquired]
+				if s.locks.tryAcquireResolved(fl, rc) {
+					acquired++
+					continue
+				}
+				fl.lw.tbl, fl.lw.v, fl.lw.rec, fl.lw.acquired = tbl, v, rec, acquired+1
+				if !s.locks.parkWaiter(fl, rc, e) {
+					return
+				}
+				acquired++
+			}
+			acquired = 0
+			fl.path += v.Out[0].Inc
+			v = v.Out[0].To
+
+		case core.FlatRelease:
+			s.locks.releaseN(fl, len(v.Cons))
+			fl.path += v.Out[0].Inc
+			v = v.Out[0].To
+
+		case core.FlatExit, core.FlatError:
+			s.finishFlow(fl, tbl.g, v)
+			e.inflight.Add(-1)
+			s.freeFlow(fl)
+			return
+		}
+	}
+}
+
+// resumeGranted lands a lock-granted continuation on the resuming
+// dispatcher's deque — the one whose release performed the handoff, so
+// the protected state is already in its cache — falling back to the
+// injection queue for grants triggered off-dispatcher.
+func (e *stealEngine) resumeGranted(n *lockWaiterNode, by *Flow) {
+	ev := event{kind: evStep, fl: n.fl, tbl: n.tbl, v: n.v, rec: n.rec, acquired: n.acquired}
+	n.rec = nil // the event owns the record now; drop the node's pin
+	if d := by.disp; d != nil && d.e == e {
+		e.pushTo(d, ev)
+		return
+	}
+	if e.injectq.offer(ev) {
+		e.ninject.Add(1)
+		e.wakeOne()
+		return
+	}
+	// The injection queue only closes once inflight == 0, and a granted
+	// continuation keeps inflight > 0 — so this push cannot be refused
+	// while the flow it carries is alive. Land it on dispatcher 0 as a
+	// belt-and-braces fallback.
+	e.pushTo(e.disp[0], ev)
+}
+
+// asyncWorker runs offloaded blocking nodes and re-queues their results
+// on the owning flow's last dispatcher, preserving locality.
+func (e *stealEngine) asyncWorker() {
+	for {
+		ev, ok := e.asyncq.pop()
+		if !ok {
+			return
+		}
+		out, err := e.s.callNode(ev.fl, ev.tbl, ev.v, ev.rec)
+		ev.kind = evResult
+		ev.out, ev.err = out, err
+		if d := ev.fl.disp; d != nil {
+			e.pushTo(d, ev)
+		} else {
+			e.pushTo(e.disp[0], ev)
+		}
+	}
+}

@@ -74,6 +74,7 @@ func (e *threadEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
 	// One poll context serves every iteration of this source loop; only
 	// accepted records get a flow of their own.
 	fl := s.newFlow(ctx, 0)
+	fl.src = st // lets the source draw from its record pool (NewRecord)
 	defer s.freeFlow(fl)
 	for {
 		select {
@@ -86,9 +87,11 @@ func (e *threadEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
 		case err == nil:
 			s.stats.Started.Add(1)
 			flow := s.newFlow(ctx, st.sessionOf(rec))
+			flow.adoptRecord(fl)
 			e.flows.Add(1)
 			go e.runOne(flow, st.tbl, rec)
 		case errors.Is(err, ErrNoData):
+			fl.releaseRecord()
 			continue
 		case errors.Is(err, ErrStop):
 			return

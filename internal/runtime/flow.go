@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"context"
+	"sync"
 	"time"
 )
 
@@ -44,10 +45,82 @@ type Flow struct {
 	held []heldToken
 
 	// src is set on externally-injected flows (Server.Inject) so the
-	// engine's Submit knows which graph to run.
+	// engine's Submit knows which graph to run, and on the engines' poll
+	// contexts so NewRecord can reach the source's record pool.
 	src *sourceState
 
+	// lw is the flow's embedded lock-waiter node: a flow blocks on at
+	// most one constraint at a time, so parking on a contended lock
+	// reuses this node instead of allocating a continuation closure.
+	lw lockWaiterNode
+
+	// disp is the work-stealing dispatcher currently running the flow;
+	// lock grants triggered by this flow's releases resume waiters onto
+	// that dispatcher's local deque. Nil on every other engine.
+	disp *stealDispatcher
+
+	// recBox holds the flow's pooled source record, if the source drew
+	// one with NewRecord; it returns to the source's pool when the flow
+	// is retired.
+	recBox *pooledRec
+
 	srv *Server
+}
+
+// pooledRec is one recyclable source record and the pool it returns to.
+type pooledRec struct {
+	pool *sync.Pool
+	buf  Record
+}
+
+// NewRecord returns a record of length n drawn from the flow's source
+// record pool, closing the last per-request allocation: the runtime
+// reclaims the record when the flow reaches a terminal. Sources call it
+// once per produced record in place of make(Record, n); the values
+// stored in it are the caller's business, but neither the record nor
+// its backing array may be retained past the flow's terminal — a node
+// that stashes its input record away must copy it (Record.Clone).
+// Outside a source poll (or if called more than once per poll) it
+// degrades to a plain allocation.
+func (fl *Flow) NewRecord(n int) Record {
+	if fl.src == nil || fl.recBox != nil {
+		return make(Record, n)
+	}
+	b := fl.src.recPool.Get().(*pooledRec)
+	if cap(b.buf) < n {
+		b.buf = make(Record, n)
+	}
+	b.buf = b.buf[:n]
+	fl.recBox = b
+	return b.buf
+}
+
+// adoptRecord moves the poll context's pooled record to the flow that
+// will run it, so the record is reclaimed exactly once — at that flow's
+// terminal — and the poll context is free to draw a fresh record on its
+// next iteration.
+func (fl *Flow) adoptRecord(from *Flow) {
+	fl.recBox, from.recBox = from.recBox, nil
+}
+
+// takeRecBox detaches the poll context's pooled record for engines that
+// queue admissions before building the flow (the thread pool's FIFO).
+func (fl *Flow) takeRecBox() *pooledRec {
+	b := fl.recBox
+	fl.recBox = nil
+	return b
+}
+
+// releaseRecord reclaims an attached pooled record immediately: the
+// flow terminal's free for retired flows, and the engines' cleanup when
+// a source draws a record but then produces no flow (ErrNoData), so the
+// long-lived poll context keeps pooling.
+func (fl *Flow) releaseRecord() {
+	if b := fl.recBox; b != nil {
+		fl.recBox = nil
+		clear(b.buf)
+		b.pool.Put(b)
+	}
 }
 
 // PathID returns the current Ball-Larus path register value.

@@ -6,6 +6,7 @@ package runtime
 
 import (
 	"context"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -146,7 +147,7 @@ func TestResolvedSessionConstraintsScope(t *testing.T) {
 // leak state (path register, session, held stack) between requests —
 // two consecutive runs over one pool must both see clean flows.
 func TestServerReRunAfterPooling(t *testing.T) {
-	for _, kind := range []EngineKind{ThreadPerFlow, ThreadPool, EventDriven} {
+	for _, kind := range []EngineKind{ThreadPerFlow, ThreadPool, EventDriven, WorkStealing} {
 		t.Run(kind.String(), func(t *testing.T) {
 			for round := 0; round < 2; round++ {
 				s, got, mu := buildPipeline(t, kind, 40)
@@ -240,6 +241,101 @@ func TestPoolEngineBatchedAdmissionKeepsFIFO(t *testing.T) {
 		if v != i+1 {
 			t.Fatalf("admission order violated at %d: got %d", i, v)
 		}
+	}
+}
+
+// TestSourceRecordPoolCorrectness: sources drawing their records from
+// the per-source pool (Flow.NewRecord) must deliver every value intact
+// on every engine — no premature recycling, no cross-flow corruption —
+// including through the thread pool's admission FIFO, where the record
+// is queued before its flow exists.
+func TestSourceRecordPoolCorrectness(t *testing.T) {
+	for _, kind := range []EngineKind{ThreadPerFlow, ThreadPool, EventDriven, WorkStealing} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := compileSrc(t, pipelineSrc)
+			const total = 300
+			var produced atomic.Int64
+			var sum atomic.Int64
+			b := NewBindings().
+				BindSource("Gen", func(fl *Flow) (Record, error) {
+					v := produced.Add(1)
+					if v > total {
+						return nil, ErrStop
+					}
+					rec := fl.NewRecord(1)
+					rec[0] = int(v)
+					return rec, nil
+				}).
+				BindNode("Double", func(fl *Flow, in Record) (Record, error) {
+					return Record{in[0].(int) * 2}, nil
+				}).
+				BindNode("Sink", func(fl *Flow, in Record) (Record, error) {
+					sum.Add(int64(in[0].(int)))
+					return nil, nil
+				})
+			s, err := NewServer(p, b, Config{Kind: kind, PoolSize: 4,
+				Dispatchers: 2, SourceTimeout: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			if want := int64(2 * total * (total + 1) / 2); sum.Load() != want {
+				t.Errorf("sum = %d, want %d (pooled record corrupted or lost)", sum.Load(), want)
+			}
+			if got := s.Stats().Snapshot().Completed; got != total {
+				t.Errorf("completed = %d, want %d", got, total)
+			}
+		})
+	}
+}
+
+// TestSourceRecordPoolRecyclesAtTerminal: on a single dispatcher the
+// flow runs inline to its terminal before the source polls again, so
+// every NewRecord must get back the record the previous flow just
+// freed — the per-source pool closes the last allocation in the
+// request path. GC is disabled so sync.Pool cannot empty mid-test.
+func TestSourceRecordPoolRecyclesAtTerminal(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool randomizes under -race; recycling is asserted in the normal build")
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	for _, kind := range []EngineKind{EventDriven, WorkStealing} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p := compileSrc(t, pipelineSrc)
+			const total = 200
+			var produced atomic.Int64
+			backing := make(map[*any]int)
+			b := NewBindings().
+				BindSource("Gen", func(fl *Flow) (Record, error) {
+					v := produced.Add(1)
+					if v > total {
+						return nil, ErrStop
+					}
+					rec := fl.NewRecord(1)
+					backing[&rec[0]]++ // single dispatcher: no lock needed
+					rec[0] = int(v)
+					return rec, nil
+				}).
+				BindNode("Double", nopNode).
+				BindNode("Sink", nopNode)
+			s, err := NewServer(p, b, Config{Kind: kind, Dispatchers: 1,
+				SourceTimeout: time.Millisecond})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			// Inline run-to-block means the previous record is freed
+			// before the next poll; allow a little slack for the first
+			// allocation and scheduling jitter, but 200 records must not
+			// mean 200 arrays.
+			if len(backing) > 8 {
+				t.Errorf("%d distinct backing arrays for %d records; pool not recycling", len(backing), total)
+			}
+		})
 	}
 }
 

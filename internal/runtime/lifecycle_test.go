@@ -333,6 +333,30 @@ func TestEngineKindStringRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStealEngineRegistered pins the work-stealing engine's registry
+// contract: "steal" resolves to WorkStealing and round-trips, so it is
+// selectable everywhere ParseEngineKind is (flux options, fluxbench,
+// example flags).
+func TestStealEngineRegistered(t *testing.T) {
+	k, ok := ParseEngineKind("steal")
+	if !ok || k != WorkStealing {
+		t.Fatalf(`ParseEngineKind("steal") = %v, %v; want WorkStealing`, k, ok)
+	}
+	if got := WorkStealing.String(); got != "steal" {
+		t.Fatalf("WorkStealing.String() = %q", got)
+	}
+	// And the full lifecycle runs through it like any other engine.
+	s, got, mu := buildPipeline(t, WorkStealing, 40)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*got) != 40 {
+		t.Fatalf("sink saw %d records, want 40", len(*got))
+	}
+}
+
 // TestRegisteredEngineRunsViaServer: a fourth engine plugged into the
 // registry is selectable and driven entirely through the Server
 // lifecycle — Server itself needs no change.
@@ -497,7 +521,7 @@ Route:[big] = Big;
 // TestObserverQueueDepthSampling: engines with queues deliver depth
 // samples while running.
 func TestObserverQueueDepthSampling(t *testing.T) {
-	for _, kind := range []EngineKind{ThreadPool, EventDriven} {
+	for _, kind := range []EngineKind{ThreadPool, EventDriven, WorkStealing} {
 		t.Run(kind.String(), func(t *testing.T) {
 			p := compileSrc(t, pipelineSrc)
 			obs := &recordingObserver{}

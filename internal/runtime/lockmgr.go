@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/lang/ast"
 )
 
@@ -122,21 +123,60 @@ func (m *LockManager) tryAcquireResolved(fl *Flow, rc resolvedCon) bool {
 	return true
 }
 
-// parkResolved completes an asynchronous acquisition after
-// tryAcquireResolved failed: it re-attempts (the lock may have been
-// released in between) and otherwise parks the flow FIFO. Semantics
-// match AcquireAsync: true means acquired now; false means resume will
-// run — with the constraint held — when the lock is granted.
-func (m *LockManager) parkResolved(fl *Flow, rc resolvedCon, resume func()) bool {
+// lockResumer is implemented by engines that park flows with parkWaiter:
+// resumeGranted is called — with the constraint already held by the
+// waiter's flow — when the lock is granted. The `by` flow is the one
+// whose release triggered the grant, running on whichever goroutine
+// called release; the work-stealing engine uses it to land the
+// continuation on the resuming dispatcher's local deque.
+type lockResumer interface {
+	resumeGranted(n *lockWaiterNode, by *Flow)
+}
+
+// lockWaiterNode is one parked asynchronous acquisition. The node is
+// embedded in the Flow (a flow blocks on at most one constraint at a
+// time), so the contended path allocates nothing: the engine fills the
+// continuation fields, and the grant hands the same node back through
+// resumeGranted. The legacy AcquireAsync closure API allocates a
+// standalone node instead; both kinds share the lock's FIFO list.
+type lockWaiterNode struct {
+	next  *lockWaiterNode
+	fl    *Flow
+	write bool
+	c     ast.Constraint
+
+	// Exactly one of target and grant is set: target for engines using
+	// the embedded-node path, grant for the AcquireAsync closure path.
+	target lockResumer
+	grant  func()
+
+	// Continuation state for the engine's resumeGranted. The lock
+	// manager never reads these; they ride on the node so parking a flow
+	// needs no event copy and no closure.
+	tbl      *graphTable
+	v        *core.FlatNode
+	rec      Record
+	acquired int
+}
+
+// parkWaiter completes an asynchronous acquisition after
+// tryAcquireResolved failed, using the flow's embedded waiter node:
+// it re-attempts (the lock may have been released in between) and
+// otherwise parks the flow FIFO. True means acquired now; false means
+// target.resumeGranted will run — with the constraint held — when the
+// lock is granted. The caller must fill fl.lw's continuation fields
+// (tbl, v, rec, acquired) before calling: on false the grant can fire
+// from another goroutine the instant the lock's mutex is released.
+func (m *LockManager) parkWaiter(fl *Flow, rc resolvedCon, target lockResumer) bool {
 	l := m.resolveFor(rc, fl)
-	granted := l.acquireAsync(fl, rc.write, func() {
+	n := &fl.lw
+	n.fl, n.write, n.c, n.target, n.grant = fl, rc.write, rc.c, target, nil
+	if l.parkNode(n) {
 		fl.held = append(fl.held, heldToken{lock: l, c: rc.c})
-		resume()
-	})
-	if granted {
-		fl.held = append(fl.held, heldToken{lock: l, c: rc.c})
+		n.rec = nil
+		return true
 	}
-	return granted
+	return false
 }
 
 // key resolves the lock identity for a constraint in the context of a
@@ -173,18 +213,18 @@ func (m *LockManager) TryAcquire(fl *Flow, c ast.Constraint) bool {
 // lock's FIFO wait queue. It returns true when the constraint was
 // acquired immediately; otherwise resume will be called — with the
 // constraint already held by the flow — when the lock is granted. The
-// event engine uses this so its dispatcher never blocks and no flow can
-// be starved by retry races: grants happen in arrival order.
+// engines' own contended path uses the allocation-free parkWaiter
+// instead; AcquireAsync remains the general closure API, and no flow
+// can be starved by retry races either way: grants happen in arrival
+// order.
 func (m *LockManager) AcquireAsync(fl *Flow, c ast.Constraint, resume func()) bool {
 	l := m.lock(m.key(c, fl))
-	granted := l.acquireAsync(fl, c.Mode == ast.Writer, func() {
+	n := &lockWaiterNode{fl: fl, write: c.Mode == ast.Writer, c: c, grant: resume}
+	if l.parkNode(n) {
 		fl.held = append(fl.held, heldToken{lock: l, c: c})
-		resume()
-	})
-	if granted {
-		fl.held = append(fl.held, heldToken{lock: l, c: c})
+		return true
 	}
-	return granted
+	return false
 }
 
 // ReleaseSet releases the most recent len(cs) acquisitions, in reverse
@@ -231,16 +271,12 @@ type rwReentrant struct {
 	writer  *Flow
 	wdepth  int
 	readers map[*Flow]int
-	// waiters holds parked asynchronous acquirers in FIFO order; release
-	// grants to them in arrival order (never starving a flow behind
-	// later arrivals).
-	waiters []lockWaiter
-}
-
-type lockWaiter struct {
-	fl    *Flow
-	write bool
-	grant func()
+	// wqHead/wqTail hold parked asynchronous acquirers as an intrusive
+	// FIFO list of waiter nodes; release grants to them in arrival order
+	// (never starving a flow behind later arrivals). An intrusive list —
+	// not a slice — so parking a flow whose node is embedded in the Flow
+	// touches no allocator at all.
+	wqHead, wqTail *lockWaiterNode
 }
 
 func newRWReentrant(name string) *rwReentrant {
@@ -273,7 +309,7 @@ func (l *rwReentrant) grantFairLocked(fl *Flow, write bool) bool {
 	if l.writer == fl || (!write && l.readers[fl] > 0) {
 		return l.grantLocked(fl, write)
 	}
-	if len(l.waiters) == 0 {
+	if l.wqHead == nil {
 		return l.grantLocked(fl, write)
 	}
 	return false
@@ -289,50 +325,67 @@ func (l *rwReentrant) tryAcquireFair(fl *Flow, write bool) bool {
 	return l.grantFairLocked(fl, write)
 }
 
-// acquireAsync acquires immediately (returning true without calling
-// grant) or parks the flow FIFO (queueing grant, returning false).
+// parkNode acquires immediately (returning true without consuming the
+// node) or appends the node to the FIFO wait list (returning false).
 // Arrivals behind parked waiters queue rather than overtaking, keeping
-// grants fair.
-func (l *rwReentrant) acquireAsync(fl *Flow, write bool, grant func()) bool {
+// grants fair. The caller appends the held token on true; on false the
+// node belongs to the lock until release grants it.
+func (l *rwReentrant) parkNode(n *lockWaiterNode) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.grantFairLocked(fl, write) {
+	if l.grantFairLocked(n.fl, n.write) {
 		return true
 	}
-	if write && l.readers[fl] > 0 {
+	if n.write && l.readers[n.fl] > 0 {
 		panic(fmt.Sprintf("flux/runtime: read-to-write upgrade on constraint %q; "+
 			"the compiler promotes first acquisitions to writers, so this is a misuse of LockManager", l.name))
 	}
-	l.waiters = append(l.waiters, lockWaiter{fl: fl, write: write, grant: grant})
+	n.next = nil
+	if l.wqTail == nil {
+		l.wqHead = n
+	} else {
+		l.wqTail.next = n
+	}
+	l.wqTail = n
 	return false
 }
 
 // wakeAsyncLocked grants to the head of the async wait queue while the
 // lock state allows: one writer, or a maximal batch of readers. It
-// returns the grant callbacks to invoke after the mutex is released.
-func (l *rwReentrant) wakeAsyncLocked() []func() {
-	var grants []func()
-	for len(l.waiters) > 0 {
-		head := l.waiters[0]
-		if head.write {
+// detaches and returns the granted chain (linked through next) for the
+// caller to resume after the mutex is released.
+func (l *rwReentrant) wakeAsyncLocked() *lockWaiterNode {
+	var head, tail *lockWaiterNode
+	for l.wqHead != nil {
+		n := l.wqHead
+		if n.write {
 			if l.writer != nil || len(l.readers) != 0 {
 				break
 			}
-			l.writer = head.fl
+			l.writer = n.fl
 			l.wdepth = 1
 		} else {
 			if l.writer != nil {
 				break
 			}
-			l.readers[head.fl]++
+			l.readers[n.fl]++
 		}
-		grants = append(grants, head.grant)
-		l.waiters = l.waiters[1:]
-		if head.write {
+		l.wqHead = n.next
+		if l.wqHead == nil {
+			l.wqTail = nil
+		}
+		n.next = nil
+		if head == nil {
+			head = n
+		} else {
+			tail.next = n
+		}
+		tail = n
+		if n.write {
 			break
 		}
 	}
-	return grants
+	return head
 }
 
 // grantLocked attempts the state transition; callers hold l.mu.
@@ -375,13 +428,13 @@ func (l *rwReentrant) grantLocked(fl *Flow, write bool) bool {
 // asynchronous waiters first (FIFO) and then waking blocking waiters.
 func (l *rwReentrant) release(fl *Flow) {
 	l.mu.Lock()
-	var grants []func()
+	var granted *lockWaiterNode
 	switch {
 	case l.writer == fl:
 		l.wdepth--
 		if l.wdepth == 0 {
 			l.writer = nil
-			grants = l.wakeAsyncLocked()
+			granted = l.wakeAsyncLocked()
 			l.cond.Broadcast()
 		}
 	default:
@@ -393,7 +446,7 @@ func (l *rwReentrant) release(fl *Flow) {
 		if n == 1 {
 			delete(l.readers, fl)
 			if len(l.readers) == 0 {
-				grants = l.wakeAsyncLocked()
+				granted = l.wakeAsyncLocked()
 				l.cond.Broadcast()
 			}
 		} else {
@@ -401,9 +454,19 @@ func (l *rwReentrant) release(fl *Flow) {
 		}
 	}
 	l.mu.Unlock()
-	// Grant callbacks enqueue continuation events; they must run outside
-	// the lock's mutex.
-	for _, g := range grants {
-		g()
+	// Grant resumptions enqueue continuation events; they must run
+	// outside the lock's mutex. The next pointer is consumed before the
+	// resume runs: a resumed flow may park again — on another dispatcher
+	// — and reuse its embedded node immediately.
+	for n := granted; n != nil; {
+		next := n.next
+		n.next = nil
+		n.fl.held = append(n.fl.held, heldToken{lock: l, c: n.c})
+		if n.target != nil {
+			n.target.resumeGranted(n, fl)
+		} else {
+			n.grant()
+		}
+		n = next
 	}
 }

@@ -164,6 +164,104 @@ func TestAcquireAsyncGrantsInFIFOOrder(t *testing.T) {
 	}
 }
 
+// fakeResumer records parkWaiter grants in order.
+type fakeResumer struct {
+	mu    sync.Mutex
+	order []*Flow
+}
+
+func (r *fakeResumer) resumeGranted(n *lockWaiterNode, by *Flow) {
+	r.mu.Lock()
+	r.order = append(r.order, n.fl)
+	r.mu.Unlock()
+}
+
+// TestParkWaiterFIFOMixedWithClosures: embedded-node waiters
+// (parkWaiter, the engines' allocation-free contended path) and closure
+// waiters (AcquireAsync) share one FIFO — grants interleave strictly in
+// arrival order, and both kinds get the constraint appended to their
+// held stack before resuming.
+func TestParkWaiterFIFOMixedWithClosures(t *testing.T) {
+	m := NewLockManager()
+	holder := &Flow{}
+	m.Acquire(holder, writer("x"))
+	rc := m.Resolve(writer("x"))
+
+	r := &fakeResumer{}
+	var order []int
+	var mu sync.Mutex
+	nodeFlows := []*Flow{{}, {}}
+	closureFlow := &Flow{}
+
+	if m.parkWaiter(nodeFlows[0], rc, r) {
+		t.Fatal("node waiter acquired a held lock")
+	}
+	if m.AcquireAsync(closureFlow, writer("x"), func() {
+		mu.Lock()
+		order = append(order, 1)
+		mu.Unlock()
+	}) {
+		t.Fatal("closure waiter acquired a held lock")
+	}
+	if m.parkWaiter(nodeFlows[1], rc, r) {
+		t.Fatal("second node waiter acquired a held lock")
+	}
+
+	// Release the chain: holder -> node0 -> closure -> node1.
+	m.ReleaseAll(holder)
+	r.mu.Lock()
+	if len(r.order) != 1 || r.order[0] != nodeFlows[0] {
+		t.Fatalf("first grant = %v, want node waiter 0", r.order)
+	}
+	r.mu.Unlock()
+	if len(nodeFlows[0].held) != 1 {
+		t.Fatalf("granted node waiter holds %d locks, want 1", len(nodeFlows[0].held))
+	}
+	m.ReleaseAll(nodeFlows[0])
+	mu.Lock()
+	if len(order) != 1 {
+		t.Fatalf("closure waiter not granted second: %v", order)
+	}
+	mu.Unlock()
+	if len(closureFlow.held) != 1 {
+		t.Fatalf("granted closure waiter holds %d locks, want 1", len(closureFlow.held))
+	}
+	m.ReleaseAll(closureFlow)
+	r.mu.Lock()
+	if len(r.order) != 2 || r.order[1] != nodeFlows[1] {
+		t.Fatalf("grant order = %v, want node waiter 1 last", r.order)
+	}
+	r.mu.Unlock()
+	m.ReleaseAll(nodeFlows[1])
+
+	// The lock ends free.
+	free := &Flow{}
+	if !m.tryAcquireResolved(free, rc) {
+		t.Fatal("lock not free after all grants released")
+	}
+	m.ReleaseAll(free)
+}
+
+// TestParkWaiterImmediateGrant: parkWaiter on a free lock grants without
+// queueing and appends the held token, like the closure API's immediate
+// path.
+func TestParkWaiterImmediateGrant(t *testing.T) {
+	m := NewLockManager()
+	rc := m.Resolve(writer("x"))
+	fl := &Flow{}
+	r := &fakeResumer{}
+	if !m.parkWaiter(fl, rc, r) {
+		t.Fatal("free lock not granted immediately")
+	}
+	if len(r.order) != 0 {
+		t.Error("resumeGranted called on immediate grant")
+	}
+	if len(fl.held) != 1 {
+		t.Errorf("held = %d, want 1", len(fl.held))
+	}
+	m.ReleaseAll(fl)
+}
+
 // TestAcquireAsyncNoStarvation is the regression test for the event
 // engine's heartbeat starvation: a stream of new acquirers must not
 // overtake a parked waiter.

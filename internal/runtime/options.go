@@ -25,7 +25,9 @@ func WithPoolSize(n int) Option {
 }
 
 // WithDispatchers sets the event-loop count for the event-driven engine
-// (default 1, the paper's single-threaded event server).
+// (default 1, the paper's single-threaded event server) and the
+// dispatcher count for the work-stealing engine (default GOMAXPROCS,
+// one per core).
 func WithDispatchers(n int) Option {
 	return func(c *Config) { c.Dispatchers = n }
 }

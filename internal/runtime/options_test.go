@@ -34,12 +34,20 @@ func TestConfigDefaults(t *testing.T) {
 	if c.KeepAlive {
 		t.Error("KeepAlive defaults on")
 	}
+	// The work-stealing engine defaults to one dispatcher per core.
+	if cs := (Config{Kind: WorkStealing}).withDefaults(); cs.Dispatchers != runtime.GOMAXPROCS(0) {
+		t.Errorf("steal Dispatchers default = %d, want GOMAXPROCS (%d)",
+			cs.Dispatchers, runtime.GOMAXPROCS(0))
+	}
 	// Explicit settings survive withDefaults.
 	c2 := Config{PoolSize: 3, Dispatchers: 2, AsyncWorkers: 5,
 		SourceTimeout: time.Second, QueueSample: time.Minute}.withDefaults()
 	if c2.PoolSize != 3 || c2.Dispatchers != 2 || c2.AsyncWorkers != 5 ||
 		c2.SourceTimeout != time.Second || c2.QueueSample != time.Minute {
 		t.Errorf("explicit values clobbered: %+v", c2)
+	}
+	if cs := (Config{Kind: WorkStealing, Dispatchers: 3}).withDefaults(); cs.Dispatchers != 3 {
+		t.Errorf("explicit steal Dispatchers clobbered: %d", cs.Dispatchers)
 	}
 }
 

@@ -148,6 +148,20 @@ func (q *fifo[T]) popBatch(buf []T) (n int, ok bool) {
 	return n, true
 }
 
+// tryPopBatch is the non-blocking variant of popBatch: it fills buf with
+// up to len(buf) items in FIFO order and returns immediately, with n == 0
+// when the queue is empty. The work-stealing dispatchers use it to drain
+// the overflow/injection queue in one mutex round trip before parking.
+func (q *fifo[T]) tryPopBatch(buf []T) (n int) {
+	q.mu.Lock()
+	for n < len(buf) && q.size > 0 {
+		buf[n] = q.popOneLocked()
+		n++
+	}
+	q.mu.Unlock()
+	return n
+}
+
 // tryPop is the non-blocking variant.
 func (q *fifo[T]) tryPop() (v T, ok bool) {
 	q.mu.Lock()

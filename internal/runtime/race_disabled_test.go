@@ -1,0 +1,7 @@
+//go:build !race
+
+package runtime
+
+// raceEnabled reports that the race detector is active; see the race
+// build's twin for why pool-recycling tests consult it.
+const raceEnabled = false

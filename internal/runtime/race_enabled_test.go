@@ -1,0 +1,8 @@
+//go:build race
+
+package runtime
+
+// raceEnabled reports that the race detector is active: sync.Pool
+// deliberately randomizes its behavior under -race, so tests asserting
+// strict pool recycling relax themselves.
+const raceEnabled = true

@@ -26,6 +26,12 @@ const (
 	// that never blocks: blocking nodes are offloaded to an async-I/O
 	// pool and their continuations re-queued on completion (§3.2.2).
 	EventDriven
+	// WorkStealing is the multicore evolution of EventDriven: one
+	// dispatcher per core (default GOMAXPROCS), each owning a local run
+	// deque — LIFO for the owner, stolen FIFO by idle peers — so
+	// throughput scales with dispatcher count instead of collapsing on
+	// the shared event queue's mutex.
+	WorkStealing
 )
 
 // String returns the engine's registered name; ParseEngineKind inverts
@@ -64,7 +70,8 @@ type Config struct {
 	PoolSize int
 
 	// Dispatchers is the event-loop count for EventDriven (default 1,
-	// the paper's single-threaded event server).
+	// the paper's single-threaded event server) and the dispatcher count
+	// for WorkStealing (default GOMAXPROCS, one per core).
 	Dispatchers int
 
 	// AsyncWorkers sizes the event engine's blocking-call offload pool
@@ -98,7 +105,11 @@ func (c Config) withDefaults() Config {
 		c.PoolSize = 4 * runtime.GOMAXPROCS(0)
 	}
 	if c.Dispatchers <= 0 {
-		c.Dispatchers = 1
+		if c.Kind == WorkStealing {
+			c.Dispatchers = runtime.GOMAXPROCS(0)
+		} else {
+			c.Dispatchers = 1
+		}
 	}
 	if c.AsyncWorkers <= 0 {
 		c.AsyncWorkers = 16
@@ -218,6 +229,11 @@ type sourceState struct {
 	name    string
 	fn      SourceFunc
 	session SessionFunc // nil when the source has no session function
+
+	// recPool recycles the source's records across flows (Flow.NewRecord
+	// draws from it; the terminal free returns to it), so a steady-state
+	// source produces records without allocating.
+	recPool sync.Pool
 }
 
 // NewServer validates bindings against the program and prepares the
@@ -242,6 +258,7 @@ func NewServer(prog *core.Program, b *Bindings, cfg Config) (*Server, error) {
 			return nil, err
 		}
 		st := &sourceState{tbl: tbl, name: src.Node.Name, fn: b.sources[src.Node.Name]}
+		st.recPool.New = func() any { return &pooledRec{pool: &st.recPool} }
 		if fname, ok := prog.Sessions[src.Node.Name]; ok {
 			st.session = b.sessions[fname]
 		}
@@ -460,6 +477,9 @@ func (s *Server) newFlow(ctx context.Context, session uint64) *Flow {
 // reference survives: the flow has reached a terminal (all locks
 // released) or was a source poll context that is no longer in use.
 func (s *Server) freeFlow(fl *Flow) {
+	// The flow's terminal reclaims its pooled source record; the values
+	// are released for GC, the backing array is reused.
+	fl.releaseRecord()
 	fl.Ctx = nil
 	fl.Session = 0
 	fl.SourceTimeout = 0
@@ -467,6 +487,13 @@ func (s *Server) freeFlow(fl *Flow) {
 	fl.path = 0
 	fl.srv = nil
 	fl.src = nil
+	fl.disp = nil
+	// The embedded waiter node is dirty only if the flow ever parked on
+	// a contended constraint; most flows never do, so test one field
+	// instead of unconditionally zeroing the whole node.
+	if fl.lw.fl != nil {
+		fl.lw = lockWaiterNode{}
+	}
 	fl.held = fl.held[:0]
 	flowPool.Put(fl)
 }

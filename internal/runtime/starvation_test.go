@@ -8,6 +8,265 @@ import (
 	"time"
 )
 
+// TestStealEngineNoStrandedFlows: flows contending on one writer
+// constraint across several dispatchers. Lock grants resume onto the
+// releasing dispatcher's deque while the other dispatchers park; if the
+// parker/wakeup protocol loses a wakeup — or a continuation lands in a
+// deque nobody ever drains — the run wedges instead of completing.
+func TestStealEngineNoStrandedFlows(t *testing.T) {
+	p := compileSrc(t, `
+Gen () => (int v);
+Crit (int v) => (int v);
+Sink (int v) => ();
+source Gen => F;
+F = Crit -> Sink;
+atomic Crit:{state};
+`)
+	const total = 400
+	var sunk atomic.Int64
+	b := NewBindings().
+		BindSource("Gen", counterSource(total)).
+		BindNode("Crit", func(fl *Flow, in Record) (Record, error) { return in, nil }).
+		BindNode("Sink", func(fl *Flow, in Record) (Record, error) {
+			sunk.Add(1)
+			return nil, nil
+		})
+	s, err := NewServer(p, b, Config{Kind: WorkStealing, Dispatchers: 4,
+		SourceTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- s.Run(context.Background()) }()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("run wedged: %d/%d flows completed (stranded work or lost wakeup)",
+			sunk.Load(), total)
+	}
+	if got := s.Stats().Snapshot().Completed; got != total {
+		t.Fatalf("completed = %d, want %d", got, total)
+	}
+}
+
+// TestStealEngineInjectWhileParked: bursts of external admissions with
+// idle gaps long enough for every dispatcher to park. Each burst must
+// be drained from the injection queue by an unparked dispatcher; a lost
+// wakeup would strand the burst until Shutdown's nudge, failing the
+// count below.
+func TestStealEngineInjectWhileParked(t *testing.T) {
+	p := compileSrc(t, `
+Gen () => (int v);
+Double (int v) => (int v);
+Sink (int v) => ();
+source Gen => Flow;
+Flow = Double -> Sink;
+`)
+	var sunk atomic.Int64
+	got := make(chan int, 64)
+	b := NewBindings().
+		BindSource("Gen", counterSource(0)). // immediately exhausted
+		BindNode("Double", func(fl *Flow, in Record) (Record, error) { return in, nil }).
+		BindNode("Sink", func(fl *Flow, in Record) (Record, error) {
+			sunk.Add(1)
+			got <- in[0].(int)
+			return nil, nil
+		})
+	s, err := NewServer(p, b, Config{Kind: WorkStealing, Dispatchers: 4,
+		SourceTimeout: time.Millisecond, KeepAlive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for burst := 0; burst < 5; burst++ {
+		// Give every dispatcher time to go idle and park.
+		time.Sleep(20 * time.Millisecond)
+		for i := 0; i < 10; i++ {
+			next++
+			if err := s.Inject("Gen", Record{next}); err != nil {
+				t.Fatalf("Inject(%d): %v", next, err)
+			}
+		}
+		// The burst must complete promptly — unparked by the injection,
+		// not rescued later by Shutdown.
+		deadline := time.After(5 * time.Second)
+		for drained := 0; drained < 10; drained++ {
+			select {
+			case <-got:
+			case <-deadline:
+				t.Fatalf("burst %d stranded: %d/%d flows done", burst, drained, 10)
+			}
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if sunk.Load() != int64(next) {
+		t.Fatalf("sink saw %d of %d injected flows", sunk.Load(), next)
+	}
+}
+
+// TestStealEngineSourcesShareOneDispatcher: two always-ready sources
+// homed on a single dispatcher must both make progress. Re-queueing a
+// polled source at the deque's LIFO end would pop it straight back and
+// starve its sibling forever; the FIFO-end re-queue rotates them.
+func TestStealEngineSourcesShareOneDispatcher(t *testing.T) {
+	p := compileSrc(t, `
+GenA () => (int v);
+GenB () => (int v);
+Apply (int v) => ();
+Turn (int v) => ();
+source GenA => FA;
+FA = Apply;
+source GenB => FB;
+FB = Turn;
+`)
+	var a, bn atomic.Int64
+	busy := func(counter *atomic.Int64) SourceFunc {
+		return func(fl *Flow) (Record, error) {
+			if fl.Ctx.Err() != nil {
+				return nil, fl.Ctx.Err()
+			}
+			counter.Add(1)
+			return Record{1}, nil
+		}
+	}
+	b := NewBindings().
+		BindSource("GenA", busy(&a)).
+		BindSource("GenB", busy(&bn)).
+		BindNode("Apply", nopNode).
+		BindNode("Turn", nopNode)
+	s, err := NewServer(p, b, Config{Kind: WorkStealing, Dispatchers: 1,
+		SourceTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_ = s.Run(ctx)
+	t.Logf("polls: GenA=%d GenB=%d", a.Load(), bn.Load())
+	if a.Load() == 0 || bn.Load() == 0 {
+		t.Errorf("source starved on shared dispatcher: GenA=%d GenB=%d", a.Load(), bn.Load())
+	}
+}
+
+// TestStealEngineInjectNotStarvedByBusyDeques: with every dispatcher's
+// local deque continuously non-empty (saturating sources), injected
+// flows must still complete promptly — the periodic injection-queue
+// check is what keeps external admissions from starving behind local
+// work.
+func TestStealEngineInjectNotStarvedByBusyDeques(t *testing.T) {
+	p := compileSrc(t, `
+Busy () => (int v);
+Apply (int v) => ();
+source Busy => Input;
+Input = Apply;
+`)
+	var injected atomic.Int64
+	b := NewBindings().
+		BindSource("Busy", func(fl *Flow) (Record, error) {
+			// Always has data: the dispatcher's deque never drains.
+			if fl.Ctx.Err() != nil {
+				return nil, fl.Ctx.Err()
+			}
+			return Record{0}, nil
+		}).
+		BindNode("Apply", func(fl *Flow, in Record) (Record, error) {
+			if in[0].(int) != 0 {
+				injected.Add(1)
+			}
+			return nil, nil
+		})
+	s, err := NewServer(p, b, Config{Kind: WorkStealing, Dispatchers: 2,
+		SourceTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	const n = 30
+	for i := 1; i <= n; i++ {
+		if err := s.Inject("Busy", Record{i}); err != nil {
+			t.Fatalf("Inject(%d): %v", i, err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for injected.Load() < n && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	got := injected.Load()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got < n {
+		t.Errorf("only %d/%d injected flows ran while sources stayed busy", got, n)
+	}
+}
+
+// TestStealEngineTimerNotStarvedByBusySource: the event engine's
+// fairness property must survive the move to per-dispatcher deques — a
+// saturating source on one dispatcher cannot starve an interval source
+// homed on another.
+func TestStealEngineTimerNotStarvedByBusySource(t *testing.T) {
+	p := compileSrc(t, `
+Busy () => (int v);
+Apply (int v) => ();
+Tick () => (int v);
+Turn (int v) => ();
+source Busy => Input;
+Input = Apply;
+source Tick => Beat;
+Beat = Turn;
+atomic Apply:{state};
+atomic Turn:{state};
+`)
+	var turns, applies atomic.Int64
+	interval := IntervalSource(50 * time.Millisecond)
+	b := NewBindings().
+		BindSource("Busy", func(fl *Flow) (Record, error) {
+			if fl.Ctx.Err() != nil {
+				return nil, fl.Ctx.Err()
+			}
+			return Record{1}, nil
+		}).
+		BindSource("Tick", interval).
+		BindNode("Apply", func(fl *Flow, in Record) (Record, error) {
+			applies.Add(1)
+			return nil, nil
+		}).
+		BindNode("Turn", func(fl *Flow, in Record) (Record, error) {
+			turns.Add(1)
+			return nil, nil
+		})
+	s, err := NewServer(p, b, Config{Kind: WorkStealing, Dispatchers: 2,
+		SourceTimeout: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = s.Run(ctx)
+
+	t.Logf("turns=%d applies=%d", turns.Load(), applies.Load())
+	if turns.Load() < 10 {
+		t.Errorf("interval flow starved: %d turns in 1s, want ~20", turns.Load())
+	}
+	if applies.Load() == 0 {
+		t.Error("busy source made no progress")
+	}
+}
+
 // TestEventEngineTimerNotStarvedByBusySource reproduces the game
 // server's shape: a busy source producing flows that contend on a
 // constraint, plus a 100ms interval source. The interval flow must keep
