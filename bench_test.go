@@ -74,6 +74,8 @@ func startWeb(b *testing.B, name string, files *loadgen.FileSet) (string, func()
 		srv, err = webserver.New(webserver.Config{Files: files, Engine: flux.ThreadPool, PoolSize: 32})
 	case "flux-event":
 		srv, err = webserver.New(webserver.Config{Files: files, Engine: flux.EventDriven, SourceTimeout: 2 * time.Millisecond})
+	case "flux-steal":
+		srv, err = webserver.New(webserver.Config{Files: files, Engine: flux.WorkStealing, SourceTimeout: 2 * time.Millisecond})
 	case "knot-like":
 		srv, err = knotweb.New(knotweb.Config{Files: files})
 	case "haboob-like":
@@ -109,6 +111,36 @@ func BenchmarkFigure3WebThroughput(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(res.Throughput, "req/s")
 			b.ReportMetric(float64(res.Latency.Mean.Microseconds()), "mean-latency-µs")
+		})
+	}
+}
+
+// BenchmarkSpecwebMixedKeepAlive measures the SPECweb99-like mixed
+// macro workload — keep-alive clients issuing the static class mix plus
+// ad-rotation dynamic GETs and form POSTs — the paper's own traffic
+// shape for Figure 3 (cmd/fluxbench -exp web runs the full sweep).
+func BenchmarkSpecwebMixedKeepAlive(b *testing.B) {
+	files := loadgen.NewFileSet(1)
+	for _, name := range []string{"flux-threadpool", "flux-event", "flux-steal", "knot-like", "haboob-like"} {
+		b.Run(name, func(b *testing.B) {
+			addr, stop := startWeb(b, name, files)
+			defer stop()
+			b.ResetTimer()
+			res := loadgen.RunWebLoad(context.Background(), loadgen.WebClientConfig{
+				Addr:            addr,
+				Clients:         16,
+				Files:           files,
+				KeepAlive:       true,
+				Duration:        time.Duration(b.N) * 20 * time.Millisecond,
+				Warmup:          0,
+				DynamicFraction: loadgen.DefaultDynamicFraction,
+				PostFraction:    loadgen.DefaultPostFraction,
+				Seed:            11,
+			})
+			b.StopTimer()
+			b.ReportMetric(res.Throughput, "req/s")
+			b.ReportMetric(float64(res.Latency.P95.Microseconds()), "p95-latency-µs")
+			b.ReportMetric(float64(res.Reconnects), "reconnects")
 		})
 	}
 }

@@ -32,6 +32,7 @@ func TestExperimentTableComplete(t *testing.T) {
 	experiments := map[string]func(benchConfig) error{
 		"table1":   expTable1,
 		"fig3":     expFigure3,
+		"web":      expWebMixed,
 		"fig4":     expFigure4,
 		"game":     expGame,
 		"fig5":     expFigure5,

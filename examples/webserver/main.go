@@ -39,7 +39,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("web server (%s engine) on http://%s%s  (corpus: %d MB; dynamic: /dynamic?n=5000)\n",
+	fmt.Printf("web server (%s engine) on http://%s%s  (corpus: %d MB; dynamic: /dynamic?n=5000, /adrotate?u=1; POST /post)\n",
 		*engine, srv.Addr(), files.Path(0, 1, 1), files.TotalBytes()>>20)
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -60,12 +60,15 @@ func main() {
 		Addr:            srv.Addr(),
 		Clients:         16,
 		Files:           files,
+		KeepAlive:       true,
 		Duration:        3 * time.Second,
 		Warmup:          500 * time.Millisecond,
-		DynamicFraction: 0.1,
+		DynamicFraction: loadgen.DefaultDynamicFraction,
+		PostFraction:    loadgen.DefaultPostFraction,
 		Seed:            7,
 	})
-	fmt.Printf("\n16-client SPECweb-like load: %s\n", res)
+	fmt.Printf("\n16-client SPECweb99-like keep-alive mixed load: %s\n", res)
+	fmt.Printf("per-class latency: %s\n", res.ClassBreakdown())
 	hits, misses, evictions := srv.CacheStats()
 	fmt.Printf("cache: %d hits, %d misses, %d evictions\n", hits, misses, evictions)
 

@@ -21,6 +21,12 @@ import (
 // ErrTrailingData reports extra bytes after a complete value.
 var ErrTrailingData = errors.New("bencode: trailing data after value")
 
+// MaxDepth bounds container nesting while decoding. Real metainfo files
+// and tracker responses nest a handful of levels; without a cap, a
+// hostile input of a few hundred kilobytes of "l" bytes drives the
+// recursive decoder arbitrarily deep and exhausts the stack.
+const MaxDepth = 1000
+
 // Encode renders a value. Supported types: string, []byte, int, int64,
 // uint32, []any, map[string]any.
 func Encode(v any) ([]byte, error) {
@@ -105,8 +111,9 @@ func DecodePrefix(data []byte) (v any, n int, err error) {
 }
 
 type decoder struct {
-	data []byte
-	pos  int
+	data  []byte
+	pos   int
+	depth int
 }
 
 func (d *decoder) errf(format string, args ...any) error {
@@ -137,6 +144,15 @@ func (d *decoder) value() (any, error) {
 	default:
 		return nil, d.errf("invalid type byte %q", c)
 	}
+}
+
+// enter tracks container nesting; exceeding MaxDepth is malformed input.
+func (d *decoder) enter() error {
+	d.depth++
+	if d.depth > MaxDepth {
+		return d.errf("nesting deeper than %d", MaxDepth)
+	}
+	return nil
 }
 
 func (d *decoder) integer() (int64, error) {
@@ -185,6 +201,10 @@ func (d *decoder) str() (string, error) {
 }
 
 func (d *decoder) list() ([]any, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { d.depth-- }()
 	d.pos++ // 'l'
 	out := []any{}
 	for {
@@ -205,6 +225,10 @@ func (d *decoder) list() ([]any, error) {
 }
 
 func (d *decoder) dict() (map[string]any, error) {
+	if err := d.enter(); err != nil {
+		return nil, err
+	}
+	defer func() { d.depth-- }()
 	d.pos++ // 'd'
 	out := map[string]any{}
 	var prevKey string

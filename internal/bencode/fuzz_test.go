@@ -1,0 +1,59 @@
+package bencode
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary bytes to the decoder. It must never panic;
+// when it accepts an input, the decoded value must survive the
+// encode/decode round trip, and re-encoding must be a fixed point (the
+// canonical form: dictionary keys sorted, integers minimal).
+//
+// Seed corpus: testdata/fuzz/FuzzDecode. Run `go test -fuzz=FuzzDecode
+// ./internal/bencode/` to explore beyond it.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"i42e",
+		"i-7e",
+		"4:spam",
+		"0:",
+		"le",
+		"de",
+		"l4:spami2ee",
+		"d3:cow3:moo4:spam4:eggse",
+		"d8:announce20:http://tracker/announce4:infod6:lengthi1024e4:name8:file.bin12:piece lengthi256eee",
+		"lllleeee",
+		"i042e",     // leading zero: rejected
+		"i-0e",      // negative zero: rejected
+		"1:",        // string shorter than declared
+		"d1:a",      // truncated dict
+		"li1ee2:xy", // trailing data
+		strings.Repeat("l", 40) + strings.Repeat("e", 40),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := Encode(v)
+		if err != nil {
+			t.Fatalf("Encode(Decode(%q)) failed: %v", data, err)
+		}
+		v2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(Decode(%q))) failed on %q: %v", data, enc, err)
+		}
+		enc2, err := Encode(v2)
+		if err != nil {
+			t.Fatalf("second Encode failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("canonical form not a fixed point: %q vs %q (input %q)", enc, enc2, data)
+		}
+	})
+}

@@ -133,5 +133,6 @@ func fetchImage(ctx context.Context, addr string, img, scale int) (int, error) {
 	if _, err := fmt.Fprintf(conn, "GET /img%d/%d HTTP/1.1\r\nHost: bench\r\n\r\n", img, scale); err != nil {
 		return 0, err
 	}
-	return readResponse(bufio.NewReader(conn))
+	n, _, err := readResponse(bufio.NewReader(conn))
+	return n, err
 }

@@ -127,12 +127,19 @@ func NewRequestSampler(fs *FileSet, seed int64) *RequestSampler {
 
 // Next draws one request path.
 func (s *RequestSampler) Next() string {
+	path, _ := s.NextClass()
+	return path
+}
+
+// NextClass draws one request path and reports which of the four
+// SPECweb99 file classes it belongs to.
+func (s *RequestSampler) NextClass() (path string, class int) {
 	dir := 0
 	if s.zipf != nil {
 		dir = int(s.zipf.Uint64())
 	}
 	r := s.rng.Float64()
-	class := 3
+	class = 3
 	acc := 0.0
 	for c := 0; c < 4; c++ {
 		acc += classes[c].Prob
@@ -142,5 +149,80 @@ func (s *RequestSampler) Next() string {
 		}
 	}
 	file := 1 + s.rng.Intn(9)
-	return s.fs.Path(dir, class, file)
+	return s.fs.Path(dir, class, file), class
 }
+
+// SPECweb99's full operation mix: roughly 70% of requests are static
+// GETs (split 35/50/14/1 over the four file classes) and 30% are
+// dynamic, of which most are ad-rotation-style dynamic GETs and a small
+// share are form POSTs.
+const (
+	// DefaultDynamicFraction is the dynamic share of all requests.
+	DefaultDynamicFraction = 0.30
+	// DefaultPostFraction is the POST share of the dynamic requests.
+	DefaultPostFraction = 0.16
+)
+
+// WebOp is one sampled operation of the SPECweb99-like mix.
+type WebOp struct {
+	Method string // "GET" or "POST"
+	Path   string
+	Body   string // POST form payload; empty for GETs
+	Class  string // latency bucket: static0..static3, dynamic, post
+}
+
+// MixSampler draws the full §4.2 request mix: static GETs with the
+// published class distribution, ad-rotation dynamic GETs, and form
+// POSTs. Distinct clients should use distinct seeds; the sampled stream
+// is deterministic per seed.
+type MixSampler struct {
+	static   *RequestSampler
+	rng      *rand.Rand
+	dynFrac  float64
+	postFrac float64
+	user     int
+	seq      int
+}
+
+// NewMixSampler seeds a mix sampler. dynamicFraction is the share of
+// requests that are dynamic (GET or POST); postFraction is the share of
+// those dynamic requests that are POSTs. Negative values select the
+// SPECweb99 defaults; zero disables that part of the mix.
+func NewMixSampler(fs *FileSet, seed int64, dynamicFraction, postFraction float64) *MixSampler {
+	if dynamicFraction < 0 {
+		dynamicFraction = DefaultDynamicFraction
+	}
+	if postFraction < 0 {
+		postFraction = DefaultPostFraction
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5bd1e995))
+	return &MixSampler{
+		static:   NewRequestSampler(fs, seed),
+		rng:      rng,
+		dynFrac:  dynamicFraction,
+		postFrac: postFraction,
+		user:     rng.Intn(10000),
+	}
+}
+
+// Next draws one operation from the mix.
+func (m *MixSampler) Next() WebOp {
+	if m.dynFrac > 0 && m.rng.Float64() < m.dynFrac {
+		m.seq++
+		if m.postFrac > 0 && m.rng.Float64() < m.postFrac {
+			body := fmt.Sprintf("uid=%d&seq=%d&field=specweb", m.user, m.seq)
+			return WebOp{Method: "POST", Path: "/post", Body: body, Class: "post"}
+		}
+		return WebOp{
+			Method: "GET",
+			Path:   fmt.Sprintf("/adrotate?u=%d&r=%d", m.user, m.seq),
+			Class:  "dynamic",
+		}
+	}
+	path, class := m.static.NextClass()
+	return WebOp{Method: "GET", Path: path, Class: staticClassNames[class]}
+}
+
+// staticClassNames are the latency-bucket labels of the four file
+// classes.
+var staticClassNames = [4]string{"static0", "static1", "static2", "static3"}

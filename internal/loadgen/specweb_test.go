@@ -3,6 +3,8 @@ package loadgen
 import (
 	"bytes"
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -114,6 +116,144 @@ func TestSamplerSeedsIndependent(t *testing.T) {
 	}
 	if same == 100 {
 		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestMixSamplerDistribution checks the full SPECweb99-like operation
+// mix converges: the dynamic share, the POST share of dynamic, and —
+// within the static share — the published 35/50/14/1 class split.
+func TestMixSamplerDistribution(t *testing.T) {
+	fs := NewFileSet(4)
+	m := NewMixSampler(fs, 42, -1, -1) // negative: SPECweb99 defaults
+	const n = 40000
+	counts := make(map[string]int)
+	var static, dynamic, post int
+	for i := 0; i < n; i++ {
+		op := m.Next()
+		counts[op.Class]++
+		switch op.Class {
+		case "dynamic":
+			dynamic++
+			if op.Method != "GET" || !strings.HasPrefix(op.Path, "/adrotate") {
+				t.Fatalf("dynamic op = %+v", op)
+			}
+		case "post":
+			post++
+			if op.Method != "POST" || op.Body == "" {
+				t.Fatalf("post op = %+v", op)
+			}
+		default:
+			static++
+			if op.Method != "GET" {
+				t.Fatalf("static op = %+v", op)
+			}
+			if _, ok := fs.Lookup(op.Path); !ok {
+				t.Fatalf("static path %q not in corpus", op.Path)
+			}
+		}
+	}
+
+	// Dynamic (GET+POST) share ~ 30% (±2 points of all requests).
+	dynFrac := float64(dynamic+post) / n
+	if dynFrac < DefaultDynamicFraction-0.02 || dynFrac > DefaultDynamicFraction+0.02 {
+		t.Errorf("dynamic share = %.3f, want ~%.2f", dynFrac, DefaultDynamicFraction)
+	}
+	// POST share of dynamic ~ 16% (±3 points).
+	postFrac := float64(post) / float64(dynamic+post)
+	if postFrac < DefaultPostFraction-0.03 || postFrac > DefaultPostFraction+0.03 {
+		t.Errorf("post share of dynamic = %.3f, want ~%.2f", postFrac, DefaultPostFraction)
+	}
+	// Static classes ~ 35/50/14/1 of the static share (±3 points).
+	wantFrac := []float64{0.35, 0.50, 0.14, 0.01}
+	for c, want := range wantFrac {
+		frac := float64(counts[staticClassNames[c]]) / float64(static)
+		if frac < want-0.03 || frac > want+0.03 {
+			t.Errorf("static class %d fraction = %.3f, want ~%.2f", c, frac, want)
+		}
+	}
+}
+
+// TestMixSamplerZeroFractionsAllStatic: zero fractions disable the
+// dynamic mix entirely (the original static-only harness shape).
+func TestMixSamplerZeroFractionsAllStatic(t *testing.T) {
+	fs := NewFileSet(1)
+	m := NewMixSampler(fs, 7, 0, 0)
+	for i := 0; i < 2000; i++ {
+		op := m.Next()
+		if op.Method != "GET" || op.Class == "dynamic" || op.Class == "post" {
+			t.Fatalf("op %d = %+v, want static GET", i, op)
+		}
+	}
+}
+
+// TestMixSamplerDeterministicPerSeed: the same seed replays the same
+// operation stream (runs must be reproducible), and distinct seeds
+// diverge.
+func TestMixSamplerDeterministicPerSeed(t *testing.T) {
+	fs := NewFileSet(2)
+	a := NewMixSampler(fs, 99, -1, -1)
+	b := NewMixSampler(fs, 99, -1, -1)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same seed diverged at op %d", i)
+		}
+	}
+	c := NewMixSampler(fs, 100, -1, -1)
+	d := NewMixSampler(fs, 99, -1, -1)
+	same := true
+	for i := 0; i < 100; i++ {
+		if c.Next() != d.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// TestFileSetConcurrentDeterministic: concurrent clients racing on the
+// lazily-synthesized corpus must all observe identical contents (run
+// under -race in CI, this also proves the cache fill is synchronized).
+func TestFileSetConcurrentDeterministic(t *testing.T) {
+	ref := NewFileSet(2)
+	fs := NewFileSet(2)
+	var paths []string
+	for dir := 0; dir < 2; dir++ {
+		for class := 0; class < 4; class++ {
+			for file := 1; file <= 9; file++ {
+				paths = append(paths, fs.Path(dir, class, file))
+			}
+		}
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each worker walks the paths at a different offset so
+			// first-touch synthesis races across the whole corpus.
+			for i := range paths {
+				p := paths[(i+w*5)%len(paths)]
+				got, ok := fs.Lookup(p)
+				if !ok {
+					errs <- fmt.Errorf("worker %d: %q missing", w, p)
+					return
+				}
+				want, _ := ref.Lookup(p)
+				if !bytes.Equal(got, want) {
+					errs <- fmt.Errorf("worker %d: %q content differs", w, p)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

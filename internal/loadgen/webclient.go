@@ -6,26 +6,40 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/flux-lang/flux/internal/metrics"
 )
 
-// WebClientConfig parameterizes the SPECweb99-like load test of §4.2:
-// each simulated client issues five requests over one keep-alive
-// HTTP/1.1 connection, then reconnects, with files chosen by the Zipf
-// sampler.
+// WebClientConfig parameterizes the SPECweb99-like load test of §4.2.
+// Two connection disciplines are supported:
+//
+//   - Fresh-connection sessions (the default): each simulated client
+//     issues RequestsPerConn requests over one HTTP/1.1 connection, then
+//     reconnects — the harness shape of the original Figure 3 runs.
+//   - KeepAlive: each client holds one persistent connection and issues
+//     back-to-back requests for the whole run, reconnecting only when
+//     the server signals `Connection: close` (or the connection fails).
+//     This matches SPECweb99's persistent-connection conditions.
+//
+// Requests are drawn from the SPECweb99-like operation mix: static GETs
+// split 35/50/14/1 over the four file classes, ad-rotation dynamic GETs,
+// and form POSTs.
 type WebClientConfig struct {
 	Addr            string
 	Clients         int
 	Files           *FileSet
-	RequestsPerConn int           // default 5 (the paper's value)
-	Duration        time.Duration // total run time
+	RequestsPerConn int  // fresh-connection mode: requests per session (default 5)
+	KeepAlive       bool // hold persistent connections for the whole run
+	Duration        time.Duration
 	Warmup          time.Duration // measurements before this are dropped
-	DynamicFraction float64       // fraction of requests hitting /dynamic
+	DynamicFraction float64       // dynamic share of all requests (0 = all static)
+	PostFraction    float64       // POST share of the dynamic requests
 	Seed            int64
 }
 
@@ -34,14 +48,86 @@ type WebResult struct {
 	Requests   uint64
 	Errors     uint64
 	Bytes      uint64
-	Throughput float64 // requests/sec over the measured window
+	Reconnects uint64 // connections opened beyond each client's first
+	Throughput float64
 	Mbps       float64
 	Latency    metrics.LatencySummary
+	// ByClass breaks latency down per mix bucket: static0..static3 (the
+	// four SPECweb99 file classes), dynamic, and post.
+	ByClass map[string]metrics.LatencySummary
 }
 
 func (r WebResult) String() string {
-	return fmt.Sprintf("reqs=%d errs=%d rate=%.1f/s %.1f Mb/s latency{%s}",
-		r.Requests, r.Errors, r.Throughput, r.Mbps, r.Latency)
+	return fmt.Sprintf("reqs=%d errs=%d reconns=%d rate=%.1f/s %.1f Mb/s latency{%s}",
+		r.Requests, r.Errors, r.Reconnects, r.Throughput, r.Mbps, r.Latency)
+}
+
+// ClassBreakdown renders the per-bucket latency summaries in a stable
+// order, for tables and logs.
+func (r WebResult) ClassBreakdown() string {
+	keys := make([]string, 0, len(r.ByClass))
+	for k := range r.ByClass {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		s := r.ByClass[k]
+		if s.Count == 0 {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%s{n=%d p50=%v p95=%v}", k, s.Count,
+			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// mixClasses are the latency buckets a run can record into.
+var mixClasses = []string{"static0", "static1", "static2", "static3", "dynamic", "post"}
+
+// webRecorders bundles the measurement state shared by all clients.
+type webRecorders struct {
+	lat     *metrics.LatencyRecorder
+	byClass map[string]*metrics.LatencyRecorder
+	tput    *metrics.Throughput
+	errs    atomic.Uint64
+	reconns atomic.Uint64
+}
+
+func newWebRecorders() *webRecorders {
+	r := &webRecorders{
+		lat:     metrics.NewLatencyRecorder(),
+		byClass: make(map[string]*metrics.LatencyRecorder, len(mixClasses)),
+		tput:    metrics.NewThroughput(),
+	}
+	for _, c := range mixClasses {
+		r.byClass[c] = metrics.NewLatencyRecorder()
+	}
+	return r
+}
+
+// reset implements warm-up trimming: every reported counter restarts
+// together, so errors and reconnects cover the same window as latency
+// and throughput.
+func (r *webRecorders) reset() {
+	r.lat.Reset()
+	for _, lr := range r.byClass {
+		lr.Reset()
+	}
+	r.tput.Reset()
+	r.errs.Store(0)
+	r.reconns.Store(0)
+}
+
+func (r *webRecorders) record(op WebOp, d time.Duration, n int) {
+	r.lat.Record(d)
+	if lr, ok := r.byClass[op.Class]; ok {
+		lr.Record(d)
+	}
+	r.tput.Add(1, uint64(n))
 }
 
 // RunWebLoad drives the configured client swarm against a server and
@@ -51,9 +137,7 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 	if cfg.RequestsPerConn <= 0 {
 		cfg.RequestsPerConn = 5
 	}
-	lat := metrics.NewLatencyRecorder()
-	tput := metrics.NewThroughput()
-	var errs sync.Map // goroutine id -> count
+	rec := newWebRecorders()
 	var warmed sync.WaitGroup
 
 	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
@@ -67,8 +151,7 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 		defer t.Stop()
 		select {
 		case <-t.C:
-			lat.Reset()
-			tput.Reset()
+			rec.reset()
 		case <-runCtx.Done():
 		}
 	}()
@@ -78,20 +161,24 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			var errCount uint64
-			defer errs.Store(id, errCount)
-			sampler := NewRequestSampler(cfg.Files, cfg.Seed+int64(id)*7919)
-			dynRng := NewRequestSampler(cfg.Files, cfg.Seed+int64(id)*104729+1)
-			_ = dynRng
+			sampler := NewMixSampler(cfg.Files, cfg.Seed+int64(id)*7919,
+				cfg.DynamicFraction, cfg.PostFraction)
+			if cfg.KeepAlive {
+				keepAliveClient(runCtx, cfg, sampler, rec)
+				return
+			}
 			for runCtx.Err() == nil {
-				if err := webSession(runCtx, cfg, sampler, id, lat, tput); err != nil {
-					errCount++
-					// Brief pause so a dead server does not spin the
-					// client loop.
+				if err := webSession(runCtx, cfg, sampler, rec); err != nil {
+					// The pause keeps a dead server from spinning the
+					// client loop; charging the error only if the run
+					// survives it keeps shutdown races (a dial or read
+					// cut off by the deadline) out of the error count.
 					select {
 					case <-runCtx.Done():
+						return
 					case <-time.After(5 * time.Millisecond):
 					}
+					rec.errs.Add(1)
 				}
 			}
 		}(c)
@@ -99,94 +186,180 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 	wg.Wait()
 	warmed.Wait()
 
-	res := WebResult{Latency: lat.Summary()}
-	res.Requests, res.Bytes = tput.Totals()
-	res.Throughput, res.Mbps = tput.Rates()
-	errs.Range(func(_, v any) bool {
-		res.Errors += v.(uint64)
-		return true
-	})
+	res := WebResult{
+		Latency: rec.lat.Summary(),
+		ByClass: make(map[string]metrics.LatencySummary, len(rec.byClass)),
+	}
+	for c, lr := range rec.byClass {
+		res.ByClass[c] = lr.Summary()
+	}
+	res.Requests, res.Bytes = rec.tput.Totals()
+	res.Throughput, res.Mbps = rec.tput.Rates()
+	res.Errors = rec.errs.Load()
+	res.Reconnects = rec.reconns.Load()
 	return res
 }
 
-// webSession runs one keep-alive connection: N requests, then close (the
-// paper's clients disconnect and reconnect after five files).
-func webSession(ctx context.Context, cfg WebClientConfig, sampler *RequestSampler, id int,
-	lat *metrics.LatencyRecorder, tput *metrics.Throughput) error {
+// keepAliveClient holds one persistent connection for the whole run,
+// issuing back-to-back requests from the mix. It honors the server's
+// `Connection: close` (reconnecting without charging an error) and
+// reconnects after connection failures (charging one).
+func keepAliveClient(ctx context.Context, cfg WebClientConfig, sampler *MixSampler, rec *webRecorders) {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	first := true
+	for ctx.Err() == nil {
+		conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+		if err != nil {
+			// Pause before charging: a dial cut off by the run deadline
+			// is the end of the run, not a server failure (the pause
+			// also keeps a dead server from spinning the client loop).
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			rec.errs.Add(1)
+			continue
+		}
+		if !first {
+			rec.reconns.Add(1)
+		}
+		first = false
+		// Bound every read/write by the run deadline (plus slack for
+		// in-flight responses): a wedged server must not hang the
+		// harness past the run, only fail it.
+		if deadline, ok := ctx.Deadline(); ok {
+			conn.SetDeadline(deadline.Add(2 * time.Second))
+		}
+		br := bufio.NewReader(conn)
+		for ctx.Err() == nil {
+			op := sampler.Next()
+			start := time.Now()
+			if err := writeOp(conn, op, false); err != nil {
+				if ctx.Err() == nil {
+					rec.errs.Add(1)
+				}
+				break
+			}
+			n, srvClose, err := readResponse(br)
+			if err != nil {
+				if ctx.Err() == nil {
+					rec.errs.Add(1)
+				}
+				break
+			}
+			if ctx.Err() != nil {
+				break
+			}
+			rec.record(op, time.Since(start), n)
+			if srvClose {
+				// The server announced the close: not an error, just
+				// the end of this conversation.
+				break
+			}
+		}
+		conn.Close()
+	}
+}
 
+// webSession runs one fresh-connection conversation: N requests, then
+// close (the original harness's clients disconnect and reconnect after
+// five files).
+func webSession(ctx context.Context, cfg WebClientConfig, sampler *MixSampler, rec *webRecorders) error {
 	d := net.Dialer{Timeout: 2 * time.Second}
 	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
 	if err != nil {
 		return err
 	}
 	defer conn.Close()
+	// Bound the session by the run deadline: a wedged server fails the
+	// session instead of hanging the harness.
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline.Add(2 * time.Second))
+	}
 	br := bufio.NewReader(conn)
 
 	for i := 0; i < cfg.RequestsPerConn; i++ {
 		if ctx.Err() != nil {
 			return nil
 		}
-		path := sampler.Next()
-		if cfg.DynamicFraction > 0 && sampler.rng.Float64() < cfg.DynamicFraction {
-			path = "/dynamic?n=2000"
-		}
+		op := sampler.Next()
 		start := time.Now()
-		if err := writeRequest(conn, path, i == cfg.RequestsPerConn-1); err != nil {
+		if err := writeOp(conn, op, i == cfg.RequestsPerConn-1); err != nil {
 			return err
 		}
-		n, err := readResponse(br)
+		n, srvClose, err := readResponse(br)
 		if err != nil {
 			return err
 		}
 		if ctx.Err() != nil {
 			return nil
 		}
-		lat.Record(time.Since(start))
-		tput.Add(1, uint64(n))
+		rec.record(op, time.Since(start), n)
+		if srvClose {
+			return nil
+		}
 	}
 	return nil
 }
 
-func writeRequest(conn net.Conn, path string, last bool) error {
+// writeOp sends one request of the mix; last requests a close.
+func writeOp(conn net.Conn, op WebOp, last bool) error {
 	connHdr := "keep-alive"
 	if last {
 		connHdr = "close"
 	}
-	_, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: bench\r\nConnection: %s\r\n\r\n", path, connHdr)
+	if op.Method == "POST" {
+		_, err := fmt.Fprintf(conn,
+			"POST %s HTTP/1.1\r\nHost: bench\r\nConnection: %s\r\nContent-Length: %d\r\n\r\n%s",
+			op.Path, connHdr, len(op.Body), op.Body)
+		return err
+	}
+	_, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: bench\r\nConnection: %s\r\n\r\n",
+		op.Path, connHdr)
 	return err
 }
 
-// readResponse consumes one HTTP/1.1 response, returning the body size.
-func readResponse(br *bufio.Reader) (int, error) {
+// readResponse consumes one HTTP/1.1 response, returning the body size
+// and whether the server announced `Connection: close`.
+func readResponse(br *bufio.Reader) (n int, srvClose bool, err error) {
 	status, err := br.ReadString('\n')
 	if err != nil {
-		return 0, err
+		return 0, false, err
 	}
 	if !strings.HasPrefix(status, "HTTP/1.1 ") {
-		return 0, fmt.Errorf("loadgen: bad status line %q", status)
+		return 0, false, fmt.Errorf("loadgen: bad status line %q", status)
 	}
 	contentLen := -1
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
-			return 0, err
+			return 0, false, err
 		}
 		line = strings.TrimSpace(line)
 		if line == "" {
 			break
 		}
-		if k, v, ok := strings.Cut(line, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Content-Length") {
-			contentLen, err = strconv.Atoi(strings.TrimSpace(v))
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			continue
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch {
+		case strings.EqualFold(k, "Content-Length"):
+			contentLen, err = strconv.Atoi(v)
 			if err != nil {
-				return 0, fmt.Errorf("loadgen: bad content length %q", v)
+				return 0, false, fmt.Errorf("loadgen: bad content length %q", v)
 			}
+		case strings.EqualFold(k, "Connection") && strings.EqualFold(v, "close"):
+			srvClose = true
 		}
 	}
 	if contentLen < 0 {
-		return 0, fmt.Errorf("loadgen: response without Content-Length")
+		return 0, false, fmt.Errorf("loadgen: response without Content-Length")
 	}
 	if _, err := io.CopyN(io.Discard, br, int64(contentLen)); err != nil {
-		return 0, err
+		return 0, false, err
 	}
-	return contentLen, nil
+	return contentLen, srvClose, nil
 }

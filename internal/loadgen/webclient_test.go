@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubWebServer is a minimal scripted HTTP/1.1 responder: it answers
+// every request with a fixed body and announces Connection: close on
+// every closeEveryth response of a connection, then hangs up — exactly
+// the server-side keep-alive termination the client must honor.
+type stubWebServer struct {
+	ln         net.Listener
+	closeEvery int
+	requests   atomic.Uint64
+	posts      atomic.Uint64
+}
+
+func startStubWebServer(t *testing.T, closeEvery int) *stubWebServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stubWebServer{ln: ln, closeEvery: closeEvery}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go s.serve(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return s
+}
+
+func (s *stubWebServer) serve(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	for served := 0; ; {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(line))
+		if len(fields) != 3 {
+			return
+		}
+		contentLen := 0
+		clientClose := false
+		for {
+			h, err := br.ReadString('\n')
+			if err != nil {
+				return
+			}
+			h = strings.TrimSpace(h)
+			if h == "" {
+				break
+			}
+			k, v, ok := strings.Cut(h, ":")
+			if !ok {
+				continue
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			if strings.EqualFold(k, "Content-Length") {
+				contentLen, _ = strconv.Atoi(v)
+			}
+			if strings.EqualFold(k, "Connection") && strings.EqualFold(v, "close") {
+				clientClose = true
+			}
+		}
+		if contentLen > 0 {
+			if _, err := io.CopyN(io.Discard, br, int64(contentLen)); err != nil {
+				return
+			}
+		}
+		if fields[0] == "POST" {
+			s.posts.Add(1)
+		}
+		s.requests.Add(1)
+		served++
+		closing := clientClose || (s.closeEvery > 0 && served >= s.closeEvery)
+		body := "ok"
+		hdr := ""
+		if closing {
+			hdr = "Connection: close\r\n"
+		}
+		fmt.Fprintf(conn, "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n%sContent-Length: %d\r\n\r\n%s",
+			hdr, len(body), body)
+		if closing {
+			return
+		}
+	}
+}
+
+// TestKeepAliveClientHonorsServerClose drives the keep-alive client
+// against a server that terminates every conversation after 4 requests:
+// the client must reconnect (counted, not charged as an error) and keep
+// the request stream flowing.
+func TestKeepAliveClientHonorsServerClose(t *testing.T) {
+	srv := startStubWebServer(t, 4)
+	files := NewFileSet(1)
+	res := RunWebLoad(context.Background(), WebClientConfig{
+		Addr:            srv.ln.Addr().String(),
+		Clients:         2,
+		Files:           files,
+		KeepAlive:       true,
+		Duration:        400 * time.Millisecond,
+		DynamicFraction: DefaultDynamicFraction,
+		PostFraction:    1, // every dynamic request is a POST: framing must hold
+		Seed:            5,
+	})
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0 (server closes are announced)", res.Errors)
+	}
+	if res.Requests < 8 {
+		t.Fatalf("requests = %d, want many", res.Requests)
+	}
+	// Every 4th request ends a connection; the client must have
+	// reconnected roughly requests/4 times (the final in-flight
+	// conversations may not have hit the cap).
+	wantMin := res.Requests/4 - uint64(2)
+	if res.Reconnects < wantMin {
+		t.Errorf("reconnects = %d, want >= %d for %d requests", res.Reconnects, wantMin, res.Requests)
+	}
+	if srv.posts.Load() == 0 {
+		t.Error("no POSTs reached the server")
+	}
+	if post := res.ByClass["post"]; post.Count == 0 {
+		t.Error("no POST latencies recorded")
+	}
+}
+
+// TestKeepAliveClientSingleConnection: against a server that never
+// closes, a keep-alive client must hold exactly one connection for the
+// whole run.
+func TestKeepAliveClientSingleConnection(t *testing.T) {
+	srv := startStubWebServer(t, 0) // never closes
+	files := NewFileSet(1)
+	res := RunWebLoad(context.Background(), WebClientConfig{
+		Addr:      srv.ln.Addr().String(),
+		Clients:   3,
+		Files:     files,
+		KeepAlive: true,
+		Duration:  300 * time.Millisecond,
+		Seed:      6,
+	})
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.Reconnects != 0 {
+		t.Errorf("reconnects = %d, want 0 on a never-closing server", res.Reconnects)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+// TestFreshConnectionSessionsStillClose: the default (fresh-connection)
+// mode must keep the original shape — RequestsPerConn requests, the
+// last announcing Connection: close.
+func TestFreshConnectionSessionsStillClose(t *testing.T) {
+	srv := startStubWebServer(t, 0)
+	files := NewFileSet(1)
+	res := RunWebLoad(context.Background(), WebClientConfig{
+		Addr:            srv.ln.Addr().String(),
+		Clients:         2,
+		Files:           files,
+		RequestsPerConn: 3,
+		Duration:        300 * time.Millisecond,
+		Seed:            7,
+	})
+	if res.Errors != 0 {
+		t.Errorf("errors = %d, want 0", res.Errors)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}

@@ -3,7 +3,10 @@
 // against in §4.2). One goroutine per connection serves HTTP/1.1
 // keep-alive requests from the same SPECweb-like corpus, with a
 // mutex-guarded LFU response cache — the conventional design Flux is
-// measured against.
+// measured against. Dynamic pages (/dynamic, /adrotate) and form POSTs
+// run through the same FScript interpreter as the Flux web server, so
+// the mixed-workload comparison measures server architecture, not
+// dynamic-content engines.
 package knotweb
 
 import (
@@ -18,6 +21,8 @@ import (
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
 	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
+	"github.com/flux-lang/flux/internal/servers/httpkit"
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
 )
 
 // Config tunes the baseline server.
@@ -27,6 +32,9 @@ type Config struct {
 	CacheBytes int64
 	// MaxKeepAlive bounds requests per connection (default 100).
 	MaxKeepAlive int
+	// ScriptWork is the loop bound handed to dynamic pages (default
+	// 2000), matching the Flux web server's knob.
+	ScriptWork int
 }
 
 // Server is the threaded baseline web server.
@@ -34,6 +42,7 @@ type Server struct {
 	cfg    Config
 	ln     net.Listener
 	cache  *lfu.Locked
+	pages  *fscript.BenchPages
 	served atomic.Uint64
 
 	lifecycle.Runner
@@ -53,11 +62,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxKeepAlive <= 0 {
 		cfg.MaxKeepAlive = 100
 	}
+	if cfg.ScriptWork <= 0 {
+		cfg.ScriptWork = 2000
+	}
+	pages, err := fscript.NewBenchPages()
+	if err != nil {
+		return nil, fmt.Errorf("knotweb: dynamic templates: %w", err)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, ln: ln, cache: lfu.NewLocked(cfg.CacheBytes)}, nil
+	return &Server{cfg: cfg, ln: ln, cache: lfu.NewLocked(cfg.CacheBytes), pages: pages}, nil
 }
 
 // Addr returns the bound address.
@@ -92,7 +108,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
 	for served := 0; served < s.cfg.MaxKeepAlive; served++ {
-		line, err := br.ReadString('\n')
+		line, err := httpkit.ReadLine(br)
 		if err != nil {
 			return
 		}
@@ -100,52 +116,63 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(fields) != 3 {
 			return
 		}
-		keepAlive := true
-		for {
-			h, err := br.ReadString('\n')
+		method := fields[0]
+		keepAlive, contentLen, err := httpkit.ReadHeaders(br)
+		if err != nil {
+			return
+		}
+		body, err := httpkit.ReadBody(br, contentLen)
+		if err != nil {
+			return
+		}
+		path, query := fields[1], ""
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path, query = path[:i], path[i+1:]
+		}
+		closing := !keepAlive || served+1 >= s.cfg.MaxKeepAlive
+
+		var resp []byte
+		switch {
+		case method == "POST":
+			resp = httpkit.RenderPostConfirm(path, len(body))
+		case strings.HasPrefix(path, "/dynamic"), strings.HasPrefix(path, "/adrotate"):
+			out, err := s.pages.Render(path, query, int64(s.cfg.ScriptWork))
 			if err != nil {
 				return
 			}
-			h = strings.TrimSpace(h)
-			if h == "" {
-				break
-			}
-			if k, v, ok := strings.Cut(h, ":"); ok &&
-				strings.EqualFold(strings.TrimSpace(k), "Connection") &&
-				strings.EqualFold(strings.TrimSpace(v), "close") {
-				keepAlive = false
+			resp = render(200, "OK", []byte(out))
+		default:
+			var ok bool
+			if resp, ok = s.cache.Get(path); ok {
+				s.cache.Release(path)
+			} else {
+				fileBody, found := s.cfg.Files.Lookup(path)
+				if !found {
+					notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
+					conn.Write(withClose(render(404, "Not Found", notFound)))
+					return
+				}
+				resp = render(200, "OK", fileBody)
+				s.cache.Put(path, resp)
+				s.cache.Release(path)
 			}
 		}
-		path := fields[1]
-		if i := strings.IndexByte(path, '?'); i >= 0 {
-			path = path[:i]
-		}
-		resp, ok := s.cache.Get(path)
-		if ok {
-			s.cache.Release(path)
-		} else {
-			body, found := s.cfg.Files.Lookup(path)
-			if !found {
-				notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-				conn.Write(render(404, "Not Found", notFound))
-				return
-			}
-			resp = render(200, "OK", body)
-			s.cache.Put(path, resp)
-			s.cache.Release(path)
+		if closing {
+			resp = withClose(resp)
 		}
 		if _, err := conn.Write(resp); err != nil {
 			return
 		}
 		s.served.Add(1)
-		if !keepAlive {
+		if closing {
 			return
 		}
 	}
 }
 
 func render(code int, status string, body []byte) []byte {
-	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n",
-		code, status, len(body))
-	return append([]byte(head), body...)
+	return httpkit.Render(code, status, "text/html", body)
 }
+
+// withClose announces the close on a connection's final response.
+func withClose(resp []byte) []byte { return httpkit.WithCloseHeader(resp) }

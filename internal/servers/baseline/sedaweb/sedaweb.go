@@ -19,6 +19,8 @@ import (
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
 	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
+	"github.com/flux-lang/flux/internal/servers/httpkit"
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
 )
 
 // Config tunes the staged server.
@@ -32,6 +34,9 @@ type Config struct {
 	WorkersPerStage int
 	// MaxKeepAlive bounds requests per connection (default 100).
 	MaxKeepAlive int
+	// ScriptWork is the loop bound handed to dynamic pages (default
+	// 2000), matching the Flux web server's knob.
+	ScriptWork int
 }
 
 // event is the unit passed between stages: one connection awaiting its
@@ -39,7 +44,10 @@ type Config struct {
 type event struct {
 	conn   net.Conn
 	br     *bufio.Reader
+	method string
 	path   string
+	query  string
+	body   []byte
 	keep   bool
 	served int
 	resp   []byte
@@ -50,6 +58,7 @@ type Server struct {
 	cfg   Config
 	ln    net.Listener
 	cache *lfu.Locked
+	pages *fscript.BenchPages
 
 	readQ  chan *event
 	lookQ  chan *event
@@ -81,6 +90,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxKeepAlive <= 0 {
 		cfg.MaxKeepAlive = 100
 	}
+	if cfg.ScriptWork <= 0 {
+		cfg.ScriptWork = 2000
+	}
+	pages, err := fscript.NewBenchPages()
+	if err != nil {
+		return nil, fmt.Errorf("sedaweb: dynamic templates: %w", err)
+	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -89,6 +105,7 @@ func New(cfg Config) (*Server, error) {
 		cfg:   cfg,
 		ln:    ln,
 		cache: lfu.NewLocked(cfg.CacheBytes),
+		pages: pages,
 		readQ: make(chan *event, cfg.QueueDepth),
 		lookQ: make(chan *event, cfg.QueueDepth),
 		fileQ: make(chan *event, cfg.QueueDepth),
@@ -160,7 +177,7 @@ func (s *Server) enqueue(q chan *event, ev *event) {
 }
 
 func (s *Server) readStage(ev *event) {
-	line, err := ev.br.ReadString('\n')
+	line, err := httpkit.ReadLine(ev.br)
 	if err != nil {
 		ev.conn.Close()
 		return
@@ -170,31 +187,32 @@ func (s *Server) readStage(ev *event) {
 		ev.conn.Close()
 		return
 	}
-	ev.keep = true
-	for {
-		h, err := ev.br.ReadString('\n')
-		if err != nil {
-			ev.conn.Close()
-			return
-		}
-		h = strings.TrimSpace(h)
-		if h == "" {
-			break
-		}
-		if k, v, ok := strings.Cut(h, ":"); ok &&
-			strings.EqualFold(strings.TrimSpace(k), "Connection") &&
-			strings.EqualFold(strings.TrimSpace(v), "close") {
-			ev.keep = false
-		}
+	ev.method = fields[0]
+	keep, contentLen, err := httpkit.ReadHeaders(ev.br)
+	if err != nil {
+		ev.conn.Close()
+		return
 	}
-	ev.path = fields[1]
+	ev.keep = keep
+	ev.body, err = httpkit.ReadBody(ev.br, contentLen)
+	if err != nil {
+		ev.conn.Close()
+		return
+	}
+	ev.path, ev.query = fields[1], ""
 	if i := strings.IndexByte(ev.path, '?'); i >= 0 {
-		ev.path = ev.path[:i]
+		ev.path, ev.query = ev.path[:i], ev.path[i+1:]
 	}
 	s.enqueue(s.lookQ, ev)
 }
 
 func (s *Server) lookupStage(ev *event) {
+	// Dynamic work and POSTs skip the cache and run in the file/handler
+	// stage's pool, like Haboob's dynamic-page stage.
+	if ev.method == "POST" || strings.HasPrefix(ev.path, "/dynamic") || strings.HasPrefix(ev.path, "/adrotate") {
+		s.enqueue(s.fileQ, ev)
+		return
+	}
 	if resp, ok := s.cache.Get(ev.path); ok {
 		s.cache.Release(ev.path)
 		ev.resp = resp
@@ -205,27 +223,44 @@ func (s *Server) lookupStage(ev *event) {
 }
 
 func (s *Server) fileStage(ev *event) {
-	body, ok := s.cfg.Files.Lookup(ev.path)
-	if !ok {
-		notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-		ev.conn.Write(render(404, "Not Found", notFound))
-		ev.conn.Close()
-		return
+	switch {
+	case ev.method == "POST":
+		ev.resp = httpkit.RenderPostConfirm(ev.path, len(ev.body))
+	case strings.HasPrefix(ev.path, "/dynamic"), strings.HasPrefix(ev.path, "/adrotate"):
+		out, err := s.pages.Render(ev.path, ev.query, int64(s.cfg.ScriptWork))
+		if err != nil {
+			ev.conn.Close()
+			return
+		}
+		ev.resp = render(200, "OK", []byte(out))
+	default:
+		body, ok := s.cfg.Files.Lookup(ev.path)
+		if !ok {
+			notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
+			ev.conn.Write(withClose(render(404, "Not Found", notFound)))
+			ev.conn.Close()
+			return
+		}
+		ev.resp = render(200, "OK", body)
+		s.cache.Put(ev.path, ev.resp)
+		s.cache.Release(ev.path)
 	}
-	ev.resp = render(200, "OK", body)
-	s.cache.Put(ev.path, ev.resp)
-	s.cache.Release(ev.path)
 	s.enqueue(s.sendQ, ev)
 }
 
 func (s *Server) sendStage(ev *event) {
-	if _, err := ev.conn.Write(ev.resp); err != nil {
+	closing := !ev.keep || ev.served+1 >= s.cfg.MaxKeepAlive
+	resp := ev.resp
+	if closing {
+		resp = withClose(resp)
+	}
+	if _, err := ev.conn.Write(resp); err != nil {
 		ev.conn.Close()
 		return
 	}
 	s.served.Add(1)
 	ev.served++
-	if !ev.keep || ev.served >= s.cfg.MaxKeepAlive {
+	if closing {
 		ev.conn.Close()
 		return
 	}
@@ -234,7 +269,8 @@ func (s *Server) sendStage(ev *event) {
 }
 
 func render(code int, status string, body []byte) []byte {
-	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n",
-		code, status, len(body))
-	return append([]byte(head), body...)
+	return httpkit.Render(code, status, "text/html", body)
 }
+
+// withClose announces the close on a connection's final response.
+func withClose(resp []byte) []byte { return httpkit.WithCloseHeader(resp) }

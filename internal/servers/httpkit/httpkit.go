@@ -1,0 +1,139 @@
+// Package httpkit holds the minimal HTTP/1.1 plumbing shared by the
+// Flux web server and the hand-written baseline servers (knotweb,
+// sedaweb): response rendering, the Connection: close announcement, and
+// the request-parsing hardening limits. Sharing them keeps the macro
+// benchmark's servers byte-compatible on the wire — the comparison must
+// measure server architecture, nothing else — and keeps a hardening fix
+// from having to land in three places.
+package httpkit
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Request-parser hardening limits: a request exceeding them is
+// malformed and the connection is dropped, so one hostile client cannot
+// balloon a server's memory.
+const (
+	// MaxHeaderLines bounds the header count per request.
+	MaxHeaderLines = 64
+	// MaxBodyBytes bounds the Content-Length a request may declare.
+	MaxBodyBytes = 1 << 20
+	// MaxLineBytes bounds one request or header line.
+	MaxLineBytes = 8 << 10
+)
+
+// ReadLine reads one \n-terminated line, refusing lines longer than
+// MaxLineBytes: unlike bufio.Reader.ReadString, a hostile stream with
+// no newline fails at the cap instead of accumulating without bound.
+func ReadLine(br *bufio.Reader) (string, error) {
+	var sb strings.Builder
+	for {
+		frag, err := br.ReadSlice('\n')
+		sb.Write(frag)
+		if sb.Len() > MaxLineBytes {
+			return "", fmt.Errorf("httpkit: line exceeds %d bytes", MaxLineBytes)
+		}
+		if err == nil {
+			return sb.String(), nil
+		}
+		if err != bufio.ErrBufferFull {
+			return "", err
+		}
+	}
+}
+
+// ReadHeaders consumes header lines through the terminating blank line,
+// honoring the two headers these servers speak: `Connection: close` and
+// `Content-Length` (validated against MaxBodyBytes). Line length and
+// header count are both capped.
+func ReadHeaders(br *bufio.Reader) (keepAlive bool, contentLen int, err error) {
+	keepAlive = true
+	for n := 0; ; n++ {
+		if n >= MaxHeaderLines {
+			return false, 0, fmt.Errorf("httpkit: more than %d header lines", MaxHeaderLines)
+		}
+		h, err := ReadLine(br)
+		if err != nil {
+			return false, 0, err
+		}
+		h = strings.TrimSpace(h)
+		if h == "" {
+			return keepAlive, contentLen, nil
+		}
+		k, v, ok := strings.Cut(h, ":")
+		if !ok {
+			continue
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		switch {
+		case strings.EqualFold(k, "Connection"):
+			if strings.EqualFold(v, "close") {
+				keepAlive = false
+			}
+		case strings.EqualFold(k, "Content-Length"):
+			cl, err := strconv.Atoi(v)
+			if err != nil || cl < 0 {
+				return false, 0, fmt.Errorf("httpkit: bad content length %q", v)
+			}
+			if cl > MaxBodyBytes {
+				return false, 0, fmt.Errorf("httpkit: content length %d exceeds limit", cl)
+			}
+			contentLen = cl
+		}
+	}
+}
+
+// ReadBody consumes a Content-Length-delimited body (nil when none is
+// declared). ReadHeaders has already validated the length.
+func ReadBody(br *bufio.Reader, contentLen int) ([]byte, error) {
+	if contentLen <= 0 {
+		return nil, nil
+	}
+	body := make([]byte, contentLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// Render builds a complete HTTP/1.1 response.
+func Render(code int, status, ctype string, body []byte) []byte {
+	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
+		code, status, ctype, len(body))
+	out := make([]byte, 0, len(head)+len(body))
+	out = append(out, head...)
+	out = append(out, body...)
+	return out
+}
+
+// RenderPostConfirm builds the POST confirmation response every server
+// answers form submissions with; byte-for-byte parity keeps the macro
+// comparison measuring architecture only.
+func RenderPostConfirm(path string, bodyLen int) []byte {
+	page := fmt.Sprintf("<html><body><p>POST %s: received %d bytes</p></body></html>", path, bodyLen)
+	return Render(200, "OK", "text/html", []byte(page))
+}
+
+// WithCloseHeader copies a rendered response with a Connection: close
+// header inserted before the blank line, announcing the close so
+// keep-alive clients reconnect instead of failing. Responses cached and
+// shared between connections stay header-free; the copy happens only on
+// a connection's final response.
+func WithCloseHeader(resp []byte) []byte {
+	i := bytes.Index(resp, []byte("\r\n\r\n"))
+	if i < 0 {
+		return resp
+	}
+	const hdr = "Connection: close\r\n"
+	out := make([]byte, 0, len(resp)+len(hdr))
+	out = append(out, resp[:i+2]...)
+	out = append(out, hdr...)
+	out = append(out, resp[i+2:]...)
+	return out
+}

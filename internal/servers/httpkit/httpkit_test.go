@@ -1,0 +1,41 @@
+package httpkit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderFraming(t *testing.T) {
+	resp := Render(200, "OK", "text/html", []byte("hello"))
+	s := string(resp)
+	if !strings.HasPrefix(s, "HTTP/1.1 200 OK\r\n") {
+		t.Errorf("status line wrong: %q", s)
+	}
+	if !strings.Contains(s, "Content-Length: 5\r\n") {
+		t.Errorf("content length wrong: %q", s)
+	}
+	if !strings.HasSuffix(s, "\r\n\r\nhello") {
+		t.Errorf("body framing wrong: %q", s)
+	}
+}
+
+func TestWithCloseHeader(t *testing.T) {
+	orig := Render(200, "OK", "text/html", []byte("body"))
+	before := append([]byte(nil), orig...)
+	closed := WithCloseHeader(orig)
+	if !bytes.Equal(orig, before) {
+		t.Error("WithCloseHeader mutated its input (cached responses must stay clean)")
+	}
+	s := string(closed)
+	if !strings.Contains(s, "\r\nConnection: close\r\n") {
+		t.Errorf("close header missing: %q", s)
+	}
+	if !strings.HasSuffix(s, "\r\n\r\nbody") {
+		t.Errorf("body framing broken: %q", s)
+	}
+	// Malformed input (no blank line) passes through untouched.
+	if got := WithCloseHeader([]byte("junk")); string(got) != "junk" {
+		t.Errorf("malformed passthrough = %q", got)
+	}
+}

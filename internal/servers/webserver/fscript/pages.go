@@ -1,0 +1,101 @@
+package fscript
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// The benchmark's dynamic pages. They live here — not in the Flux web
+// server — because the hand-written baseline servers (knotweb, sedaweb)
+// must serve the very same pages through the very same interpreter for
+// the SPECweb99-like mixed workload to compare server architectures
+// rather than dynamic-content engines.
+
+// BenchWorkPage is the CPU-burning dynamic page served under /dynamic:
+// a bounded loop whose bound (`work`) controls per-request CPU like the
+// paper's PHP pages.
+const BenchWorkPage = `<html><head><title>flux dynamic</title></head><body>
+<?fs
+total = 0;
+for i = 1 to work {
+  total = total + i * i % 97;
+}
+echo "<p>work="; echo work; echo " checksum="; echo total; echo "</p>";
+?>
+</body></html>
+`
+
+// BenchAdPage is the SPECweb99-style ad-rotation page served under
+// /adrotate: the ad is selected from the requesting user's id and the
+// server's rotation counter, then the same bounded loop burns the
+// per-request CPU of a dynamic GET.
+const BenchAdPage = `<html><head><title>flux ads</title></head><body>
+<?fs
+ad = (user + rot) % 8;
+total = 0;
+for i = 1 to work {
+  total = total + (i + ad) * i % 89;
+}
+echo "<p>ad="; echo ad; echo " user="; echo user; echo " checksum="; echo total; echo "</p>";
+?>
+</body></html>
+`
+
+// BenchPages bundles the parsed benchmark pages with the server-side
+// ad-rotation counter, so every web server (Flux or baseline) renders
+// dynamic requests through one code path.
+type BenchPages struct {
+	work *Page
+	ad   *Page
+	rot  atomic.Uint64 // bumped per ad-rotation request
+}
+
+// NewBenchPages parses both benchmark templates.
+func NewBenchPages() (*BenchPages, error) {
+	work, err := Parse(BenchWorkPage)
+	if err != nil {
+		return nil, err
+	}
+	ad, err := Parse(BenchAdPage)
+	if err != nil {
+		return nil, err
+	}
+	return &BenchPages{work: work, ad: ad}, nil
+}
+
+// Render serves a dynamic GET: the ad-rotation page for /adrotate paths
+// (user from the `u` query parameter, rotation from the shared
+// counter), the CPU-burning work page otherwise. defaultWork is the
+// loop bound unless the `n` query parameter overrides it (capped at
+// 1e6). Safe for concurrent use.
+func (b *BenchPages) Render(path, query string, defaultWork int64) (string, error) {
+	work := defaultWork
+	if v := QueryParam(query, "n"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 && n <= 1_000_000 {
+			work = n
+		}
+	}
+	if strings.HasPrefix(path, "/adrotate") {
+		var user int64
+		if v := QueryParam(query, "u"); v != "" {
+			user, _ = strconv.ParseInt(v, 10, 64)
+		}
+		return b.ad.Execute(map[string]Value{
+			"work": IntVal(work),
+			"user": IntVal(user),
+			"rot":  IntVal(int64(b.rot.Add(1))),
+		})
+	}
+	return b.work.Execute(map[string]Value{"work": IntVal(work)})
+}
+
+// QueryParam extracts one key from a raw query string.
+func QueryParam(query, key string) string {
+	for _, kv := range strings.Split(query, "&") {
+		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
+			return v
+		}
+	}
+	return ""
+}

@@ -1,0 +1,51 @@
+package fscript
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBenchWorkPageExecutes(t *testing.T) {
+	p, err := Parse(BenchWorkPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Execute(map[string]Value{"work": IntVal(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// sum of i*i % 97 for i=1..10 = 288.
+	if !strings.Contains(out, "work=10") || !strings.Contains(out, "checksum=288") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestBenchAdPageRotates(t *testing.T) {
+	p, err := Parse(BenchAdPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(user, rot int64) string {
+		out, err := p.Execute(map[string]Value{
+			"work": IntVal(5), "user": IntVal(user), "rot": IntVal(rot),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	// The ad is (user + rot) % 8: same inputs render identically,
+	// advancing the rotation counter changes the selected ad.
+	if render(3, 1) != render(3, 1) {
+		t.Error("same user/rot rendered differently")
+	}
+	if !strings.Contains(render(3, 1), "ad=4") {
+		t.Errorf("ad selection wrong: %q", render(3, 1))
+	}
+	if !strings.Contains(render(3, 2), "ad=5") {
+		t.Errorf("rotation did not advance: %q", render(3, 2))
+	}
+	if render(0, 0) == render(0, 1) {
+		t.Error("rotation counter had no effect")
+	}
+}

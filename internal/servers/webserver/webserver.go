@@ -17,8 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -27,6 +25,7 @@ import (
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
 	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/servers/httpkit"
 	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
 )
 
@@ -43,6 +42,7 @@ CheckCache (conn c, bool close, http_req *req) => (conn c, bool close, http_req 
 ReadFile (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
 StoreInCache (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
 RunScript (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
+HandlePost (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
 SendResponse (conn c, bool close, http_req *req) => (conn c, bool close, http_req *req);
 Complete (conn c, bool close, http_req *req) => ();
 Discard (conn c) => ();
@@ -53,10 +53,12 @@ Cleanup (conn c, bool close, http_req *req) => ();
 source Listen => Page;
 Page = ReadRequest -> CheckCache -> Handler -> SendResponse -> Complete;
 
-// predicate dispatch: dynamic pages run the script engine, cache hits
-// pass through, misses read and cache the file
+// predicate dispatch: POSTs run the form handler, dynamic pages run the
+// script engine, cache hits pass through, misses read and cache the file
+typedef post TestPost;
 typedef dynamic TestDynamic;
 typedef hit TestInCache;
+Handler:[_, _, post] = HandlePost;
 Handler:[_, _, dynamic] = RunScript;
 Handler:[_, _, hit] = ;
 Handler:[_, _, _] = ReadFile -> StoreInCache;
@@ -79,8 +81,10 @@ type Request struct {
 	Method    string
 	Path      string
 	Query     string
+	Body      []byte // POST payload (Content-Length-delimited)
 	KeepAlive bool
 
+	post     bool
 	dynamic  bool
 	hit      bool
 	cacheKey string
@@ -127,24 +131,12 @@ type Server struct {
 	ln    net.Listener
 	ready chan *Conn
 	cache *lfu.Cache
-	page  *fscript.Page
+	pages *fscript.BenchPages
 
 	stopOnce   sync.Once
 	stop       chan struct{}
 	acceptDone chan struct{}
 }
-
-// dynamicTemplate is the built-in FScript page served under /dynamic.
-const dynamicTemplate = `<html><head><title>flux dynamic</title></head><body>
-<?fs
-total = 0;
-for i = 1 to work {
-  total = total + i * i % 97;
-}
-echo "<p>work="; echo work; echo " checksum="; echo total; echo "</p>";
-?>
-</body></html>
-`
 
 // New compiles the Flux program, binds the node implementations, and
 // opens the listener. Call Run to serve.
@@ -174,9 +166,9 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("webserver: compile: %w", err)
 	}
 
-	page, err := fscript.Parse(dynamicTemplate)
+	pages, err := fscript.NewBenchPages()
 	if err != nil {
-		return nil, fmt.Errorf("webserver: dynamic template: %w", err)
+		return nil, fmt.Errorf("webserver: dynamic templates: %w", err)
 	}
 
 	ln, err := net.Listen("tcp", cfg.Addr)
@@ -190,7 +182,7 @@ func New(cfg Config) (*Server, error) {
 		ln:    ln,
 		ready: make(chan *Conn, 1024),
 		cache: lfu.New(cfg.CacheBytes),
-		page:  page,
+		pages: pages,
 	}
 
 	b := runtime.NewBindings().
@@ -200,14 +192,19 @@ func New(cfg Config) (*Server, error) {
 		BindNode("ReadFile", s.readFile).
 		BindNode("StoreInCache", s.storeInCache).
 		BindNode("RunScript", s.runScript).
+		BindNode("HandlePost", s.handlePost).
 		BindNode("SendResponse", s.sendResponse).
 		BindNode("Complete", s.complete).
 		BindNode("Discard", s.discard).
 		BindNode("FourOhFour", s.fourOhFour).
 		BindNode("Cleanup", s.cleanup).
+		BindPredicate("TestPost", func(v any) bool { return v.(*Request).post }).
 		BindPredicate("TestDynamic", func(v any) bool { return v.(*Request).dynamic }).
 		BindPredicate("TestInCache", func(v any) bool { return v.(*Request).hit }).
-		MarkBlocking("ReadRequest", "SendResponse")
+		// Dynamic pages and POSTs burn interpreter CPU, so they ride the
+		// blocking path with the socket I/O nodes: the event engine
+		// offloads them instead of stalling its dispatcher.
+		MarkBlocking("ReadRequest", "SendResponse", "RunScript", "HandlePost")
 
 	rt, err := runtime.New(prog, b,
 		runtime.WithEngine(cfg.Engine),
@@ -342,38 +339,10 @@ func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
 // readRequest parses one HTTP/1.1 request from the connection.
 func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*Conn)
-	line, err := c.br.ReadString('\n')
+	req, err := ParseRequest(c.br)
 	if err != nil {
-		return nil, err // EOF or reset: handled by Discard
+		return nil, err // EOF, reset, or malformed: handled by Discard
 	}
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) != 3 {
-		return nil, fmt.Errorf("webserver: malformed request line %q", line)
-	}
-	req := &Request{Method: fields[0], KeepAlive: true}
-	if i := strings.IndexByte(fields[1], '?'); i >= 0 {
-		req.Path, req.Query = fields[1][:i], fields[1][i+1:]
-	} else {
-		req.Path = fields[1]
-	}
-	// Headers: we only honor Connection.
-	for {
-		h, err := c.br.ReadString('\n')
-		if err != nil {
-			return nil, err
-		}
-		h = strings.TrimSpace(h)
-		if h == "" {
-			break
-		}
-		if k, v, ok := strings.Cut(h, ":"); ok && strings.EqualFold(strings.TrimSpace(k), "Connection") {
-			if strings.EqualFold(strings.TrimSpace(v), "close") {
-				req.KeepAlive = false
-			}
-		}
-	}
-	req.dynamic = strings.HasPrefix(req.Path, "/dynamic")
-	req.cacheKey = req.Path
 	closeAfter := !req.KeepAlive || c.served+1 >= s.cfg.MaxKeepAlive
 	return runtime.Record{c, closeAfter, req}, nil
 }
@@ -411,16 +380,12 @@ func (s *Server) storeInCache(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 	return in, nil
 }
 
-// runScript renders the dynamic page through FScript.
+// runScript renders a dynamic page through FScript: the CPU-burning
+// work page under /dynamic, the SPECweb99-style ad-rotation page under
+// /adrotate.
 func (s *Server) runScript(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	req := in[2].(*Request)
-	work := int64(s.cfg.ScriptWork)
-	if v := queryParam(req.Query, "n"); v != "" {
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 && n <= 1_000_000 {
-			work = n
-		}
-	}
-	out, err := s.page.Execute(map[string]fscript.Value{"work": fscript.IntVal(work)})
+	out, err := s.pages.Render(req.Path, req.Query, int64(s.cfg.ScriptWork))
 	if err != nil {
 		return nil, err
 	}
@@ -428,27 +393,37 @@ func (s *Server) runScript(fl *runtime.Flow, in runtime.Record) (runtime.Record,
 	return in, nil
 }
 
-func queryParam(query, key string) string {
-	for _, kv := range strings.Split(query, "&") {
-		if k, v, ok := strings.Cut(kv, "="); ok && k == key {
-			return v
-		}
-	}
-	return ""
+// handlePost answers a form POST: the SPECweb99 analogue logs the
+// submission server-side and returns a small confirmation page.
+func (s *Server) handlePost(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	req := in[2].(*Request)
+	req.response = httpkit.RenderPostConfirm(req.Path, len(req.Body))
+	return in, nil
 }
 
-// sendResponse writes the rendered response to the client.
+// sendResponse writes the rendered response to the client. When this is
+// the connection's last response, a Connection: close header announces
+// the close so keep-alive clients reconnect instead of failing.
 func (s *Server) sendResponse(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*Conn)
+	closeAfter := in[1].(bool)
 	req := in[2].(*Request)
 	if req.response == nil {
 		return nil, errors.New("webserver: no response rendered")
 	}
-	if _, err := c.nc.Write(req.response); err != nil {
+	resp := req.response
+	if closeAfter {
+		resp = withCloseHeader(resp)
+	}
+	if _, err := c.nc.Write(resp); err != nil {
 		return nil, err
 	}
 	return in, nil
 }
+
+// withCloseHeader announces the close on a connection's final response
+// (cached responses stay header-free; httpkit copies).
+func withCloseHeader(resp []byte) []byte { return httpkit.WithCloseHeader(resp) }
 
 // complete releases the cache reference and either closes the connection
 // or re-registers it for the next keep-alive request.
@@ -494,21 +469,17 @@ func (s *Server) cleanup(fl *runtime.Flow, in runtime.Record) (runtime.Record, e
 	return nil, nil
 }
 
-// fourOhFour answers unknown paths and closes.
+// fourOhFour answers unknown paths and closes (with the close
+// announced, so a keep-alive client reconnects cleanly).
 func (s *Server) fourOhFour(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*Conn)
 	body := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-	_, _ = c.nc.Write(renderResponse(404, "Not Found", "text/html", body))
+	_, _ = c.nc.Write(withCloseHeader(renderResponse(404, "Not Found", "text/html", body)))
 	c.nc.Close()
 	return nil, nil
 }
 
 // renderResponse builds a complete HTTP/1.1 response.
 func renderResponse(code int, status, ctype string, body []byte) []byte {
-	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\r\n",
-		code, status, ctype, len(body))
-	out := make([]byte, 0, len(head)+len(body))
-	out = append(out, head...)
-	out = append(out, body...)
-	return out
+	return httpkit.Render(code, status, ctype, body)
 }
