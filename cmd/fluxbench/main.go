@@ -5,6 +5,8 @@
 //	fig3      web server throughput + latency vs clients (Figure 3)
 //	web       SPECweb99-like mixed macro workload: keep-alive clients,
 //	          static class mix + dynamic GET/POST (§4.2's conditions)
+//	overload  offered load past saturation: throughput, p95, and shed
+//	          counts with and without bounded admission (netkit plane)
 //	fig4      BitTorrent latency, completions/s, network throughput (Figure 4)
 //	game      game server heartbeat health vs players (§4.4)
 //	fig5      compiler-generated simulator code for a node (Figure 5)
@@ -32,7 +34,7 @@ type benchConfig struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, web, fig4, game, fig5, fig6, profile, deadlock, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, web, overload, fig4, game, fig5, fig6, profile, deadlock, all")
 	quick := flag.Bool("quick", false, "shrink durations and client counts for a smoke run")
 	flag.Parse()
 
@@ -41,6 +43,7 @@ func main() {
 		"table1":   expTable1,
 		"fig3":     expFigure3,
 		"web":      expWebMixed,
+		"overload": expOverload,
 		"fig4":     expFigure4,
 		"game":     expGame,
 		"fig5":     expFigure5,
@@ -48,7 +51,7 @@ func main() {
 		"profile":  expProfile,
 		"deadlock": expDeadlock,
 	}
-	order := []string{"table1", "deadlock", "fig5", "fig3", "web", "fig4", "game", "fig6", "profile"}
+	order := []string{"table1", "deadlock", "fig5", "fig3", "web", "overload", "fig4", "game", "fig6", "profile"}
 
 	run := func(name string) {
 		fmt.Printf("\n================ %s ================\n", name)

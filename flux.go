@@ -131,6 +131,15 @@ type (
 	// Observer is the unified observability plane: flow terminals
 	// (including drops and errors), node completions, queue depths.
 	Observer = runtime.Observer
+	// ShedObserver is the optional Observer extension receiving
+	// connection-plane admission drops (overload sheds, refused
+	// admissions); MultiObserver forwards to members implementing it.
+	ShedObserver = runtime.ShedObserver
+	// SourceHandle is a pre-resolved external-admission handle for one
+	// source (Server.Source): per-event injection without the
+	// source-name lookup — the hot path for connection planes that
+	// inject every request.
+	SourceHandle = runtime.SourceHandle
 	// FlowOutcome classifies how a flow ended.
 	FlowOutcome = runtime.FlowOutcome
 )

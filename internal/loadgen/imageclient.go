@@ -133,6 +133,12 @@ func fetchImage(ctx context.Context, addr string, img, scale int) (int, error) {
 	if _, err := fmt.Fprintf(conn, "GET /img%d/%d HTTP/1.1\r\nHost: bench\r\n\r\n", img, scale); err != nil {
 		return 0, err
 	}
-	n, _, err := readResponse(bufio.NewReader(conn))
+	n, status, _, err := readResponse(bufio.NewReader(conn))
+	if err == nil && status != 200 {
+		// A 503 from admission control (or any non-OK answer) is not a
+		// served image; counting its body as a fetch would inflate
+		// throughput exactly when the server is shedding.
+		return 0, fmt.Errorf("loadgen: image server answered %d", status)
+	}
 	return n, err
 }

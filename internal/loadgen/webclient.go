@@ -48,6 +48,7 @@ type WebResult struct {
 	Requests   uint64
 	Errors     uint64
 	Bytes      uint64
+	Sheds      uint64 // 503 answers from admission control (not errors)
 	Reconnects uint64 // connections opened beyond each client's first
 	Throughput float64
 	Mbps       float64
@@ -58,8 +59,8 @@ type WebResult struct {
 }
 
 func (r WebResult) String() string {
-	return fmt.Sprintf("reqs=%d errs=%d reconns=%d rate=%.1f/s %.1f Mb/s latency{%s}",
-		r.Requests, r.Errors, r.Reconnects, r.Throughput, r.Mbps, r.Latency)
+	return fmt.Sprintf("reqs=%d errs=%d sheds=%d reconns=%d rate=%.1f/s %.1f Mb/s latency{%s}",
+		r.Requests, r.Errors, r.Sheds, r.Reconnects, r.Throughput, r.Mbps, r.Latency)
 }
 
 // ClassBreakdown renders the per-bucket latency summaries in a stable
@@ -94,6 +95,7 @@ type webRecorders struct {
 	byClass map[string]*metrics.LatencyRecorder
 	tput    *metrics.Throughput
 	errs    atomic.Uint64
+	sheds   atomic.Uint64
 	reconns atomic.Uint64
 }
 
@@ -119,6 +121,7 @@ func (r *webRecorders) reset() {
 	}
 	r.tput.Reset()
 	r.errs.Store(0)
+	r.sheds.Store(0)
 	r.reconns.Store(0)
 }
 
@@ -196,6 +199,7 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 	res.Requests, res.Bytes = rec.tput.Totals()
 	res.Throughput, res.Mbps = rec.tput.Rates()
 	res.Errors = rec.errs.Load()
+	res.Sheds = rec.sheds.Load()
 	res.Reconnects = rec.reconns.Load()
 	return res
 }
@@ -241,7 +245,7 @@ func keepAliveClient(ctx context.Context, cfg WebClientConfig, sampler *MixSampl
 				}
 				break
 			}
-			n, srvClose, err := readResponse(br)
+			n, status, srvClose, err := readResponse(br)
 			if err != nil {
 				if ctx.Err() == nil {
 					rec.errs.Add(1)
@@ -249,6 +253,22 @@ func keepAliveClient(ctx context.Context, cfg WebClientConfig, sampler *MixSampl
 				break
 			}
 			if ctx.Err() != nil {
+				break
+			}
+			if status == 503 {
+				// Admission control shed this conversation: counted in
+				// its own bucket, never as an error and never as served
+				// latency — overload experiments read this number as
+				// "load the server declined instead of queueing". A real
+				// client backs off on 503 instead of hammering the
+				// accept loop, so the harness does too; without the
+				// pause, reconnect churn burns the very capacity the
+				// shed freed.
+				rec.sheds.Add(1)
+				select {
+				case <-ctx.Done():
+				case <-time.After(25 * time.Millisecond):
+				}
 				break
 			}
 			rec.record(op, time.Since(start), n)
@@ -288,11 +308,15 @@ func webSession(ctx context.Context, cfg WebClientConfig, sampler *MixSampler, r
 		if err := writeOp(conn, op, i == cfg.RequestsPerConn-1); err != nil {
 			return err
 		}
-		n, srvClose, err := readResponse(br)
+		n, status, srvClose, err := readResponse(br)
 		if err != nil {
 			return err
 		}
 		if ctx.Err() != nil {
+			return nil
+		}
+		if status == 503 {
+			rec.sheds.Add(1)
 			return nil
 		}
 		rec.record(op, time.Since(start), n)
@@ -320,21 +344,25 @@ func writeOp(conn net.Conn, op WebOp, last bool) error {
 	return err
 }
 
-// readResponse consumes one HTTP/1.1 response, returning the body size
-// and whether the server announced `Connection: close`.
-func readResponse(br *bufio.Reader) (n int, srvClose bool, err error) {
-	status, err := br.ReadString('\n')
+// readResponse consumes one HTTP/1.1 response, returning the body size,
+// the status code, and whether the server announced `Connection:
+// close`.
+func readResponse(br *bufio.Reader) (n, status int, srvClose bool, err error) {
+	statusLine, err := br.ReadString('\n')
 	if err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
-	if !strings.HasPrefix(status, "HTTP/1.1 ") {
-		return 0, false, fmt.Errorf("loadgen: bad status line %q", status)
+	if !strings.HasPrefix(statusLine, "HTTP/1.1 ") {
+		return 0, 0, false, fmt.Errorf("loadgen: bad status line %q", statusLine)
+	}
+	if fields := strings.Fields(statusLine); len(fields) >= 2 {
+		status, _ = strconv.Atoi(fields[1])
 	}
 	contentLen := -1
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil {
-			return 0, false, err
+			return 0, 0, false, err
 		}
 		line = strings.TrimSpace(line)
 		if line == "" {
@@ -349,17 +377,17 @@ func readResponse(br *bufio.Reader) (n int, srvClose bool, err error) {
 		case strings.EqualFold(k, "Content-Length"):
 			contentLen, err = strconv.Atoi(v)
 			if err != nil {
-				return 0, false, fmt.Errorf("loadgen: bad content length %q", v)
+				return 0, 0, false, fmt.Errorf("loadgen: bad content length %q", v)
 			}
 		case strings.EqualFold(k, "Connection") && strings.EqualFold(v, "close"):
 			srvClose = true
 		}
 	}
 	if contentLen < 0 {
-		return 0, false, fmt.Errorf("loadgen: response without Content-Length")
+		return 0, 0, false, fmt.Errorf("loadgen: response without Content-Length")
 	}
 	if _, err := io.CopyN(io.Discard, br, int64(contentLen)); err != nil {
-		return 0, false, err
+		return 0, 0, false, err
 	}
-	return contentLen, srvClose, nil
+	return contentLen, status, srvClose, nil
 }

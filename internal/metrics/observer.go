@@ -28,6 +28,7 @@ type FlowObserver struct {
 
 	mu       sync.Mutex
 	maxDepth map[string]int
+	sheds    map[string]uint64
 }
 
 // NewFlowObserver returns an observer recording latency and completion
@@ -72,6 +73,38 @@ func (o *FlowObserver) MaxQueueDepth(key string) int {
 	return o.maxDepth[key]
 }
 
+// ConnShed implements runtime.ShedObserver, counting connection-plane
+// admission drops per server and reason — the overload-control events
+// that used to disappear in silent `default: close()` branches.
+func (o *FlowObserver) ConnShed(server, reason string) {
+	key := server + "/" + reason
+	o.mu.Lock()
+	if o.sheds == nil {
+		o.sheds = make(map[string]uint64)
+	}
+	o.sheds[key]++
+	o.mu.Unlock()
+}
+
+// Sheds returns the total connection sheds recorded, and ShedCount the
+// count for one server/reason key.
+func (o *FlowObserver) Sheds() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var total uint64
+	for _, n := range o.sheds {
+		total += n
+	}
+	return total
+}
+
+// ShedCount returns the sheds recorded under one "server/reason" key.
+func (o *FlowObserver) ShedCount(key string) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sheds[key]
+}
+
 // Reset clears all recorders (warm-up trimming).
 func (o *FlowObserver) Reset() {
 	if o.Latency != nil {
@@ -82,8 +115,13 @@ func (o *FlowObserver) Reset() {
 	}
 	o.mu.Lock()
 	o.maxDepth = nil
+	o.sheds = nil
 	o.mu.Unlock()
 }
 
-// The compile-time check that FlowObserver plugs into the plane.
-var _ runtime.Observer = (*FlowObserver)(nil)
+// The compile-time checks that FlowObserver plugs into the plane,
+// including the connection-shed extension.
+var (
+	_ runtime.Observer     = (*FlowObserver)(nil)
+	_ runtime.ShedObserver = (*FlowObserver)(nil)
+)

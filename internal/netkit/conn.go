@@ -1,0 +1,96 @@
+// Package netkit is the shared connection plane of the macro servers:
+// one listener/accept loop, pooled per-connection state and read
+// buffers, and an admission layer with explicit overload control.
+//
+// Before it existed, every server hand-rolled the same accept loop and
+// buffered its connections through a private ready channel whose
+// `default:` branch silently dropped work under pressure. The plane
+// treats connection readiness as a first-class pipeline stage instead:
+// accepted connections are admitted through a single callback — for the
+// Flux servers, the runtime's external-admission path
+// (runtime.SourceHandle.Inject) — and load beyond a queue-depth
+// watermark (Gate) or a live-connection cap (Config.MaxConns) is shed
+// with an explicit 503 and a ConnShed event on the Observer plane,
+// never queued unboundedly and never dropped silently.
+package netkit
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// readerSize is the pooled bufio.Reader's buffer size — one page, the
+// same size the servers used to allocate per connection.
+const readerSize = 4096
+
+var (
+	connPool   = sync.Pool{New: func() any { return new(Conn) }}
+	readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, readerSize) }}
+)
+
+// Conn is the pooled per-connection state every server shares: the
+// network connection, its buffered reader, and keep-alive bookkeeping.
+// A Conn has exactly one owner at a time — the flow or goroutine
+// currently servicing it — and returns itself and its reader to the
+// package pools on Close, so a steady stream of connections recycles
+// state instead of allocating a fresh reader buffer per accept.
+type Conn struct {
+	nc    net.Conn
+	br    *bufio.Reader
+	plane *Plane
+
+	// Served counts requests answered on this connection; the owner
+	// increments it to enforce keep-alive caps.
+	Served int
+
+	// closed makes Close idempotent: only the first caller returns the
+	// state to the pools, so a plane sweep racing the owning flow's own
+	// close cannot double-recycle.
+	closed atomic.Bool
+}
+
+// newConn wraps an accepted connection in pooled state.
+func newConn(p *Plane, nc net.Conn) *Conn {
+	c := connPool.Get().(*Conn)
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(nc)
+	c.nc = nc
+	c.br = br
+	c.plane = p
+	c.Served = 0
+	c.closed.Store(false)
+	return c
+}
+
+// Reader returns the connection's pooled buffered reader.
+func (c *Conn) Reader() *bufio.Reader { return c.br }
+
+// NetConn returns the underlying network connection.
+func (c *Conn) NetConn() net.Conn { return c.nc }
+
+// Write writes directly to the underlying connection.
+func (c *Conn) Write(p []byte) (int, error) { return c.nc.Write(p) }
+
+// Close closes the connection and returns its pooled state. It is
+// idempotent; the first call wins. The plane's live-connection tracking
+// is released here, so MaxConns accounting follows ownership exactly.
+func (c *Conn) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := c.nc.Close()
+	if c.plane != nil {
+		c.plane.untrack(c)
+	}
+	br := c.br
+	c.br = nil
+	c.nc = nil
+	c.plane = nil
+	c.Served = 0
+	br.Reset(nil) // drop the conn reference before pooling the buffer
+	readerPool.Put(br)
+	connPool.Put(c)
+	return err
+}

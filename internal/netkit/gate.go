@@ -1,0 +1,91 @@
+package netkit
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/flux-lang/flux/internal/core"
+	"github.com/flux-lang/flux/internal/runtime"
+)
+
+// Gate is the bounded-admission controller: it implements
+// runtime.Observer, watches the engines' periodic queue-depth samples,
+// and reports overload once the aggregate backlog crosses its
+// watermark — the SEDA-style signal (queue length) the paper's §3.2
+// runtimes expose, read from the same Observer plane everything else
+// uses. Attach the gate to the runtime with WithObserver (MultiObserver
+// composes it with other observers, and attaching it is what turns
+// queue sampling on) and to the Plane through Config.Gate; the plane
+// then sheds fresh connections while Overloaded, and servers consult
+// Overloaded to announce `Connection: close` on keep-alive responses so
+// load drains instead of queueing unboundedly.
+type Gate struct {
+	watermark int
+
+	// overloaded caches the comparison so the admission hot path is one
+	// atomic load per accepted connection.
+	overloaded atomic.Bool
+
+	mu     sync.Mutex
+	depths map[string]int
+}
+
+// NewGate returns a gate tripping when the engines' sampled queue
+// depths sum past watermark. A watermark <= 0 never trips.
+func NewGate(watermark int) *Gate {
+	return &Gate{watermark: watermark}
+}
+
+// NewGateObserver is the admission-gate wiring every gated server
+// repeats: it builds the gate (nil when watermark <= 0) and returns
+// the observer to hand the runtime — the gate composed with obs, or
+// obs unchanged without one. Composing by hand invites the typed-nil
+// trap (MultiObserver cannot tell a nil *Gate from a live observer);
+// this helper is the one place that gets it right.
+func NewGateObserver(watermark int, obs runtime.Observer) (*Gate, runtime.Observer) {
+	if watermark <= 0 {
+		return nil, obs
+	}
+	g := NewGate(watermark)
+	return g, runtime.MultiObserver(obs, g)
+}
+
+// Watermark returns the configured threshold.
+func (g *Gate) Watermark() int { return g.watermark }
+
+// Overloaded reports whether the last samples exceeded the watermark.
+func (g *Gate) Overloaded() bool { return g.overloaded.Load() }
+
+// QueueDepth implements runtime.Observer: each engine queue's latest
+// sample replaces its previous one, and the aggregate is compared
+// against the watermark. Counter streams riding the queue-depth
+// surface (runtime.CounterQueue) are not backlogs and are excluded.
+func (g *Gate) QueueDepth(kind runtime.EngineKind, queue string, depth int) {
+	if runtime.CounterQueue(queue) {
+		return
+	}
+	key := kind.String() + "/" + queue
+	g.mu.Lock()
+	if g.depths == nil {
+		g.depths = make(map[string]int)
+	}
+	g.depths[key] = depth
+	total := 0
+	for _, d := range g.depths {
+		total += d
+	}
+	// Published under the mutex: concurrent samplers must not store
+	// out of order, or a stale overload verdict could stick.
+	g.overloaded.Store(g.watermark > 0 && total > g.watermark)
+	g.mu.Unlock()
+}
+
+// FlowDone implements runtime.Observer; flow terminals carry no backlog
+// signal, so the gate ignores them.
+func (g *Gate) FlowDone(*core.FlatGraph, uint64, runtime.FlowOutcome, time.Duration) {}
+
+// NodeDone implements runtime.Observer and is ignored.
+func (g *Gate) NodeDone(*core.FlatGraph, *core.FlatNode, time.Duration) {}
+
+var _ runtime.Observer = (*Gate)(nil)

@@ -83,6 +83,33 @@ func (d *deque[T]) pop() (v T, ok bool) {
 	return v, true
 }
 
+// popBatch removes up to len(buf) elements from the bottom — newest
+// first, preserving the owner's LIFO order exactly as repeated pop
+// calls would — in one mutex round trip, and reports how many were
+// taken. Under backlog the owner's mutex amortizes over the batch (the
+// deque analogue of the event engine's FIFO popBatch); with a short
+// deque it degenerates to pop, so thieves are not starved by the owner
+// claiming everything.
+func (d *deque[T]) popBatch(buf []T) int {
+	d.mu.Lock()
+	n := len(buf)
+	if n > d.size {
+		n = d.size
+	}
+	var zero T
+	for i := 0; i < n; i++ {
+		d.size--
+		j := (d.head + d.size) & (len(d.buf) - 1)
+		buf[i] = d.buf[j]
+		d.buf[j] = zero // release for GC
+	}
+	if n > 0 {
+		d.asize.Store(int32(d.size))
+	}
+	d.mu.Unlock()
+	return n
+}
+
 // stealHalf moves the oldest ceil(n/2) elements into *scratch (reset to
 // length zero first, grown as needed) in FIFO order, and reports how
 // many were taken. The scratch buffer is reused across calls by the

@@ -192,3 +192,106 @@ func TestDequeConcurrentStealConservation(t *testing.T) {
 		}
 	}
 }
+
+// TestDequeOwnerPopBatchOrder: popBatch must yield exactly what repeated
+// pop calls would — newest first — and leave the steal end intact.
+func TestDequeOwnerPopBatchOrder(t *testing.T) {
+	var d deque[int]
+	for i := 0; i < 10; i++ {
+		d.push(i)
+	}
+	buf := make([]int, 4)
+	if n := d.popBatch(buf); n != 4 {
+		t.Fatalf("popBatch = %d, want 4", n)
+	}
+	for i, want := range []int{9, 8, 7, 6} {
+		if buf[i] != want {
+			t.Fatalf("batch[%d] = %d, want %d (LIFO violated)", i, buf[i], want)
+		}
+	}
+	if d.len() != 6 {
+		t.Fatalf("len = %d after batch, want 6", d.len())
+	}
+	// The oldest elements are still at the steal end.
+	var scratch []int
+	if k := d.stealHalf(&scratch); k != 3 || scratch[0] != 0 || scratch[1] != 1 || scratch[2] != 2 {
+		t.Fatalf("stealHalf after popBatch = %d %v, want oldest 3", k, scratch)
+	}
+	// Draining an empty deque reports zero, and a short deque yields what
+	// is there.
+	if n := d.popBatch(make([]int, 8)); n != 3 {
+		t.Fatalf("popBatch on 3-element deque = %d", n)
+	}
+	if n := d.popBatch(buf); n != 0 {
+		t.Fatalf("popBatch on empty deque = %d", n)
+	}
+}
+
+// TestDequeOwnerPopBatchVsThieves: concurrent batch pops and steals must
+// surface every element exactly once.
+func TestDequeOwnerPopBatchVsThieves(t *testing.T) {
+	var d deque[int]
+	const total = 20000
+	counts := make(map[int]int, total)
+	var mu sync.Mutex
+	record := func(vs ...int) {
+		mu.Lock()
+		for _, v := range vs {
+			counts[v]++
+		}
+		mu.Unlock()
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []int
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if k := d.stealHalf(&scratch); k > 0 {
+					record(scratch[:k]...)
+				}
+			}
+		}()
+	}
+
+	buf := make([]int, 8)
+	for i := 0; i < total; i++ {
+		d.push(i)
+		if i%5 == 0 {
+			record(buf[:d.popBatch(buf)]...)
+		}
+	}
+	for {
+		n := d.popBatch(buf)
+		if n == 0 {
+			break
+		}
+		record(buf[:n]...)
+	}
+	close(done)
+	wg.Wait()
+	for {
+		n := d.popBatch(buf)
+		if n == 0 {
+			break
+		}
+		record(buf[:n]...)
+	}
+
+	if len(counts) != total {
+		t.Fatalf("recovered %d of %d distinct values", len(counts), total)
+	}
+	for v, n := range counts {
+		if n != 1 {
+			t.Fatalf("value %d surfaced %d times", v, n)
+		}
+	}
+}

@@ -165,8 +165,16 @@ func (e *eventEngine) Start(ctx context.Context) error {
 
 // Submit admits an externally-originated flow as an evStep event at its
 // graph entry, interleaving with source-originated flows at flow
-// granularity.
+// granularity. Admission ends at cancellation, not at quiescence:
+// without the context check, a steady stream of successful injections
+// could hold inflight above zero forever and livelock the drain.
 func (e *eventEngine) Submit(fl *Flow, rec Record) error {
+	select {
+	case <-e.ctxDone:
+		e.s.freeFlow(fl)
+		return ErrServerClosed
+	default:
+	}
 	fl.SourceTimeout = e.s.cfg.SourceTimeout
 	e.inflight.Add(1)
 	tbl := fl.src.tbl

@@ -150,8 +150,14 @@ func (e *poolEngine) sampleQueues() {
 
 // submitRecord admits an injected record through the same FIFO as
 // source admissions; the claiming worker builds the flow (and runs the
-// session function) exactly as it does for source records.
+// session function) exactly as it does for source records. Admission
+// ends at cancellation — the queue also closes shortly after, but the
+// explicit check removes the window where injections race the source
+// loops' retirement.
 func (e *poolEngine) submitRecord(st *sourceState, rec Record) error {
+	if e.ctx.Err() != nil {
+		return ErrServerClosed
+	}
 	if !e.queue.offer(pooledFlow{st: st, rec: rec}) {
 		return ErrServerClosed
 	}

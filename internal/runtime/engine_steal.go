@@ -175,8 +175,17 @@ func (e *stealEngine) Start(ctx context.Context) error {
 }
 
 // Submit admits an externally-originated flow through the injection
-// queue; the next idle dispatcher batch-drains it.
+// queue; the next idle dispatcher batch-drains it. Admission ends at
+// cancellation, not at quiescence: without the context check, a steady
+// stream of successful injections could hold inflight above zero
+// forever and livelock the drain.
 func (e *stealEngine) Submit(fl *Flow, rec Record) error {
+	select {
+	case <-e.ctxDone:
+		e.s.freeFlow(fl)
+		return ErrServerClosed
+	default:
+	}
 	fl.SourceTimeout = e.s.cfg.SourceTimeout
 	e.inflight.Add(1)
 	tbl := fl.src.tbl
@@ -247,8 +256,9 @@ func (d *stealDispatcher) nextClosing(buf []event) (event, bool) {
 
 // sampleQueues feeds the observer plane each dispatcher's deque depth,
 // the injection and async-offload backlogs, and the cumulative steal
-// count (reported through the queue-depth surface as a monotonic
-// sample named "steals").
+// count (reported through the queue-depth surface as the monotonic
+// QueueSteals sample — a counter, not a backlog, which CounterQueue
+// lets depth-aggregating consumers exclude).
 func (e *stealEngine) sampleQueues() {
 	t := time.NewTicker(e.s.cfg.QueueSample)
 	defer t.Stop()
@@ -265,7 +275,7 @@ func (e *stealEngine) sampleQueues() {
 			}
 			obs.QueueDepth(WorkStealing, "inject", e.injectq.len())
 			obs.QueueDepth(WorkStealing, "async", e.asyncq.len())
-			obs.QueueDepth(WorkStealing, "steals", int(steals))
+			obs.QueueDepth(WorkStealing, QueueSteals, int(steals))
 		}
 	}
 }
@@ -309,6 +319,15 @@ func (e *stealEngine) pushTo(d *stealDispatcher, ev event) {
 // per-core event loops of multicore event designs and keeping a deque's
 // cache lines home; oversubscribed configurations stay unpinned so
 // dispatcher switches remain cheap goroutine switches.
+//
+// Local work is claimed in owner-side batches (nextBatch), one deque
+// mutex round trip per stealBatch events instead of one per event. The
+// buffer is termination-check-safe by the event engine's argument:
+// every buffered event except a nudge holds sources > 0 (evSource) or
+// inflight > 0 (evStep/evResult), so maybeFinish cannot observe
+// quiescence while events sit in a dispatcher's buffer. Buffered events
+// are invisible to thieves, but a batch is at most stealBatch long —
+// the same bound the event engine accepts.
 func (d *stealDispatcher) loop() {
 	e := d.e
 	if len(e.disp) <= runtime.GOMAXPROCS(0) {
@@ -317,38 +336,75 @@ func (d *stealDispatcher) loop() {
 	}
 	var buf [stealBatch]event
 	for {
-		ev, ok := d.next(buf[:])
+		n, ok := d.nextBatch(buf[:])
 		if !ok {
 			return
 		}
-		d.handle(ev)
-		e.maybeFinish()
+		for i := 0; i < n; i++ {
+			ev := buf[i]
+			buf[i] = event{} // release the record/flow for GC
+			d.handle(ev, i+1 < n)
+			e.maybeFinish()
+			// External admissions must not wait out the rest of an owner
+			// batch: spill them onto the deque between buffered events,
+			// where this dispatcher (or a woken thief) reaches them next.
+			if i+1 < n && e.ninject.Load() > 0 {
+				d.spillInject()
+			}
+		}
 	}
 }
 
-// next returns the dispatcher's next event: pending external admissions
-// first (one atomic probe — a never-empty local deque must not starve
-// the injection queue), then the local deque (LIFO), then half of a
-// random victim's deque, and otherwise parks until a producer signals.
-func (d *stealDispatcher) next(buf []event) (event, bool) {
+// spillInject drains pending external admissions onto the local deque
+// mid-batch; the surplus is stealable, so a parked peer is invited.
+func (d *stealDispatcher) spillInject() {
+	var buf [stealBatch]event
+	n := d.e.injectq.tryPopBatch(buf[:])
+	if n == 0 {
+		return
+	}
+	d.e.ninject.Add(-int64(n))
+	for i := 0; i < n; i++ {
+		d.dq.push(buf[i])
+		buf[i] = event{}
+	}
+	d.e.wakeOneParked()
+}
+
+// nextBatch fills buf with the dispatcher's next events: pending
+// external admissions first (one atomic probe — a never-empty local
+// deque must not starve the injection queue), then an owner-side batch
+// from the local deque (LIFO, one mutex trip), then half of a random
+// victim's deque, and otherwise parks until a producer signals. The
+// injection, steal, and closing paths yield one event per call; only
+// the local deque fills a whole batch.
+func (d *stealDispatcher) nextBatch(buf []event) (int, bool) {
 	e := d.e
 	for {
 		if e.closed.Load() {
-			return d.nextClosing(buf)
+			ev, ok := d.nextClosing(buf)
+			if !ok {
+				return 0, false
+			}
+			buf[0] = ev
+			return 1, true
 		}
 		if e.ninject.Load() > 0 {
 			if ev, ok := d.drainInject(buf); ok {
-				return ev, true
+				buf[0] = ev
+				return 1, true
 			}
 		}
-		if ev, ok := d.dq.pop(); ok {
-			return ev, true
+		if n := d.dq.popBatch(buf); n > 0 {
+			return n, true
 		}
 		if ev, ok := d.drainInject(buf); ok {
-			return ev, true
+			buf[0] = ev
+			return 1, true
 		}
 		if ev, ok := d.steal(); ok {
-			return ev, true
+			buf[0] = ev
+			return 1, true
 		}
 		// Announce-then-verify parking: publish the parked flag, then
 		// re-scan every queue. A producer publishes work before reading
@@ -458,11 +514,13 @@ func (d *stealDispatcher) steal() (event, bool) {
 
 // handle runs one event. The flow's dispatcher affinity is updated
 // first: lock releases performed while it runs resume their waiters
-// onto this dispatcher's deque.
-func (d *stealDispatcher) handle(ev event) {
+// onto this dispatcher's deque. morePending reports events still
+// buffered by this dispatcher's owner batch, which count as ready work
+// for source poll-shortening.
+func (d *stealDispatcher) handle(ev event, morePending bool) {
 	switch ev.kind {
 	case evSource:
-		d.handleSource(ev)
+		d.handleSource(ev, morePending)
 	case evStep:
 		ev.fl.disp = d
 		d.run(ev.fl, ev.tbl, ev.v, ev.rec, ev.acquired)
@@ -485,7 +543,10 @@ func (d *stealDispatcher) retireSource(ev event) {
 
 // handleSource polls a source once and re-queues it on this dispatcher's
 // deque; its flows originate here and stay here unless stolen.
-func (d *stealDispatcher) handleSource(ev event) {
+// morePending (events buffered by the caller's owner batch) shortens the
+// poll and suppresses the idle guard sleep, exactly as deque or
+// injection backlog does.
+func (d *stealDispatcher) handleSource(ev event, morePending bool) {
 	e := d.e
 	select {
 	case <-e.ctxDone:
@@ -501,11 +562,12 @@ func (d *stealDispatcher) handleSource(ev event) {
 	// The poll context's wake follows the source to its current
 	// dispatcher (the event may have been stolen).
 	ev.fl.Wake = d.wake
-	// Pre-arm the wake signal when work is already waiting — locally or
-	// in the injection queue — so a well-behaved source's select fires
-	// immediately. Both probes are atomic loads.
+	// Pre-arm the wake signal when work is already waiting — buffered by
+	// the owner batch, locally queued, or in the injection queue — so a
+	// well-behaved source's select fires immediately. The queue probes
+	// are atomic loads.
 	d.drainWake()
-	if d.dq.len() > 0 || e.ninject.Load() > 0 {
+	if morePending || d.dq.len() > 0 || e.ninject.Load() > 0 {
 		d.signalWake()
 	}
 	t0 := time.Now()
@@ -531,8 +593,9 @@ func (d *stealDispatcher) handleSource(ev event) {
 		// Guard against sources that return early instead of waiting out
 		// their deadline: an idle engine would otherwise hot-spin. The
 		// guard sleep is interrupted by new work arriving (deque pushes
-		// and Submit both signal wake tokens).
-		if d.dq.len() == 0 && e.ninject.Load() <= 0 {
+		// and Submit both signal wake tokens) and skipped while the owner
+		// batch still buffers runnable events.
+		if !morePending && d.dq.len() == 0 && e.ninject.Load() <= 0 {
 			if rest := e.s.cfg.SourceTimeout - time.Since(t0); rest > 0 {
 				d.sleepWakeable(rest)
 			}

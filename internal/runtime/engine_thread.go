@@ -108,6 +108,12 @@ func (e *threadEngine) sourceLoop(sources *sync.WaitGroup, st *sourceState) {
 }
 
 func (e *threadEngine) Submit(fl *Flow, rec Record) error {
+	// Admission ends at cancellation; the draining flag below flips only
+	// after every source retires, and injections must not win that race.
+	if e.ctx.Err() != nil {
+		e.s.freeFlow(fl)
+		return ErrServerClosed
+	}
 	e.admitMu.Lock()
 	if e.draining {
 		e.admitMu.Unlock()

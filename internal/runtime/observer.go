@@ -76,6 +76,42 @@ type DropProfiler interface {
 	FlowDropped(g *core.FlatGraph, pathID uint64, elapsed time.Duration)
 }
 
+// QueueSteals is the work-stealing engine's cumulative steal count,
+// reported through the QueueDepth surface as a monotonic sample. It is
+// a counter, not a backlog: admission controllers aggregating queue
+// depths must exclude it (CounterQueue reports which names to skip).
+const QueueSteals = "steals"
+
+// CounterQueue reports whether a QueueDepth stream name carries a
+// monotonic counter rather than a backlog depth. Engines adding
+// counter streams to the queue-depth surface must register the name
+// here, or every depth-watching admission controller would sum them
+// as backlog and trip permanently into overload.
+func CounterQueue(queue string) bool { return queue == QueueSteals }
+
+// ShedObserver is the optional Observer extension through which the
+// connection plane reports admission drops: connections shed by
+// overload control, refused by a bounded queue, or dropped because the
+// server stopped admitting. Every shed that used to vanish in a
+// `select { ...; default: close() }` is routed here, so overload
+// behavior is observable alongside flow terminals and queue depths.
+// MultiObserver forwards ConnShed to every member that implements it.
+type ShedObserver interface {
+	Observer
+	// ConnShed records one connection shed by the named server, with a
+	// short reason ("overload", "conn-limit", "refused", "closed", ...).
+	ConnShed(server, reason string)
+}
+
+// ConnShed delivers a shed event to obs if it implements ShedObserver;
+// a nil or shed-blind observer ignores it. The connection plane calls
+// this so callers need no type assertions of their own.
+func ConnShed(obs Observer, server, reason string) {
+	if so, ok := obs.(ShedObserver); ok {
+		so.ConnShed(server, reason)
+	}
+}
+
 // profilerObserver adapts the legacy Profiler interface to the Observer
 // plane. Dropped flows are recorded like error paths — the partial path
 // register identifies the route up to the unmatched dispatch — closing
@@ -129,6 +165,14 @@ func (m multiObserver) NodeDone(g *core.FlatGraph, v *core.FlatNode, elapsed tim
 func (m multiObserver) QueueDepth(kind EngineKind, queue string, depth int) {
 	for _, o := range m {
 		o.QueueDepth(kind, queue, depth)
+	}
+}
+
+// ConnShed fans a shed event out to every member implementing the
+// ShedObserver extension, so composition does not hide shed counters.
+func (m multiObserver) ConnShed(server, reason string) {
+	for _, o := range m {
+		ConnShed(o, server, reason)
 	}
 }
 

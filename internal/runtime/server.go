@@ -215,6 +215,11 @@ type Server struct {
 	// tables holds one dense vertex table per flat graph.
 	tables map[*core.FlatGraph]*graphTable
 
+	// live is the running engine and admission context, published
+	// atomically at Start so the Inject hot path reads both with one
+	// lock-free load instead of taking the lifecycle mutex.
+	live atomic.Pointer[liveEngine]
+
 	// Lifecycle state, guarded by mu.
 	mu     sync.Mutex
 	engine Engine
@@ -222,6 +227,16 @@ type Server struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	runErr error
+}
+
+// liveEngine snapshots what external admission needs from a started
+// server: the engine, its record-submission fast path (pre-asserted, so
+// the per-event path performs no interface type switch), and the run
+// context injected flows inherit.
+type liveEngine struct {
+	eng Engine
+	rs  recordSubmitter // non-nil when eng defers flow construction
+	ctx context.Context
 }
 
 type sourceState struct {
@@ -357,6 +372,9 @@ func (s *Server) Start(ctx context.Context) error {
 	s.engine = eng
 	s.runCtx = runCtx
 	s.cancel = cancel
+	le := &liveEngine{eng: eng, ctx: runCtx}
+	le.rs, _ = eng.(recordSubmitter)
+	s.live.Store(le)
 	s.done = make(chan struct{})
 	done := s.done
 	go func() {
@@ -413,29 +431,65 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // re-registration, macro benchmark harnesses, or any caller outside the
 // program's own sources. The source's session function, if any, applies.
 // It returns ErrServerClosed once the server no longer admits flows and
-// ErrNotStarted before Start.
+// ErrNotStarted before Start. Callers injecting per event should resolve
+// a SourceHandle once instead, skipping the name lookup.
 func (s *Server) Inject(source string, rec Record) error {
 	st, ok := s.srcByName[source]
 	if !ok {
 		return fmt.Errorf("flux/runtime: no source %q to inject into", source)
 	}
-	s.mu.Lock()
-	eng, runCtx := s.engine, s.runCtx
-	s.mu.Unlock()
-	if eng == nil {
+	return s.injectRecord(st, rec)
+}
+
+// SourceHandle is a pre-resolved admission handle for one source: the
+// per-event external-admission fast path. Resolving once hoists the
+// source-name map lookup out of the per-record Inject, and the engine
+// snapshot behind it is a single atomic load, so a connection plane
+// injecting every request pays no lock and no allocation here.
+type SourceHandle struct {
+	s  *Server
+	st *sourceState
+}
+
+// Source resolves a source by name for repeated injection. The handle
+// is valid for the server's lifetime and safe for concurrent use; it
+// can be resolved before Start (Inject then reports ErrNotStarted until
+// the server runs).
+func (s *Server) Source(name string) (*SourceHandle, error) {
+	st, ok := s.srcByName[name]
+	if !ok {
+		return nil, fmt.Errorf("flux/runtime: no source %q to inject into", name)
+	}
+	return &SourceHandle{s: s, st: st}, nil
+}
+
+// Name returns the handle's source name.
+func (h *SourceHandle) Name() string { return h.st.name }
+
+// Inject admits one record on the handle's source graph, exactly as
+// Server.Inject does for the same source.
+func (h *SourceHandle) Inject(rec Record) error {
+	return h.s.injectRecord(h.st, rec)
+}
+
+// injectRecord is the engine-facing admission path shared by Inject and
+// SourceHandle.Inject.
+func (s *Server) injectRecord(st *sourceState, rec Record) error {
+	le := s.live.Load()
+	if le == nil {
 		return ErrNotStarted
 	}
-	if rs, ok := eng.(recordSubmitter); ok {
+	if le.rs != nil {
 		// The engine builds the flow itself (worker-side); hand it the
 		// bare record so the session function runs exactly once, there.
-		if err := rs.submitRecord(st, rec); err != nil {
+		if err := le.rs.submitRecord(st, rec); err != nil {
 			return err
 		}
 	} else {
-		fl := s.newFlow(runCtx, st.sessionOf(rec))
+		fl := s.newFlow(le.ctx, st.sessionOf(rec))
 		fl.src = st
 		// Submit takes ownership of the flow, success or failure.
-		if err := eng.Submit(fl, rec); err != nil {
+		if err := le.eng.Submit(fl, rec); err != nil {
 			return err
 		}
 	}

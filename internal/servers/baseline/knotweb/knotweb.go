@@ -7,19 +7,26 @@
 // run through the same FScript interpreter as the Flux web server, so
 // the mixed-workload comparison measures server architecture, not
 // dynamic-content engines.
+//
+// Connections are accepted by the shared connection plane
+// (internal/netkit) — the same accept loop, pooled per-connection
+// state, and shed accounting the Flux servers use — with MaxConns as
+// the threaded design's admission bound: a goroutine-per-connection
+// server has no queue to watch, so overload control caps concurrent
+// connections and sheds the excess with a 503.
 package knotweb
 
 import (
-	"bufio"
 	"context"
 	"fmt"
-	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/netkit"
+	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
 	"github.com/flux-lang/flux/internal/servers/httpkit"
 	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
@@ -35,24 +42,29 @@ type Config struct {
 	// ScriptWork is the loop bound handed to dynamic pages (default
 	// 2000), matching the Flux web server's knob.
 	ScriptWork int
+	// MaxConns, when > 0, bounds concurrent connections; accepts beyond
+	// it are shed with a 503 — the thread-per-connection server's
+	// admission control. 0 admits unboundedly.
+	MaxConns int
+	// Observer, when non-nil, receives the plane's shed events
+	// (runtime.ShedObserver).
+	Observer runtime.Observer
 }
 
 // Server is the threaded baseline web server.
 type Server struct {
 	cfg    Config
-	ln     net.Listener
+	plane  *netkit.Plane
 	cache  *lfu.Locked
 	pages  *fscript.BenchPages
 	served atomic.Uint64
+	conns  sync.WaitGroup
 
 	lifecycle.Runner
 }
 
 // New opens the listener.
 func New(cfg Config) (*Server, error) {
-	if cfg.Addr == "" {
-		cfg.Addr = "127.0.0.1:0"
-	}
 	if cfg.Files == nil {
 		cfg.Files = loadgen.NewFileSet(1)
 	}
@@ -69,45 +81,58 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("knotweb: dynamic templates: %w", err)
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
+	s := &Server{cfg: cfg, cache: lfu.NewLocked(cfg.CacheBytes), pages: pages}
+	s.plane, err = netkit.Listen(netkit.Config{
+		Addr:         cfg.Addr,
+		Admit:        s.admit,
+		MaxConns:     cfg.MaxConns,
+		ShedResponse: httpkit.Unavailable(),
+		Observer:     cfg.Observer,
+		Name:         "knotweb",
+	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, ln: ln, cache: lfu.NewLocked(cfg.CacheBytes), pages: pages}, nil
+	return s, nil
 }
 
 // Addr returns the bound address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.plane.Addr() }
 
 // Served returns the number of requests answered.
 func (s *Server) Served() uint64 { return s.served.Load() }
 
-// Run accepts connections until the context is cancelled, one goroutine
-// per connection.
-func (s *Server) Run(ctx context.Context) error {
+// PlaneStats exposes the connection plane's admission counters.
+func (s *Server) PlaneStats() netkit.StatsSnapshot { return s.plane.Stats() }
+
+// admit services an admitted connection on its own goroutine — the
+// knot design.
+func (s *Server) admit(c *netkit.Conn) error {
+	s.conns.Add(1)
 	go func() {
-		<-ctx.Done()
-		s.ln.Close()
+		defer s.conns.Done()
+		s.serveConn(c)
 	}()
-	var wg sync.WaitGroup
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			wg.Wait()
-			return ctx.Err()
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			s.serveConn(conn)
-		}()
-	}
+	return nil
 }
 
-func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
-	br := bufio.NewReader(conn)
-	for served := 0; served < s.cfg.MaxKeepAlive; served++ {
+// Run accepts connections until the context is cancelled. Shutdown
+// interrupts reads blocked on idle keep-alive clients (the plane closes
+// every live connection), so the wait below cannot hang on a silent
+// client.
+func (s *Server) Run(ctx context.Context) error {
+	if err := s.plane.Start(ctx); err != nil {
+		return err
+	}
+	_ = s.plane.Wait()
+	s.conns.Wait()
+	return ctx.Err()
+}
+
+func (s *Server) serveConn(c *netkit.Conn) {
+	defer c.Close()
+	br := c.Reader()
+	for c.Served < s.cfg.MaxKeepAlive {
 		line, err := httpkit.ReadLine(br)
 		if err != nil {
 			return
@@ -129,7 +154,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if i := strings.IndexByte(path, '?'); i >= 0 {
 			path, query = path[:i], path[i+1:]
 		}
-		closing := !keepAlive || served+1 >= s.cfg.MaxKeepAlive
+		closing := !keepAlive || c.Served+1 >= s.cfg.MaxKeepAlive
 
 		var resp []byte
 		switch {
@@ -149,7 +174,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				fileBody, found := s.cfg.Files.Lookup(path)
 				if !found {
 					notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-					conn.Write(withClose(render(404, "Not Found", notFound)))
+					c.Write(withClose(render(404, "Not Found", notFound)))
 					return
 				}
 				resp = render(200, "OK", fileBody)
@@ -160,10 +185,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if closing {
 			resp = withClose(resp)
 		}
-		if _, err := conn.Write(resp); err != nil {
+		if _, err := c.Write(resp); err != nil {
 			return
 		}
 		s.served.Add(1)
+		c.Served++
 		if closing {
 			return
 		}

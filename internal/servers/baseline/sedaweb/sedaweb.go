@@ -5,19 +5,25 @@
 // small worker pool, the SEDA architecture. Under overload, queues fill
 // and admission sheds connections, which is the behavior that costs
 // Haboob throughput in Figure 3.
+//
+// Connections are accepted by the shared connection plane
+// (internal/netkit); a full read queue refuses admission and the plane
+// sheds with an explicit 503, and stage-to-stage overflows shed through
+// the same plane — counted and routed to the Observer plane instead of
+// silently closed.
 package sedaweb
 
 import (
-	"bufio"
 	"context"
 	"fmt"
-	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/netkit"
+	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/baseline/lifecycle"
 	"github.com/flux-lang/flux/internal/servers/httpkit"
 	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
@@ -37,26 +43,27 @@ type Config struct {
 	// ScriptWork is the loop bound handed to dynamic pages (default
 	// 2000), matching the Flux web server's knob.
 	ScriptWork int
+	// Observer, when non-nil, receives the plane's shed events
+	// (runtime.ShedObserver).
+	Observer runtime.Observer
 }
 
 // event is the unit passed between stages: one connection awaiting its
 // next action.
 type event struct {
-	conn   net.Conn
-	br     *bufio.Reader
+	conn   *netkit.Conn
 	method string
 	path   string
 	query  string
 	body   []byte
 	keep   bool
-	served int
 	resp   []byte
 }
 
 // Server is the staged baseline web server.
 type Server struct {
 	cfg   Config
-	ln    net.Listener
+	plane *netkit.Plane
 	cache *lfu.Locked
 	pages *fscript.BenchPages
 
@@ -65,16 +72,12 @@ type Server struct {
 	fileQ  chan *event
 	sendQ  chan *event
 	served atomic.Uint64
-	shed   atomic.Uint64
 
 	lifecycle.Runner
 }
 
 // New opens the listener and builds the stage queues.
 func New(cfg Config) (*Server, error) {
-	if cfg.Addr == "" {
-		cfg.Addr = "127.0.0.1:0"
-	}
 	if cfg.Files == nil {
 		cfg.Files = loadgen.NewFileSet(1)
 	}
@@ -97,35 +100,56 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sedaweb: dynamic templates: %w", err)
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
-		ln:    ln,
 		cache: lfu.NewLocked(cfg.CacheBytes),
 		pages: pages,
 		readQ: make(chan *event, cfg.QueueDepth),
 		lookQ: make(chan *event, cfg.QueueDepth),
 		fileQ: make(chan *event, cfg.QueueDepth),
 		sendQ: make(chan *event, cfg.QueueDepth),
-	}, nil
+	}
+	s.plane, err = netkit.Listen(netkit.Config{
+		Addr:         cfg.Addr,
+		Admit:        s.admit,
+		ShedResponse: httpkit.Unavailable(),
+		Observer:     cfg.Observer,
+		Name:         "sedaweb",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Addr returns the bound address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.plane.Addr() }
 
-// Served returns requests answered; Shed returns connections dropped by
-// admission control.
+// Served returns requests answered.
 func (s *Server) Served() uint64 { return s.served.Load() }
 
-// Shed returns the number of shed (overload-dropped) events.
-func (s *Server) Shed() uint64 { return s.shed.Load() }
+// Shed returns the number of shed (overload-dropped) connections,
+// admission refusals included — the plane counts every shed path.
+func (s *Server) Shed() uint64 { return s.plane.Stats().Shed }
 
-// Run starts the stage pools and accepts connections. Stage workers
-// stop on context cancellation; events in flight at shutdown are
-// dropped, as a staged server's queues would be.
+// PlaneStats exposes the connection plane's admission counters.
+func (s *Server) PlaneStats() netkit.StatsSnapshot { return s.plane.Stats() }
+
+// admit applies SEDA admission control at the front door: a full read
+// queue refuses the connection, and the plane answers 503.
+func (s *Server) admit(c *netkit.Conn) error {
+	select {
+	case s.readQ <- &event{conn: c}:
+		return nil
+	default:
+		return fmt.Errorf("sedaweb: read queue full")
+	}
+}
+
+// Run starts the stage pools and serves until the context is
+// cancelled. Stage workers stop on cancellation; events in flight at
+// shutdown are dropped, as a staged server's queues would be, and the
+// plane closes their connections.
 func (s *Server) Run(ctx context.Context) error {
 	var wg sync.WaitGroup
 	stage := func(in chan *event, fn func(*event)) {
@@ -149,35 +173,27 @@ func (s *Server) Run(ctx context.Context) error {
 	stage(s.fileQ, s.fileStage)
 	stage(s.sendQ, s.sendStage)
 
-	go func() {
-		<-ctx.Done()
-		s.ln.Close()
-	}()
-
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			break
-		}
-		ev := &event{conn: conn, br: bufio.NewReader(conn)}
-		s.enqueue(s.readQ, ev)
+	if err := s.plane.Start(ctx); err != nil {
+		return err
 	}
+	_ = s.plane.Wait()
 	wg.Wait()
 	return ctx.Err()
 }
 
-// enqueue applies SEDA admission control: a full queue sheds the event.
+// enqueue applies SEDA admission control between stages: a full queue
+// sheds the event through the plane (503, counted, observed).
 func (s *Server) enqueue(q chan *event, ev *event) {
 	select {
 	case q <- ev:
 	default:
-		s.shed.Add(1)
-		ev.conn.Close()
+		s.plane.ShedConn(ev.conn, "stage-full")
 	}
 }
 
 func (s *Server) readStage(ev *event) {
-	line, err := httpkit.ReadLine(ev.br)
+	br := ev.conn.Reader()
+	line, err := httpkit.ReadLine(br)
 	if err != nil {
 		ev.conn.Close()
 		return
@@ -188,13 +204,13 @@ func (s *Server) readStage(ev *event) {
 		return
 	}
 	ev.method = fields[0]
-	keep, contentLen, err := httpkit.ReadHeaders(ev.br)
+	keep, contentLen, err := httpkit.ReadHeaders(br)
 	if err != nil {
 		ev.conn.Close()
 		return
 	}
 	ev.keep = keep
-	ev.body, err = httpkit.ReadBody(ev.br, contentLen)
+	ev.body, err = httpkit.ReadBody(br, contentLen)
 	if err != nil {
 		ev.conn.Close()
 		return
@@ -249,7 +265,7 @@ func (s *Server) fileStage(ev *event) {
 }
 
 func (s *Server) sendStage(ev *event) {
-	closing := !ev.keep || ev.served+1 >= s.cfg.MaxKeepAlive
+	closing := !ev.keep || ev.conn.Served+1 >= s.cfg.MaxKeepAlive
 	resp := ev.resp
 	if closing {
 		resp = withClose(resp)
@@ -259,7 +275,7 @@ func (s *Server) sendStage(ev *event) {
 		return
 	}
 	s.served.Add(1)
-	ev.served++
+	ev.conn.Served++
 	if closing {
 		ev.conn.Close()
 		return

@@ -120,6 +120,16 @@ func RenderPostConfirm(path string, bodyLen int) []byte {
 	return Render(200, "OK", "text/html", []byte(page))
 }
 
+// unavailable is the canned overload answer, rendered once: admission
+// control sheds with an explicit 503 announcing Connection: close, so
+// clients back off and reconnect instead of hanging on a silent drop.
+var unavailable = WithCloseHeader(Render(503, "Service Unavailable", "text/html",
+	[]byte("<html><body><h1>503 Service Unavailable</h1></body></html>")))
+
+// Unavailable returns the shared 503 shed response (read-only; callers
+// only write it to a socket).
+func Unavailable() []byte { return unavailable }
+
 // WithCloseHeader copies a rendered response with a Connection: close
 // header inserted before the blank line, announcing the close so
 // keep-alive clients reconnect instead of failing. Responses cached and

@@ -14,22 +14,21 @@
 package imageserver
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"fmt"
 	"image/jpeg"
-	"net"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/lang/parser"
 	"github.com/flux-lang/flux/internal/lfu"
+	"github.com/flux-lang/flux/internal/netkit"
 	"github.com/flux-lang/flux/internal/ppm"
 	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/servers/httpkit"
 )
 
 // FluxSource is Figure 2 of the paper.
@@ -103,30 +102,39 @@ type Config struct {
 	PoolSize      int
 	SourceTimeout time.Duration
 	Profiler      runtime.Profiler
+	// Observer, when non-nil, joins the runtime's observer plane (flow
+	// terminals, queue depths, connection-plane shed events).
+	Observer runtime.Observer
+	// AdmitWatermark, when > 0, sheds fresh connections with a 503 once
+	// the engine's sampled queue depths sum past it. 0 admits
+	// unboundedly.
+	AdmitWatermark int
+	// MaxConns, when > 0, caps live connections; accepts beyond it are
+	// shed with a 503.
+	MaxConns int
+	// QueueSample overrides the queue-depth sampling period (default
+	// 5ms with an AdmitWatermark — admission control needs a fresh
+	// signal — else the runtime's 100ms).
+	QueueSample time.Duration
 }
 
 // Server is a runnable Flux image server, driven through the runtime's
-// lifecycle: Start, Shutdown, Wait — or Run.
+// lifecycle: Start, Shutdown, Wait — or Run. Connections are accepted
+// and admitted by the shared connection plane (internal/netkit),
+// entering the graph exclusively through the runtime's external-
+// admission path.
 type Server struct {
 	cfg     Config
 	prog    *core.Program
 	rt      *runtime.Server
-	ln      net.Listener
-	ready   chan net.Conn
+	cp      *netkit.FluxPlane
 	cache   *lfu.Cache
 	library map[string]*ppm.Image
-
-	stopOnce   sync.Once
-	stop       chan struct{}
-	acceptDone chan struct{}
 }
 
 // New compiles Figure 2, synthesizes the image library, and opens the
 // listener.
 func New(cfg Config) (*Server, error) {
-	if cfg.Addr == "" {
-		cfg.Addr = "127.0.0.1:0"
-	}
 	if cfg.Images <= 0 {
 		cfg.Images = 5
 	}
@@ -149,16 +157,12 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("imageserver: compile: %w", err)
 	}
 
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("imageserver: listen: %w", err)
+	if cfg.QueueSample <= 0 && cfg.AdmitWatermark > 0 {
+		cfg.QueueSample = 5 * time.Millisecond
 	}
-
 	s := &Server{
 		cfg:     cfg,
 		prog:    prog,
-		ln:      ln,
-		ready:   make(chan net.Conn, 1024),
 		cache:   lfu.New(cfg.CacheBytes),
 		library: make(map[string]*ppm.Image, cfg.Images),
 	}
@@ -179,22 +183,37 @@ func New(cfg Config) (*Server, error) {
 		BindPredicate("TestInCache", func(v any) bool { return v.(*Tag).hit }).
 		MarkBlocking("ReadRequest", "Write")
 
+	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
 	rt, err := runtime.New(prog, b,
 		runtime.WithEngine(cfg.Engine),
 		runtime.WithPoolSize(cfg.PoolSize),
 		runtime.WithSourceTimeout(cfg.SourceTimeout),
 		runtime.WithProfiler(cfg.Profiler),
+		runtime.WithObserver(obs),
+		runtime.WithQueueSampleInterval(cfg.QueueSample),
+		// Admission is external: the connection plane injects every flow.
+		runtime.WithKeepAlive(),
 	)
 	if err != nil {
-		ln.Close()
 		return nil, err
 	}
 	s.rt = rt
+	s.cp, err = netkit.NewFluxPlane(rt, "Listen", netkit.Config{
+		Addr:         cfg.Addr,
+		Gate:         gate,
+		MaxConns:     cfg.MaxConns,
+		ShedResponse: httpkit.Unavailable(),
+		Observer:     obs,
+		Name:         "imageserver",
+	})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.cp.Addr() }
 
 // Program exposes the compiled program.
 func (s *Server) Program() *core.Program { return s.prog }
@@ -205,64 +224,18 @@ func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
 // CacheStats exposes hit/miss/eviction counters.
 func (s *Server) CacheStats() (hits, misses, evictions uint64) { return s.cache.Stats() }
 
-// Start launches the accept loop and the Flux runtime; the server then
-// serves until the context is cancelled or Shutdown is called.
-func (s *Server) Start(ctx context.Context) error {
-	if err := s.rt.Start(ctx); err != nil {
-		return err
-	}
-	s.stop = make(chan struct{})
-	s.acceptDone = make(chan struct{})
-	go func() {
-		defer close(s.acceptDone)
-		for {
-			nc, err := s.ln.Accept()
-			if err != nil {
-				return
-			}
-			select {
-			case s.ready <- nc:
-			case <-s.stop:
-				nc.Close()
-				return
-			case <-ctx.Done():
-				nc.Close()
-				return
-			}
-		}
-	}()
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-s.stop:
-		}
-		s.ln.Close()
-	}()
-	return nil
-}
+// Start launches the Flux runtime and the connection plane's accept
+// loop; the server then serves until the context is cancelled or
+// Shutdown is called.
+func (s *Server) Start(ctx context.Context) error { return s.cp.Start(ctx) }
 
-// Shutdown gracefully stops the server: the listener closes, Flux
-// sources stop admitting, and in-flight requests drain until their
-// terminals or ctx expires.
-func (s *Server) Shutdown(ctx context.Context) error {
-	if s.stop == nil {
-		return runtime.ErrNotStarted
-	}
-	s.stopOnce.Do(func() { close(s.stop) })
-	err := s.rt.Shutdown(ctx)
-	<-s.acceptDone
-	return err
-}
+// Shutdown gracefully stops the server: the plane stops accepting and
+// interrupts live connections, then the Flux runtime stops admitting
+// and in-flight requests drain until their terminals or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.cp.Shutdown(ctx) }
 
 // Wait blocks until the run ends and returns its error.
-func (s *Server) Wait() error {
-	if s.acceptDone == nil {
-		return runtime.ErrNotStarted
-	}
-	err := s.rt.Wait()
-	<-s.acceptDone
-	return err
-}
+func (s *Server) Wait() error { return s.cp.Wait() }
 
 // Run serves until the context is cancelled: Start followed by Wait.
 func (s *Server) Run(ctx context.Context) error {
@@ -274,42 +247,29 @@ func (s *Server) Run(ctx context.Context) error {
 
 // --- node implementations --------------------------------------------------
 
+// listen is the graph's source node. The connection plane owns accept
+// and admission (every flow enters through Inject), so the source
+// retires immediately; the runtime's keep-alive mode holds the server
+// open.
 func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
-	if fl.SourceTimeout > 0 {
-		t := time.NewTimer(fl.SourceTimeout)
-		defer t.Stop()
-		select {
-		case nc := <-s.ready:
-			return runtime.Record{nc}, nil
-		case <-t.C:
-			return nil, runtime.ErrNoData
-		case <-fl.Wake:
-			return nil, runtime.ErrNoData
-		case <-fl.Ctx.Done():
-			return nil, fl.Ctx.Err()
-		}
-	}
-	select {
-	case nc := <-s.ready:
-		return runtime.Record{nc}, nil
-	case <-fl.Ctx.Done():
-		return nil, fl.Ctx.Err()
-	}
+	return nil, runtime.ErrStop
 }
 
 // readRequest parses "GET /<name>/<scale> HTTP/1.1": one request per
 // connection (close=true always, the image protocol is single-shot).
+// The connection's buffered reader is pooled plane state, not a fresh
+// allocation per request.
 func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	nc := in[0].(net.Conn)
-	br := bufio.NewReader(nc)
+	c := in[0].(*netkit.Conn)
+	br := c.Reader()
 	line, err := br.ReadString('\n')
 	if err != nil {
-		nc.Close()
+		c.Close()
 		return nil, err
 	}
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 2 {
-		nc.Close()
+		c.Close()
 		return nil, fmt.Errorf("imageserver: malformed request %q", line)
 	}
 	// Drain headers until the blank line.
@@ -330,7 +290,7 @@ func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Recor
 		}
 	}
 	tag.key = fmt.Sprintf("%s@%d", tag.Name, tag.Scale)
-	return runtime.Record{nc, true, tag}, nil
+	return runtime.Record{c, true, tag}, nil
 }
 
 // checkCache increments the cached item's reference count on a hit
@@ -407,17 +367,17 @@ func (s *Server) storeInCache(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 
 // write sends the JPEG response.
 func (s *Server) write(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	nc := in[0].(net.Conn)
+	c := in[0].(*netkit.Conn)
 	tag := in[2].(*Tag)
 	head := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: image/jpeg\r\nContent-Length: %d\r\n\r\n", len(tag.jpeg))
-	if _, err := nc.Write(append([]byte(head), tag.jpeg...)); err != nil {
+	if _, err := c.Write(append([]byte(head), tag.jpeg...)); err != nil {
 		// Figure 2 declares no handler for Write, so the flow will
 		// terminate here; release the flow's cache reference so a
 		// vanished client cannot pin the entry.
 		if tag.hit || tag.stored {
 			s.cache.Release(tag.key)
 		}
-		nc.Close()
+		c.Close()
 		return nil, err
 	}
 	return in, nil
@@ -426,24 +386,24 @@ func (s *Server) write(fl *runtime.Flow, in runtime.Record) (runtime.Record, err
 // complete decrements the reference count and closes (§2.5: "Complete,
 // which decrements the cached image's reference count").
 func (s *Server) complete(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	nc := in[0].(net.Conn)
+	c := in[0].(*netkit.Conn)
 	closeConn := in[1].(bool)
 	tag := in[2].(*Tag)
 	if tag.hit || tag.stored {
 		s.cache.Release(tag.key)
 	}
 	if closeConn {
-		nc.Close()
+		c.Close()
 	}
 	return nil, nil
 }
 
 // fourOhFour answers a missing image.
 func (s *Server) fourOhFour(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	nc := in[0].(net.Conn)
+	c := in[0].(*netkit.Conn)
 	body := []byte("image not found")
 	head := fmt.Sprintf("HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: %d\r\n\r\n", len(body))
-	_, _ = nc.Write(append([]byte(head), body...))
-	nc.Close()
+	_, _ = c.Write(append([]byte(head), body...))
+	c.Close()
 	return nil, nil
 }

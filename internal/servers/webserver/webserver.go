@@ -4,26 +4,28 @@
 // response cache under Flux atomicity constraints, and dynamic pages
 // through the FScript interpreter (the PHP substitute).
 //
-// The paper's web server waits for network activity with select-plus-
-// timeout in its first node; the Go analogue is the Listen source
-// multiplexing fresh connections and keep-alive re-registrations over a
-// channel with a deadline, so the event runtime's dispatcher is never
-// blocked indefinitely.
+// Connection admission runs on the shared connection plane
+// (internal/netkit): the plane's accept loop wraps each connection in
+// pooled state and admits it through the runtime's external-admission
+// path (Server.Inject via a pre-resolved SourceHandle), and keep-alive
+// re-registration goes back through the same path — the Listen source
+// exists only as the graph's root. With an admission watermark set, the
+// plane watches the engine's queue-depth samples and sheds load past it:
+// fresh connections get an explicit 503, keep-alive responses announce
+// Connection: close, and every shed is counted on the Observer plane.
 package webserver
 
 import (
-	"bufio"
 	"context"
 	"errors"
 	"fmt"
-	"net"
-	"sync"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/lang/parser"
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/netkit"
 	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/httpkit"
 	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
@@ -91,14 +93,6 @@ type Request struct {
 	response []byte
 }
 
-// Conn wraps a client connection with its buffered reader and keep-alive
-// bookkeeping.
-type Conn struct {
-	nc     net.Conn
-	br     *bufio.Reader
-	served int
-}
-
 // Config tunes the server.
 type Config struct {
 	// Addr is the TCP listen address (default "127.0.0.1:0").
@@ -115,11 +109,29 @@ type Config struct {
 	SourceTimeout time.Duration
 	// Profiler, when non-nil, receives path/node observations.
 	Profiler runtime.Profiler
+	// Observer, when non-nil, joins the runtime's observer plane: flow
+	// terminals, queue depths, and the connection plane's shed events.
+	Observer runtime.Observer
 	// MaxKeepAlive bounds requests per connection (default 100).
 	MaxKeepAlive int
 	// ScriptWork is the loop bound handed to dynamic pages (default
 	// 2000), controlling per-request CPU like the paper's PHP pages.
 	ScriptWork int
+	// AdmitWatermark, when > 0, bounds admission: once the engine's
+	// sampled queue depths sum past it, fresh connections are shed with
+	// a 503 and keep-alive responses announce Connection: close until
+	// the backlog drains. 0 admits unboundedly (the pre-overload-control
+	// behavior).
+	AdmitWatermark int
+	// MaxConns, when > 0, caps live connections; accepts beyond it are
+	// shed with a 503. The queue-depth watermark reacts to backlog with
+	// sampling lag, so a reconnect burst in a between-samples window can
+	// overshoot it; the cap bounds that burst.
+	MaxConns int
+	// QueueSample overrides the queue-depth sampling period (default
+	// 5ms with an AdmitWatermark — admission control needs a fresh
+	// signal — else the runtime's 100ms).
+	QueueSample time.Duration
 }
 
 // Server is a runnable Flux web server, driven through the same
@@ -128,22 +140,14 @@ type Server struct {
 	cfg   Config
 	prog  *core.Program
 	rt    *runtime.Server
-	ln    net.Listener
-	ready chan *Conn
+	cp    *netkit.FluxPlane
 	cache *lfu.Cache
 	pages *fscript.BenchPages
-
-	stopOnce   sync.Once
-	stop       chan struct{}
-	acceptDone chan struct{}
 }
 
 // New compiles the Flux program, binds the node implementations, and
 // opens the listener. Call Run to serve.
 func New(cfg Config) (*Server, error) {
-	if cfg.Addr == "" {
-		cfg.Addr = "127.0.0.1:0"
-	}
 	if cfg.Files == nil {
 		cfg.Files = loadgen.NewFileSet(1)
 	}
@@ -155,6 +159,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ScriptWork <= 0 {
 		cfg.ScriptWork = 2000
+	}
+	if cfg.QueueSample <= 0 && cfg.AdmitWatermark > 0 {
+		cfg.QueueSample = 5 * time.Millisecond
 	}
 
 	astProg, err := parser.Parse("webserver.flux", FluxSource)
@@ -171,19 +178,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("webserver: dynamic templates: %w", err)
 	}
 
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("webserver: listen: %w", err)
-	}
-
 	s := &Server{
 		cfg:   cfg,
 		prog:  prog,
-		ln:    ln,
-		ready: make(chan *Conn, 1024),
 		cache: lfu.New(cfg.CacheBytes),
 		pages: pages,
 	}
+	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
 
 	b := runtime.NewBindings().
 		BindSource("Listen", s.listen).
@@ -211,17 +212,33 @@ func New(cfg Config) (*Server, error) {
 		runtime.WithPoolSize(cfg.PoolSize),
 		runtime.WithSourceTimeout(cfg.SourceTimeout),
 		runtime.WithProfiler(cfg.Profiler),
+		runtime.WithObserver(obs),
+		runtime.WithQueueSampleInterval(cfg.QueueSample),
+		// Admission is external (the connection plane injects every
+		// flow), so the server must outlive its instantly-exhausted
+		// source.
+		runtime.WithKeepAlive(),
 	)
 	if err != nil {
-		ln.Close()
 		return nil, err
 	}
 	s.rt = rt
+	s.cp, err = netkit.NewFluxPlane(rt, "Listen", netkit.Config{
+		Addr:         cfg.Addr,
+		Gate:         gate,
+		MaxConns:     cfg.MaxConns,
+		ShedResponse: httpkit.Unavailable(),
+		Observer:     obs,
+		Name:         "webserver",
+	})
+	if err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
 // Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.cp.Addr() }
 
 // Program exposes the compiled Flux program (for DOT output, simulation,
 // and profiling reports).
@@ -230,69 +247,32 @@ func (s *Server) Program() *core.Program { return s.prog }
 // Stats exposes the runtime's flow counters.
 func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
 
+// PlaneStats exposes the connection plane's admission counters.
+func (s *Server) PlaneStats() netkit.StatsSnapshot { return s.cp.PlaneStats() }
+
+// Gate exposes the admission gate (nil without an AdmitWatermark) —
+// the overload signal, for harnesses and tests.
+func (s *Server) Gate() *netkit.Gate { return s.cp.Gate() }
+
 // CacheStats exposes hit/miss/eviction counters.
 func (s *Server) CacheStats() (hits, misses, evictions uint64) { return s.cache.Stats() }
 
-// Start launches the accept loop and the Flux runtime, returning once
-// both are running. The server then serves until the context is
-// cancelled or Shutdown is called.
-func (s *Server) Start(ctx context.Context) error {
-	if err := s.rt.Start(ctx); err != nil {
-		return err
-	}
-	s.stop = make(chan struct{})
-	s.acceptDone = make(chan struct{})
-	go func() {
-		defer close(s.acceptDone)
-		for {
-			nc, err := s.ln.Accept()
-			if err != nil {
-				return // listener closed
-			}
-			c := &Conn{nc: nc, br: bufio.NewReader(nc)}
-			select {
-			case s.ready <- c:
-			case <-s.stop:
-				nc.Close()
-				return
-			case <-ctx.Done():
-				nc.Close()
-				return
-			}
-		}
-	}()
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-s.stop:
-		}
-		s.ln.Close()
-	}()
-	return nil
-}
+// Start launches the Flux runtime and the connection plane's accept
+// loop, returning once both are running. The server then serves until
+// the context is cancelled or Shutdown is called.
+func (s *Server) Start(ctx context.Context) error { return s.cp.Start(ctx) }
 
-// Shutdown gracefully stops the server: the listener closes, the Flux
-// sources stop admitting, and in-flight requests drain until their
-// terminals or ctx expires.
-func (s *Server) Shutdown(ctx context.Context) error {
-	if s.stop == nil {
-		return runtime.ErrNotStarted
-	}
-	s.stopOnce.Do(func() { close(s.stop) })
-	err := s.rt.Shutdown(ctx)
-	<-s.acceptDone
-	return err
-}
+// Shutdown gracefully stops the server: the plane stops accepting and
+// interrupts every live connection (so flows blocked reading idle
+// keep-alive clients reach their error terminals), then the Flux
+// runtime stops admitting and drains in-flight flows until their
+// terminals or ctx expires. Keep-alive re-registrations racing the
+// shutdown are refused by Inject and their connections dropped — and
+// counted, via the Observer plane.
+func (s *Server) Shutdown(ctx context.Context) error { return s.cp.Shutdown(ctx) }
 
 // Wait blocks until the run ends and returns its error.
-func (s *Server) Wait() error {
-	if s.acceptDone == nil {
-		return runtime.ErrNotStarted
-	}
-	err := s.rt.Wait()
-	<-s.acceptDone
-	return err
-}
+func (s *Server) Wait() error { return s.cp.Wait() }
 
 // Run serves until the context is cancelled: Start followed by Wait.
 func (s *Server) Run(ctx context.Context) error {
@@ -304,46 +284,27 @@ func (s *Server) Run(ctx context.Context) error {
 
 // --- node implementations --------------------------------------------------
 
-// listen is the source node: it waits (with a deadline under the event
-// engine) for the next connection needing service — fresh from accept or
-// re-registered by Complete for keep-alive.
+// listen is the graph's source node. The connection plane owns accept
+// and admission: every flow — fresh connection or keep-alive
+// re-registration — enters through Inject on this source's graph, so
+// the source itself retires immediately and the runtime's keep-alive
+// mode holds the server open for injections.
 func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
-	if fl.SourceTimeout > 0 {
-		t := time.NewTimer(fl.SourceTimeout)
-		defer t.Stop()
-		select {
-		case c, ok := <-s.ready:
-			if !ok {
-				return nil, runtime.ErrStop
-			}
-			return runtime.Record{c}, nil
-		case <-t.C:
-			return nil, runtime.ErrNoData
-		case <-fl.Wake:
-			return nil, runtime.ErrNoData
-		case <-fl.Ctx.Done():
-			return nil, fl.Ctx.Err()
-		}
-	}
-	select {
-	case c, ok := <-s.ready:
-		if !ok {
-			return nil, runtime.ErrStop
-		}
-		return runtime.Record{c}, nil
-	case <-fl.Ctx.Done():
-		return nil, fl.Ctx.Err()
-	}
+	return nil, runtime.ErrStop
 }
 
-// readRequest parses one HTTP/1.1 request from the connection.
+// readRequest parses one HTTP/1.1 request from the connection. The
+// connection's last response is decided here: the client asked to
+// close, the keep-alive cap is reached, or the admission gate reports
+// overload — in which case announcing Connection: close sheds this
+// conversation instead of queueing its future requests unboundedly.
 func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	c := in[0].(*Conn)
-	req, err := ParseRequest(c.br)
+	c := in[0].(*netkit.Conn)
+	req, err := ParseRequest(c.Reader())
 	if err != nil {
 		return nil, err // EOF, reset, or malformed: handled by Discard
 	}
-	closeAfter := !req.KeepAlive || c.served+1 >= s.cfg.MaxKeepAlive
+	closeAfter := !req.KeepAlive || c.Served+1 >= s.cfg.MaxKeepAlive || s.cp.Overloaded()
 	return runtime.Record{c, closeAfter, req}, nil
 }
 
@@ -405,7 +366,7 @@ func (s *Server) handlePost(fl *runtime.Flow, in runtime.Record) (runtime.Record
 // the connection's last response, a Connection: close header announces
 // the close so keep-alive clients reconnect instead of failing.
 func (s *Server) sendResponse(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	c := in[0].(*Conn)
+	c := in[0].(*netkit.Conn)
 	closeAfter := in[1].(bool)
 	req := in[2].(*Request)
 	if req.response == nil {
@@ -415,7 +376,7 @@ func (s *Server) sendResponse(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 	if closeAfter {
 		resp = withCloseHeader(resp)
 	}
-	if _, err := c.nc.Write(resp); err != nil {
+	if _, err := c.Write(resp); err != nil {
 		return nil, err
 	}
 	return in, nil
@@ -426,33 +387,30 @@ func (s *Server) sendResponse(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 func withCloseHeader(resp []byte) []byte { return httpkit.WithCloseHeader(resp) }
 
 // complete releases the cache reference and either closes the connection
-// or re-registers it for the next keep-alive request.
+// or re-registers it for the next keep-alive request — through the same
+// Inject path fresh connections take, so external admission is the one
+// and only way into the graph. A refused re-registration (the server is
+// draining) drops the connection through the plane, which counts it.
 func (s *Server) complete(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	c := in[0].(*Conn)
+	c := in[0].(*netkit.Conn)
 	closeAfter := in[1].(bool)
 	req := in[2].(*Request)
 	if req.hit || (!req.dynamic && req.response != nil) {
 		s.cache.Release(req.cacheKey)
 	}
-	c.served++
+	c.Served++
 	if closeAfter {
-		c.nc.Close()
+		c.Close()
 		return nil, nil
 	}
-	select {
-	case s.ready <- c:
-	default:
-		// Ready queue saturated; shed the connection rather than block
-		// inside a constraint-holding node.
-		c.nc.Close()
-	}
+	s.cp.Reinject(c)
 	return nil, nil
 }
 
 // discard closes a connection whose request could not be read (client
 // disconnect ends every keep-alive conversation this way).
 func (s *Server) discard(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	in[0].(*Conn).nc.Close()
+	in[0].(*netkit.Conn).Close()
 	return nil, nil
 }
 
@@ -460,22 +418,22 @@ func (s *Server) discard(fl *runtime.Flow, in runtime.Record) (runtime.Record, e
 // when the response could not be delivered; without it a vanished client
 // would leak a reference count and pin the entry in the cache forever.
 func (s *Server) cleanup(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	c := in[0].(*Conn)
+	c := in[0].(*netkit.Conn)
 	req := in[2].(*Request)
 	if req.hit || (!req.dynamic && req.response != nil) {
 		s.cache.Release(req.cacheKey)
 	}
-	c.nc.Close()
+	c.Close()
 	return nil, nil
 }
 
 // fourOhFour answers unknown paths and closes (with the close
 // announced, so a keep-alive client reconnects cleanly).
 func (s *Server) fourOhFour(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	c := in[0].(*Conn)
+	c := in[0].(*netkit.Conn)
 	body := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-	_, _ = c.nc.Write(withCloseHeader(renderResponse(404, "Not Found", "text/html", body)))
-	c.nc.Close()
+	_, _ = c.Write(withCloseHeader(renderResponse(404, "Not Found", "text/html", body)))
+	c.Close()
 	return nil, nil
 }
 
