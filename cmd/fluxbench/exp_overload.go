@@ -2,107 +2,168 @@ package main
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	flux "github.com/flux-lang/flux"
+	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/loadgen"
-	"github.com/flux-lang/flux/internal/servers/baseline/knotweb"
-	"github.com/flux-lang/flux/internal/servers/baseline/sedaweb"
+	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/webserver"
 )
 
-// expOverload sweeps offered load past saturation and records each
-// server's graceful-degradation curve: throughput, p95 latency, and
-// shed count versus client count. The bounded-admission Flux servers
-// (event and steal engines behind the netkit connection plane, with a
-// queue-depth watermark from the Observer plane) shed excess load with
-// explicit 503s and Connection: close announcements, keeping served
-// p95 bounded; the unbounded flux-event control queues everything and
-// shows the latency blow-up admission control exists to prevent. The
-// knot-like baseline bounds admission with a live-connection cap, the
-// haboob-like baseline with its SEDA stage queues.
-func expOverload(cfg benchConfig) error {
-	// The admission bounds: past ~watermark queued events (Flux) or cap
-	// connections (knot), new arrivals are shed.
-	const watermark = 64
-	const connCap = 64
+// ctrlTrace records the SLO controller's trajectory — the ctrl/*
+// counter streams the controller publishes on the queue-depth surface
+// each control step — so the experiment can print what the watermark
+// actually did under each offered rate.
+type ctrlTrace struct {
+	mu   sync.Mutex
+	wm   []int
+	p95  []int // microseconds; 0 while under MinSamples
+	shed []int // sheds/sec
+}
 
-	clients := []int{16, 64, 192, 384}
+func (t *ctrlTrace) QueueDepth(_ runtime.EngineKind, queue string, depth int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch queue {
+	case runtime.CtrlWatermark:
+		t.wm = append(t.wm, depth)
+	case runtime.CtrlWindowP95:
+		t.p95 = append(t.p95, depth)
+	case runtime.CtrlShedRate:
+		t.shed = append(t.shed, depth)
+	}
+}
+
+func (t *ctrlTrace) FlowDone(*core.FlatGraph, uint64, runtime.FlowOutcome, time.Duration) {}
+func (t *ctrlTrace) NodeDone(*core.FlatGraph, *core.FlatNode, time.Duration)             {}
+
+// summary compresses one run's trajectory into a line: how many steps
+// ran, where the watermark travelled, and the last acted-on window p95.
+func (t *ctrlTrace) summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.wm) == 0 {
+		return "no control steps"
+	}
+	lo, hi := t.wm[0], t.wm[0]
+	for _, w := range t.wm {
+		if w < lo {
+			lo = w
+		}
+		if w > hi {
+			hi = w
+		}
+	}
+	var lastP95 time.Duration
+	for i := len(t.p95) - 1; i >= 0; i-- {
+		if t.p95[i] > 0 {
+			lastP95 = time.Duration(t.p95[i]) * time.Microsecond
+			break
+		}
+	}
+	var maxShed int
+	for _, s := range t.shed {
+		if s > maxShed {
+			maxShed = s
+		}
+	}
+	return fmt.Sprintf("steps=%d  watermark min=%d max=%d final=%d  last-p95=%v  peak-sheds/s=%d",
+		len(t.wm), lo, hi, t.wm[len(t.wm)-1], lastP95.Round(100*time.Microsecond), maxShed)
+}
+
+// printRatesHeader prints the open-loop sweep's column header.
+func printRatesHeader(rates []int) {
+	fmt.Printf("%-16s", "offered req/s")
+	for _, r := range rates {
+		fmt.Printf("%14d", r)
+	}
+	fmt.Println()
+}
+
+// expOverload sweeps OPEN-LOOP offered load — a Poisson arrival process
+// at a fixed requests/sec, arrivals independent of completions — across
+// a 10× range spanning saturation, against three admission policies on
+// the same event-engine web server:
+//
+//   - flux-static: the hand-picked queue-depth watermark (64) from the
+//     PR 5 design, conn cap 2×.
+//   - flux-adaptive: the SLO controller (target served p95 30ms) moving
+//     the watermark and conn cap with AIMD each 100ms from the measured
+//     completed-flow latency window.
+//   - flux-event-unbd: no admission control — the control that shows
+//     what open-loop overload does to an unbounded queue.
+//
+// Closed-loop sweeps (the old form of this experiment) cannot show the
+// meltdown: every client waits for its response, so offered load sags
+// to the service rate exactly when the server slows. The open-loop
+// generator keeps offering, and the tables split what was offered from
+// what was accepted (served + 503) and what was actually served
+// (goodput) — plus arrivals the generator itself refused at its
+// in-flight cap (client sheds), so no load disappears silently.
+func expOverload(cfg benchConfig) error {
+	const watermark = 64
+	const targetP95 = 30 * time.Millisecond
+
+	rates := []int{750, 1500, 3000, 7500}
 	duration := 3 * time.Second
 	warmup := 800 * time.Millisecond
 	if cfg.quick {
-		clients = []int{16, 96}
+		rates = []int{500, 2000}
 		duration = time.Second
 		warmup = 200 * time.Millisecond
 	}
 
 	files := loadgen.NewFileSet(1)
-	fluxOverload := func(kind flux.EngineKind, wm int) func(*loadgen.FileSet) (string, func(), error) {
-		return func(files *loadgen.FileSet) (string, func(), error) {
-			maxConns := 0
-			if wm > 0 {
-				// The watermark reacts to sampled backlog; the conn cap
-				// bounds the admission burst a between-samples window
-				// can let through.
-				maxConns = 2 * wm
-			}
-			srv, err := webserver.New(webserver.Config{
-				Files:          files,
-				Engine:         kind,
-				PoolSize:       64,
-				SourceTimeout:  20 * time.Millisecond,
-				AdmitWatermark: wm,
-				MaxConns:       maxConns,
-			})
-			if err != nil {
-				return "", nil, err
-			}
-			stop, err := startTarget(srv)
-			if err != nil {
-				return "", nil, err
-			}
-			return srv.Addr(), stop, nil
+	startFlux := func(c webserver.Config) (string, func(), error) {
+		c.Files = files
+		c.Engine = flux.EventDriven
+		c.PoolSize = 64
+		c.SourceTimeout = 20 * time.Millisecond
+		// Slow-loris hardening rides along on the bounded targets: a
+		// stalled request head or a dead keep-alive peer is reaped and
+		// counted instead of pinning capacity for the whole run.
+		if c.AdmitWatermark > 0 || c.TargetP95 > 0 {
+			c.HeaderTimeout = 2 * time.Second
+			c.IdleTimeout = 2 * time.Second
 		}
+		srv, err := webserver.New(c)
+		if err != nil {
+			return "", nil, err
+		}
+		stop, err := startTarget(srv)
+		if err != nil {
+			return "", nil, err
+		}
+		return srv.Addr(), stop, nil
 	}
+
+	var traces []*ctrlTrace // one per flux-adaptive run, in rate order
 	targets := []webTarget{
-		{"flux-event", fluxOverload(flux.EventDriven, watermark)},
-		{"flux-steal", fluxOverload(flux.WorkStealing, watermark)},
-		{"flux-event-unbd", fluxOverload(flux.EventDriven, 0)}, // no admission control: the control
-		{"knot-like", func(files *loadgen.FileSet) (string, func(), error) {
-			srv, err := knotweb.New(knotweb.Config{Files: files, MaxConns: connCap})
-			if err != nil {
-				return "", nil, err
-			}
-			stop, err := startTarget(srv)
-			if err != nil {
-				return "", nil, err
-			}
-			return srv.Addr(), stop, nil
+		{"flux-static", func(*loadgen.FileSet) (string, func(), error) {
+			return startFlux(webserver.Config{AdmitWatermark: watermark, MaxConns: 2 * watermark})
 		}},
-		{"haboob-like", func(files *loadgen.FileSet) (string, func(), error) {
-			srv, err := sedaweb.New(sedaweb.Config{Files: files, WorkersPerStage: 4, QueueDepth: connCap})
-			if err != nil {
-				return "", nil, err
-			}
-			stop, err := startTarget(srv)
-			if err != nil {
-				return "", nil, err
-			}
-			return srv.Addr(), stop, nil
+		{"flux-adaptive", func(*loadgen.FileSet) (string, func(), error) {
+			tr := &ctrlTrace{}
+			traces = append(traces, tr)
+			return startFlux(webserver.Config{TargetP95: targetP95, Observer: tr})
+		}},
+		{"flux-event-unbd", func(*loadgen.FileSet) (string, func(), error) {
+			return startFlux(webserver.Config{})
 		}},
 	}
 
-	fmt.Printf("overload sweep: keep-alive SPECweb99-like mix, %.0f%% dynamic; "+
-		"admission watermark %d (flux), conn cap %d (knot), stage depth %d (haboob)\n\n",
-		100*loadgen.DefaultDynamicFraction, watermark, connCap, connCap)
-	printClientsHeader(clients)
+	fmt.Printf("open-loop overload sweep: Poisson arrivals, single-request connections,\n"+
+		"SPECweb99-like mix (%.0f%% dynamic); static watermark %d, adaptive SLO p95 %v\n\n",
+		100*loadgen.DefaultDynamicFraction, watermark, targetP95)
+	printRatesHeader(rates)
 
-	results, err := runWebSweep(targets, files, clients, func(addr string, c int) loadgen.WebClientConfig {
+	results, err := runWebSweep(targets, files, rates, func(addr string, r int) loadgen.WebClientConfig {
 		return loadgen.WebClientConfig{
 			Addr:            addr,
-			Clients:         c,
 			Files:           files,
-			KeepAlive:       true,
+			OfferedRate:     float64(r),
 			Duration:        duration,
 			Warmup:          warmup,
 			DynamicFraction: loadgen.DefaultDynamicFraction,
@@ -114,16 +175,29 @@ func expOverload(cfg benchConfig) error {
 		return err
 	}
 
-	printResultTable("throughput (requests/sec):", targets, results, fmtTput)
+	printResultTable("goodput (served requests/sec):", targets, results,
+		func(res loadgen.WebResult) string { return fmt.Sprintf("%.0f", res.Goodput) })
 	printResultTable("\np95 latency (served requests):", targets, results,
 		func(res loadgen.WebResult) string { return fmtLat(res.Latency.P95) })
-	printResultTable("\nsheds (503 overload answers):", targets, results,
+	printResultTable("\nserver sheds (503 overload answers):", targets, results,
 		func(res loadgen.WebResult) string { return fmt.Sprintf("%d", res.Sheds) })
+	printResultTable("\nclient sheds (generator in-flight cap):", targets, results,
+		func(res loadgen.WebResult) string { return fmt.Sprintf("%d", res.ClientSheds) })
 	printResultTable("\nerrors:", targets, results,
 		func(res loadgen.WebResult) string { return fmt.Sprintf("%d", res.Errors) })
-	fmt.Println("\ngraceful degradation: past saturation the bounded servers hold throughput and")
-	fmt.Println("served-request p95 roughly flat and convert excess offered load into sheds;")
-	fmt.Println("flux-event-unbd (no watermark) queues everything instead — p95 grows with the")
-	fmt.Println("client count while throughput stays pinned at the same ceiling")
+
+	fmt.Println("\nadaptive control trajectory (per offered rate):")
+	for i, tr := range traces {
+		if i < len(rates) {
+			fmt.Printf("%8d/s  %s\n", rates[i], tr.summary())
+		}
+	}
+
+	fmt.Println("\ngraceful degradation, open loop: past saturation the bounded targets convert")
+	fmt.Println("excess arrivals into prompt 503s and hold served p95 roughly flat — the adaptive")
+	fmt.Println("target finds its own admission point per rate instead of trusting a hand-picked")
+	fmt.Println("watermark. flux-event-unbd queues every arrival: served p95 grows toward the")
+	fmt.Println("run length while goodput stays pinned at the same ceiling, and the generator's")
+	fmt.Println("in-flight cap (client sheds) is the only thing bounding the backlog")
 	return nil
 }

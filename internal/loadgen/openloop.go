@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultMaxInFlight bounds the open-loop generator's concurrency when
+// the config leaves it zero: enough to keep a saturated server busy,
+// small enough that a melting server cannot balloon the harness into
+// hundreds of thousands of parked goroutines.
+const defaultMaxInFlight = 4096
+
+// openLoopLoad drives a Poisson arrival process at cfg.OfferedRate
+// requests/sec until ctx expires. This is open-loop load: the arrival
+// schedule is computed up front from the exponential inter-arrival
+// draw and never consults completions, so a slowing server faces the
+// same offered rate — the condition under which an unbounded queue
+// actually melts, and the condition the closed-loop modes can never
+// produce (their clients wait for responses, throttling offered load
+// to exactly the service rate).
+//
+// Each arrival is one independent single-request connection drawn from
+// the SPECweb99-like mix. An arrival that finds MaxInFlight requests
+// already outstanding is dropped at the generator and counted as a
+// client-side shed — honest accounting for load the server never saw,
+// and the bound that keeps the generator itself from melting.
+func openLoopLoad(ctx context.Context, cfg WebClientConfig, rec *webRecorders) {
+	maxInFlight := int64(cfg.MaxInFlight)
+	if maxInFlight <= 0 {
+		maxInFlight = defaultMaxInFlight
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sampler := NewMixSampler(cfg.Files, cfg.Seed+1, cfg.DynamicFraction, cfg.PostFraction)
+
+	var inFlight atomic.Int64
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+	// The absolute next-arrival time advances by exponential draws only:
+	// when the pacer falls behind (a burst of short gaps, or scheduler
+	// hiccups) arrivals fire back-to-back until the schedule catches up,
+	// rather than resynchronizing to "now" — resync would silently erase
+	// offered load exactly when the system is struggling.
+	next := time.Now()
+	for {
+		next = next.Add(time.Duration(rng.ExpFloat64() / cfg.OfferedRate * float64(time.Second)))
+		if wait := time.Until(next); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			case <-timer.C:
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			return
+		}
+
+		rec.offered.Add(1)
+		if inFlight.Load() >= maxInFlight {
+			rec.clientSheds.Add(1)
+			continue
+		}
+		inFlight.Add(1)
+		wg.Add(1)
+		// The mix is drawn on the pacer goroutine (the sampler is not
+		// concurrency-safe); the request itself runs detached so a slow
+		// response never perturbs the arrival schedule.
+		op := sampler.Next()
+		go func(op WebOp) {
+			defer wg.Done()
+			defer inFlight.Add(-1)
+			openLoopRequest(ctx, cfg, op, rec)
+		}(op)
+	}
+}
+
+// openLoopRequest performs one arrival's conversation: dial, one
+// request (announcing Connection: close), one response.
+func openLoopRequest(ctx context.Context, cfg WebClientConfig, op WebOp, rec *webRecorders) {
+	d := net.Dialer{Timeout: 2 * time.Second}
+	start := time.Now()
+	conn, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		// A dial cut off by the run deadline is the end of the run, not
+		// a server failure.
+		if ctx.Err() == nil {
+			rec.errs.Add(1)
+		}
+		return
+	}
+	defer conn.Close()
+	// Bound the conversation by the run deadline plus slack: a wedged
+	// server fails the request instead of hanging the harness.
+	if deadline, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(deadline.Add(2 * time.Second))
+	}
+	if err := writeOp(conn, op, true); err != nil {
+		if ctx.Err() == nil {
+			rec.errs.Add(1)
+		}
+		return
+	}
+	n, status, _, err := readResponse(bufio.NewReader(conn))
+	if err != nil {
+		if ctx.Err() == nil {
+			rec.errs.Add(1)
+		}
+		return
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	if status == 503 {
+		// Admission control shed this arrival: its own bucket, never an
+		// error, never served latency. No backoff — open-loop arrivals
+		// are independent by definition; the in-flight cap is what
+		// bounds the generator.
+		rec.sheds.Add(1)
+		return
+	}
+	rec.record(op, time.Since(start), n)
+}

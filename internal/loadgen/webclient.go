@@ -41,9 +41,33 @@ type WebClientConfig struct {
 	DynamicFraction float64       // dynamic share of all requests (0 = all static)
 	PostFraction    float64       // POST share of the dynamic requests
 	Seed            int64
+
+	// OfferedRate, when > 0, switches RunWebLoad to open-loop mode: a
+	// Poisson arrival process offers OfferedRate requests/sec —
+	// exponential inter-arrival times, each arrival an independent
+	// single-request connection — REGARDLESS of how fast the server
+	// completes them. Closed-loop clients (the modes above) cannot melt
+	// a server: every client waits for its response before offering the
+	// next request, so offered load sags exactly when the server slows.
+	// Production traffic does not wait; open-loop is how the unbounded
+	// control actually shows queue meltdown. Clients and KeepAlive are
+	// ignored in this mode.
+	OfferedRate float64
+
+	// MaxInFlight bounds concurrent in-flight requests in open-loop
+	// mode (default 4096), so the generator itself cannot melt: an
+	// arrival finding the cap exhausted is dropped client-side and
+	// counted in WebResult.ClientSheds — offered load the server never
+	// saw, reported honestly instead of silently throttled.
+	MaxInFlight int
 }
 
-// WebResult aggregates a load test run.
+// WebResult aggregates a load test run. The three rate fields keep the
+// open-loop accounting honest: OfferedRate is what the arrival process
+// generated, AcceptedRate is what the server answered (served + 503
+// sheds), and Goodput is what it actually served — a server shedding
+// 90% of its load reports a high AcceptedRate and a low Goodput, and
+// can never be read as "fast" by hiding the sheds.
 type WebResult struct {
 	Requests   uint64
 	Errors     uint64
@@ -56,9 +80,20 @@ type WebResult struct {
 	// ByClass breaks latency down per mix bucket: static0..static3 (the
 	// four SPECweb99 file classes), dynamic, and post.
 	ByClass map[string]metrics.LatencySummary
+
+	// Open-loop accounting (zero in the closed-loop modes).
+	Offered      uint64  // arrivals the Poisson process generated in the window
+	ClientSheds  uint64  // arrivals dropped at the generator's in-flight cap
+	OfferedRate  float64 // measured arrivals/sec
+	AcceptedRate float64 // responses/sec: served + server sheds (503s)
+	Goodput      float64 // served (non-503) requests/sec — the honest throughput
 }
 
 func (r WebResult) String() string {
+	if r.Offered > 0 {
+		return fmt.Sprintf("offered=%.0f/s accepted=%.0f/s goodput=%.0f/s sheds=%d clientsheds=%d errs=%d latency{%s}",
+			r.OfferedRate, r.AcceptedRate, r.Goodput, r.Sheds, r.ClientSheds, r.Errors, r.Latency)
+	}
 	return fmt.Sprintf("reqs=%d errs=%d sheds=%d reconns=%d rate=%.1f/s %.1f Mb/s latency{%s}",
 		r.Requests, r.Errors, r.Sheds, r.Reconnects, r.Throughput, r.Mbps, r.Latency)
 }
@@ -91,12 +126,15 @@ var mixClasses = []string{"static0", "static1", "static2", "static3", "dynamic",
 
 // webRecorders bundles the measurement state shared by all clients.
 type webRecorders struct {
-	lat     *metrics.LatencyRecorder
-	byClass map[string]*metrics.LatencyRecorder
-	tput    *metrics.Throughput
-	errs    atomic.Uint64
-	sheds   atomic.Uint64
-	reconns atomic.Uint64
+	lat         *metrics.LatencyRecorder
+	byClass     map[string]*metrics.LatencyRecorder
+	tput        *metrics.Throughput
+	errs        atomic.Uint64
+	sheds       atomic.Uint64
+	reconns     atomic.Uint64
+	offered     atomic.Uint64 // open-loop arrivals generated
+	clientSheds atomic.Uint64 // open-loop arrivals dropped at the in-flight cap
+	winStart    atomic.Int64  // measurement-window start, unix nanos
 }
 
 func newWebRecorders() *webRecorders {
@@ -108,6 +146,7 @@ func newWebRecorders() *webRecorders {
 	for _, c := range mixClasses {
 		r.byClass[c] = metrics.NewLatencyRecorder()
 	}
+	r.winStart.Store(time.Now().UnixNano())
 	return r
 }
 
@@ -123,6 +162,14 @@ func (r *webRecorders) reset() {
 	r.errs.Store(0)
 	r.sheds.Store(0)
 	r.reconns.Store(0)
+	r.offered.Store(0)
+	r.clientSheds.Store(0)
+	r.winStart.Store(time.Now().UnixNano())
+}
+
+// window returns the measurement window's elapsed time.
+func (r *webRecorders) window() time.Duration {
+	return time.Duration(time.Now().UnixNano() - r.winStart.Load())
 }
 
 func (r *webRecorders) record(op WebOp, d time.Duration, n int) {
@@ -159,6 +206,14 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 		}
 	}()
 
+	if cfg.OfferedRate > 0 {
+		// Open-loop: one Poisson arrival process, independent of
+		// completions, replaces the closed-loop client swarm.
+		openLoopLoad(runCtx, cfg, rec)
+		warmed.Wait()
+		return collectResult(cfg, rec)
+	}
+
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -188,7 +243,12 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 	}
 	wg.Wait()
 	warmed.Wait()
+	return collectResult(cfg, rec)
+}
 
+// collectResult assembles the report from the recorders, including the
+// open-loop offered/accepted/served split when an arrival process ran.
+func collectResult(cfg WebClientConfig, rec *webRecorders) WebResult {
 	res := WebResult{
 		Latency: rec.lat.Summary(),
 		ByClass: make(map[string]metrics.LatencySummary, len(rec.byClass)),
@@ -201,6 +261,16 @@ func RunWebLoad(ctx context.Context, cfg WebClientConfig) WebResult {
 	res.Errors = rec.errs.Load()
 	res.Sheds = rec.sheds.Load()
 	res.Reconnects = rec.reconns.Load()
+	res.Offered = rec.offered.Load()
+	res.ClientSheds = rec.clientSheds.Load()
+	if win := rec.window().Seconds(); res.Offered > 0 && win > 0 {
+		// All three rates share the recorder window, so the invariant
+		// offered >= accepted >= goodput holds exactly (Throughput keeps
+		// its own clock and could drift past AcceptedRate by epsilon).
+		res.OfferedRate = float64(res.Offered) / win
+		res.AcceptedRate = float64(res.Requests+res.Sheds) / win
+		res.Goodput = float64(res.Requests) / win
+	}
 	return res
 }
 

@@ -19,6 +19,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // readerSize is the pooled bufio.Reader's buffer size — one page, the
@@ -72,6 +73,12 @@ func (c *Conn) NetConn() net.Conn { return c.nc }
 
 // Write writes directly to the underlying connection.
 func (c *Conn) Write(p []byte) (int, error) { return c.nc.Write(p) }
+
+// SetReadDeadline bounds reads through the connection (including the
+// pooled reader). Owners set it before parsing a request so a client
+// that trickles bytes or parks mid-request cannot pin the connection
+// forever, and clear it (the zero time) once the request is framed.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
 
 // Close closes the connection and returns its pooled state. It is
 // idempotent; the first call wins. The plane's live-connection tracking

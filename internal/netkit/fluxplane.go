@@ -60,6 +60,17 @@ func (fp *FluxPlane) Addr() string { return fp.plane.Addr() }
 // Gate returns the admission gate (nil when unbounded).
 func (fp *FluxPlane) Gate() *Gate { return fp.gate }
 
+// Plane returns the underlying connection plane — the controller
+// adapts its conn cap, and owners shed timed-out connections through
+// it.
+func (fp *FluxPlane) Plane() *Plane { return fp.plane }
+
+// CountShed records a shed whose close is owned elsewhere — the path
+// for server-side read timeouts (slow-loris heads, dead keep-alive
+// peers), where the flow's own error terminal closes the connection
+// and the plane must only account for it.
+func (fp *FluxPlane) CountShed(reason string) { fp.plane.CountShed(reason) }
+
 // Overloaded reports the gate's overload state (false without a gate).
 func (fp *FluxPlane) Overloaded() bool { return fp.plane.Overloaded() }
 

@@ -32,7 +32,9 @@ type Config struct {
 
 	// MaxConns, when > 0, bounds live connections; accepts beyond it are
 	// shed ("conn-limit"). This is the admission bound for servers with
-	// no sampled queues (one goroutine per connection).
+	// no sampled queues (one goroutine per connection). The bound is
+	// adjustable while the plane runs (SetMaxConns): the SLO controller
+	// moves it together with the gate watermark.
 	MaxConns int
 
 	// ShedResponse is written to a shed connection before closing — for
@@ -73,6 +75,10 @@ type Plane struct {
 	shed     atomic.Uint64
 	live     atomic.Int64
 
+	// maxConns is the live-connection bound, initialized from
+	// Config.MaxConns and retunable while the accept loop runs.
+	maxConns atomic.Int64
+
 	mu      sync.Mutex
 	conns   map[*Conn]net.Conn
 	closing bool
@@ -94,8 +100,18 @@ func Listen(cfg Config) (*Plane, error) {
 	if name == "" {
 		name = ln.Addr().String()
 	}
-	return &Plane{cfg: cfg, name: name, ln: ln, conns: make(map[*Conn]net.Conn)}, nil
+	p := &Plane{cfg: cfg, name: name, ln: ln, conns: make(map[*Conn]net.Conn)}
+	p.maxConns.Store(int64(cfg.MaxConns))
+	return p, nil
 }
+
+// MaxConns returns the current live-connection bound (0 = unbounded).
+func (p *Plane) MaxConns() int { return int(p.maxConns.Load()) }
+
+// SetMaxConns retunes the live-connection bound; <= 0 removes it.
+// Connections already admitted are never evicted — a lowered cap only
+// sheds fresh accepts until attrition brings the live count under it.
+func (p *Plane) SetMaxConns(n int) { p.maxConns.Store(int64(n)) }
 
 // Addr returns the bound listen address.
 func (p *Plane) Addr() string { return p.ln.Addr().String() }
@@ -144,8 +160,9 @@ func (p *Plane) acceptLoop() {
 		}
 		p.accepted.Add(1)
 		c := newConn(p, nc)
+		maxConns := p.maxConns.Load()
 		switch {
-		case p.cfg.MaxConns > 0 && p.live.Load() >= int64(p.cfg.MaxConns):
+		case maxConns > 0 && p.live.Load() >= maxConns:
 			p.ShedConn(c, "conn-limit")
 		case p.cfg.Gate != nil && p.cfg.Gate.Overloaded():
 			p.ShedConn(c, "overload")
@@ -218,6 +235,15 @@ func (p *Plane) DropConn(c *Conn, reason string) {
 func (p *Plane) dropConn(c *Conn, reason string) {
 	p.shed.Add(1)
 	c.Close()
+	runtime.ConnShed(p.cfg.Observer, p.name, reason)
+}
+
+// CountShed records a shed without touching any connection — for sheds
+// whose close is owned by the flow that detected them (a read-deadline
+// timeout still runs its error terminal, and Close pools the conn, so
+// the plane must not race it with a second close).
+func (p *Plane) CountShed(reason string) {
+	p.shed.Add(1)
 	runtime.ConnShed(p.cfg.Observer, p.name, reason)
 }
 

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"strings"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
@@ -82,12 +83,34 @@ type DropProfiler interface {
 // depths must exclude it (CounterQueue reports which names to skip).
 const QueueSteals = "steals"
 
+// CtrlStreamPrefix marks the admission controller's decision streams,
+// reported through the QueueDepth surface so harnesses can record the
+// control trajectory alongside the engine backlogs it reacts to. They
+// are gauges of the controller's own state, not backlogs: CounterQueue
+// excludes the whole prefix.
+const CtrlStreamPrefix = "ctrl/"
+
+// The SLO controller's decision streams (netkit.Controller emits one
+// sample of each per control step).
+const (
+	// CtrlWatermark is the admission gate watermark after the step.
+	CtrlWatermark = CtrlStreamPrefix + "watermark"
+	// CtrlConnCap is the connection plane's live-conn cap after the step.
+	CtrlConnCap = CtrlStreamPrefix + "conncap"
+	// CtrlWindowP95 is the window's served p95 in microseconds.
+	CtrlWindowP95 = CtrlStreamPrefix + "p95us"
+	// CtrlShedRate is the observed shed rate, sheds/sec, over the window.
+	CtrlShedRate = CtrlStreamPrefix + "sheds-per-sec"
+)
+
 // CounterQueue reports whether a QueueDepth stream name carries a
-// monotonic counter rather than a backlog depth. Engines adding
-// counter streams to the queue-depth surface must register the name
-// here, or every depth-watching admission controller would sum them
-// as backlog and trip permanently into overload.
-func CounterQueue(queue string) bool { return queue == QueueSteals }
+// monotonic counter or controller gauge rather than a backlog depth.
+// Engines adding counter streams to the queue-depth surface must
+// register the name here, or every depth-watching admission controller
+// would sum them as backlog and trip permanently into overload.
+func CounterQueue(queue string) bool {
+	return queue == QueueSteals || strings.HasPrefix(queue, CtrlStreamPrefix)
+}
 
 // ShedObserver is the optional Observer extension through which the
 // connection plane reports admission drops: connections shed by

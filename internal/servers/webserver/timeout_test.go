@@ -1,0 +1,152 @@
+package webserver
+
+// Tests for the fault-hardening deadlines: a client that dials and
+// trickles (or stalls) its request head must be disconnected and
+// counted, not left pinning a worker — and the SLO controller must be
+// wired end to end when a TargetP95 is configured.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/metrics"
+	"github.com/flux-lang/flux/internal/runtime"
+)
+
+// waitClosed reads until the server closes the connection, failing the
+// test if it stays open past the deadline.
+func waitClosed(t *testing.T, conn net.Conn, within time.Duration) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(within))
+	if _, err := io.Copy(io.Discard, conn); err != nil {
+		t.Fatalf("server did not close the connection within %v: %v", within, err)
+	}
+}
+
+// waitShed polls until the observer has recorded a shed under key.
+func waitShed(t *testing.T, obs *metrics.FlowObserver, key string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if obs.ShedCount(key) > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no shed recorded under %q", key)
+}
+
+// TestSlowLorisHeaderTimeout holds a half-written request line open.
+// The header deadline must pop, the connection must be closed, and the
+// shed must be counted under webserver/timeout — then the server must
+// still serve well-behaved clients.
+func TestSlowLorisHeaderTimeout(t *testing.T) {
+	files := loadgen.NewFileSet(1)
+	obs := metrics.NewFlowObserver()
+	_, addr, stop := startServer(t, Config{
+		Files:         files,
+		Engine:        runtime.ThreadPerFlow,
+		HeaderTimeout: 150 * time.Millisecond,
+		Observer:      obs,
+	})
+	defer stop()
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, never finished: the loris.
+	if _, err := fmt.Fprintf(conn, "GET /dir00000/cla"); err != nil {
+		t.Fatal(err)
+	}
+	waitClosed(t, conn, 5*time.Second)
+	waitShed(t, obs, "webserver/timeout")
+
+	// The worker the loris would have pinned is free to serve.
+	if status, _ := get(t, addr, files.Path(0, 0, 1)); status != 200 {
+		t.Errorf("post-loris request: status = %d", status)
+	}
+}
+
+// TestKeepAliveIdleTimeout completes one keep-alive request, then goes
+// silent. The idle deadline must reap the dead conversation and count
+// it — distinct from the client hanging up (an un-counted Discard).
+func TestKeepAliveIdleTimeout(t *testing.T) {
+	files := loadgen.NewFileSet(1)
+	obs := metrics.NewFlowObserver()
+	_, addr, stop := startServer(t, Config{
+		Files:       files,
+		Engine:      runtime.ThreadPerFlow,
+		IdleTimeout: 150 * time.Millisecond,
+		Observer:    obs,
+	})
+	defer stop()
+
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", files.Path(0, 0, 1))
+	status, srvClose, _, err := readFullResponse(br)
+	if err != nil || status != 200 || srvClose {
+		t.Fatalf("first request: status %d close %v err %v", status, srvClose, err)
+	}
+
+	// Silence. The server, not the test, ends the conversation.
+	waitClosed(t, conn, 5*time.Second)
+	waitShed(t, obs, "webserver/timeout")
+}
+
+// TestAdaptiveControllerWiring boots the server with a TargetP95 and
+// verifies the control loop is actually closed: a gate exists at the
+// default starting watermark, the plane's conn cap tracks 2× it, the
+// trajectory streams reach the configured observer, and requests are
+// served normally underneath.
+func TestAdaptiveControllerWiring(t *testing.T) {
+	files := loadgen.NewFileSet(1)
+	obs := metrics.NewFlowObserver()
+	srv, addr, stop := startServer(t, Config{
+		Files:     files,
+		Engine:    runtime.EventDriven,
+		TargetP95: 30 * time.Millisecond,
+		Observer:  obs,
+	})
+	defer stop()
+
+	if srv.Controller() == nil {
+		t.Fatal("no controller with TargetP95 set")
+	}
+	if srv.Gate() == nil {
+		t.Fatal("no gate with TargetP95 set")
+	}
+	if wm := srv.Gate().Watermark(); wm != 64 {
+		t.Errorf("initial watermark = %d, want the default 64", wm)
+	}
+	if cap, wm := srv.cp.Plane().MaxConns(), srv.Gate().Watermark(); cap != 2*wm {
+		t.Errorf("conn cap = %d, want 2×watermark = %d", cap, 2*wm)
+	}
+
+	if status, _ := get(t, addr, files.Path(0, 0, 1)); status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+
+	// Within a couple of control intervals the trajectory streams land
+	// on the observer's queue-depth surface.
+	deadline := time.Now().Add(5 * time.Second)
+	key := runtime.EventDriven.String() + "/" + runtime.CtrlWatermark
+	for time.Now().Before(deadline) {
+		if obs.MaxQueueDepth(key) >= 64 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("no %s trajectory reached the observer (max=%d)", key, obs.MaxQueueDepth(key))
+}

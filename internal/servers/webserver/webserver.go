@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
@@ -132,6 +133,22 @@ type Config struct {
 	// 5ms with an AdmitWatermark — admission control needs a fresh
 	// signal — else the runtime's 100ms).
 	QueueSample time.Duration
+	// TargetP95, when > 0, puts admission under the SLO controller
+	// instead of a hand-picked bound: served latency is measured on the
+	// Observer plane (completed flows' elapsed time) and every control
+	// interval the watermark — and the connection cap, 2× it — takes one
+	// AIMD step to hold the window's p95 at the target. AdmitWatermark
+	// becomes merely the starting point (default 64 when unset).
+	TargetP95 time.Duration
+	// HeaderTimeout, when > 0, bounds reading a fresh connection's
+	// request head: a client that dials and trickles bytes (slow loris)
+	// is disconnected and counted as a shed instead of pinning a worker
+	// forever.
+	HeaderTimeout time.Duration
+	// IdleTimeout, when > 0, bounds the wait for the next request on a
+	// keep-alive connection; dead peers are reaped and counted the same
+	// way.
+	IdleTimeout time.Duration
 }
 
 // Server is a runnable Flux web server, driven through the same
@@ -141,6 +158,7 @@ type Server struct {
 	prog  *core.Program
 	rt    *runtime.Server
 	cp    *netkit.FluxPlane
+	ctrl  *netkit.Controller
 	cache *lfu.Cache
 	pages *fscript.BenchPages
 }
@@ -159,6 +177,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ScriptWork <= 0 {
 		cfg.ScriptWork = 2000
+	}
+	if cfg.TargetP95 > 0 && cfg.AdmitWatermark <= 0 {
+		cfg.AdmitWatermark = 64 // the controller's starting point, not a tuning decision
 	}
 	if cfg.QueueSample <= 0 && cfg.AdmitWatermark > 0 {
 		cfg.QueueSample = 5 * time.Millisecond
@@ -185,6 +206,27 @@ func New(cfg Config) (*Server, error) {
 		pages: pages,
 	}
 	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
+	if cfg.TargetP95 > 0 {
+		// The controller joins the observer chain now (FlowDone is its
+		// input signal) and meets the plane after the runtime exists.
+		ctrl, err := netkit.NewController(netkit.ControllerConfig{
+			Target: cfg.TargetP95,
+			// Tighter than the netkit defaults: a 50ms period detects an
+			// overshoot one window after it starts, and probing up by 4
+			// admits a burst small enough that its queueing delay stays
+			// inside the SLO band instead of spiking served p95 (the AIMD
+			// limit cycle's amplitude is the up-step's queueing cost).
+			Interval: 50 * time.Millisecond,
+			Step:     4,
+			Kind:     cfg.Engine,
+			Sink:     cfg.Observer,
+		}, gate, nil)
+		if err != nil {
+			return nil, fmt.Errorf("webserver: %w", err)
+		}
+		s.ctrl = ctrl
+		obs = runtime.MultiObserver(obs, ctrl)
+	}
 
 	b := runtime.NewBindings().
 		BindSource("Listen", s.listen).
@@ -234,6 +276,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if s.ctrl != nil {
+		s.ctrl.BindPlane(s.cp.Plane())
+	}
 	return s, nil
 }
 
@@ -254,13 +299,25 @@ func (s *Server) PlaneStats() netkit.StatsSnapshot { return s.cp.PlaneStats() }
 // the overload signal, for harnesses and tests.
 func (s *Server) Gate() *netkit.Gate { return s.cp.Gate() }
 
+// Controller exposes the SLO controller (nil without a TargetP95).
+func (s *Server) Controller() *netkit.Controller { return s.ctrl }
+
 // CacheStats exposes hit/miss/eviction counters.
 func (s *Server) CacheStats() (hits, misses, evictions uint64) { return s.cache.Stats() }
 
-// Start launches the Flux runtime and the connection plane's accept
-// loop, returning once both are running. The server then serves until
-// the context is cancelled or Shutdown is called.
-func (s *Server) Start(ctx context.Context) error { return s.cp.Start(ctx) }
+// Start launches the Flux runtime, the connection plane's accept loop,
+// and (with a TargetP95) the SLO control loop, returning once all are
+// running. The server then serves until the context is cancelled or
+// Shutdown is called.
+func (s *Server) Start(ctx context.Context) error {
+	if err := s.cp.Start(ctx); err != nil {
+		return err
+	}
+	if s.ctrl != nil {
+		s.ctrl.Start(ctx)
+	}
+	return nil
+}
 
 // Shutdown gracefully stops the server: the plane stops accepting and
 // interrupts every live connection (so flows blocked reading idle
@@ -268,8 +325,15 @@ func (s *Server) Start(ctx context.Context) error { return s.cp.Start(ctx) }
 // runtime stops admitting and drains in-flight flows until their
 // terminals or ctx expires. Keep-alive re-registrations racing the
 // shutdown are refused by Inject and their connections dropped — and
-// counted, via the Observer plane.
-func (s *Server) Shutdown(ctx context.Context) error { return s.cp.Shutdown(ctx) }
+// counted, via the Observer plane. The control loop stops first — a
+// controller stepping the watermark while the plane drains would fight
+// the shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.ctrl != nil {
+		s.ctrl.Stop()
+	}
+	return s.cp.Shutdown(ctx)
+}
 
 // Wait blocks until the run ends and returns its error.
 func (s *Server) Wait() error { return s.cp.Wait() }
@@ -300,9 +364,28 @@ func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
 // conversation instead of queueing its future requests unboundedly.
 func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*netkit.Conn)
+	// Slow-loris hardening: a fresh connection gets HeaderTimeout to
+	// deliver its request head, a keep-alive conversation IdleTimeout to
+	// produce its next request. Either deadline popping is the server's
+	// decision, not the client's failure — counted as a shed before the
+	// error route (Discard) closes the connection.
+	limit := s.cfg.HeaderTimeout
+	if c.Served > 0 {
+		limit = s.cfg.IdleTimeout
+	}
+	if limit > 0 {
+		_ = c.SetReadDeadline(time.Now().Add(limit))
+	}
 	req, err := ParseRequest(c.Reader())
 	if err != nil {
-		return nil, err // EOF, reset, or malformed: handled by Discard
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.cp.CountShed("timeout")
+		}
+		return nil, err // EOF, reset, timeout, or malformed: handled by Discard
+	}
+	if limit > 0 {
+		_ = c.SetReadDeadline(time.Time{})
 	}
 	closeAfter := !req.KeepAlive || c.Served+1 >= s.cfg.MaxKeepAlive || s.cp.Overloaded()
 	return runtime.Record{c, closeAfter, req}, nil
