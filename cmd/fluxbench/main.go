@@ -34,7 +34,7 @@ type benchConfig struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig3, web, overload, fig4, game, fig5, fig6, profile, deadlock, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig3, web, overload, fig4, bt, game, fig5, fig6, profile, deadlock, all")
 	quick := flag.Bool("quick", false, "shrink durations and client counts for a smoke run")
 	flag.Parse()
 
@@ -45,6 +45,7 @@ func main() {
 		"web":      expWebMixed,
 		"overload": expOverload,
 		"fig4":     expFigure4,
+		"bt":       expSwarm,
 		"game":     expGame,
 		"fig5":     expFigure5,
 		"fig6":     expFigure6,

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"github.com/flux-lang/flux/internal/metrics"
+	"github.com/flux-lang/flux/internal/torrent"
+)
+
+// SwarmConfig drives a swarm load run against a seeding server: Peers
+// looping leechers join the torrent, bootstrap to the seed plus a few
+// random neighbors (so leechers exchange verified pieces among
+// themselves instead of only hammering the seed), and every completed
+// download resets into a fresh arrival.
+type SwarmConfig struct {
+	// SeedAddr is the seeding server's peer address.
+	SeedAddr string
+	// Meta identifies the torrent.
+	Meta *torrent.MetaInfo
+	// Peers is the number of swarm peers to run.
+	Peers int
+	// Neighbors is how many other swarm peers each peer bootstraps to,
+	// besides the seed (default 4; capped at Peers-1).
+	Neighbors int
+	// Duration and Warmup bound the run; counters reset after Warmup.
+	Duration time.Duration
+	Warmup   time.Duration
+	// Seed seeds the topology and choke-rotation RNGs.
+	Seed int64
+	// Pipeline, ChokeInterval, MaxUnchoked, KeepAliveInterval,
+	// RequestTimeout pass through to each peer (see SwarmPeerConfig).
+	Pipeline          int
+	ChokeInterval     time.Duration
+	MaxUnchoked       int
+	KeepAliveInterval time.Duration
+	RequestTimeout    time.Duration
+	// StopAfter, when nonzero, ends the run once that many downloads
+	// complete (tests use it; benchmarks run the full duration).
+	StopAfter uint64
+}
+
+// SwarmResult aggregates a swarm run.
+type SwarmResult struct {
+	Completions uint64 // full-file downloads finished
+	Pieces      uint64 // verified pieces downloaded
+	BytesDown   uint64
+	BytesUp     uint64
+	Errors      uint64
+	CompPerSec  float64 // completions/sec over the measured window
+	Mbps        float64 // download throughput over the measured window
+	// PieceLatency is the claim-to-verified time per piece.
+	PieceLatency metrics.LatencySummary
+	// Msgs counts received messages per wire type across the swarm.
+	Msgs map[string]uint64
+}
+
+func (r SwarmResult) String() string {
+	return fmt.Sprintf("completions=%d pieces=%d errs=%d %.2f completions/s %.1f Mb/s piece{%s}",
+		r.Completions, r.Pieces, r.Errors, r.CompPerSec, r.Mbps, r.PieceLatency)
+}
+
+// RunSwarm runs a full swarm against a seed and reports aggregates.
+func RunSwarm(ctx context.Context, cfg SwarmConfig) (SwarmResult, error) {
+	if cfg.Neighbors <= 0 {
+		cfg.Neighbors = 4
+	}
+	if cfg.Neighbors > cfg.Peers-1 {
+		cfg.Neighbors = cfg.Peers - 1
+	}
+	runCtx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	stats := NewSwarmStats()
+	topo := mrand.New(mrand.NewSource(cfg.Seed))
+
+	peers := make([]*SwarmPeer, 0, cfg.Peers)
+	defer func() {
+		for _, p := range peers {
+			p.Close()
+		}
+	}()
+	for i := 0; i < cfg.Peers; i++ {
+		bootstrap := []string{cfg.SeedAddr}
+		// Random neighbors among already-created peers: a connected
+		// random graph, denser as the swarm grows.
+		for _, j := range topo.Perm(i) {
+			if len(bootstrap) > cfg.Neighbors {
+				break
+			}
+			bootstrap = append(bootstrap, peers[j].Addr())
+		}
+		p, err := NewSwarmPeer(SwarmPeerConfig{
+			Meta:              cfg.Meta,
+			Bootstrap:         bootstrap,
+			Pipeline:          cfg.Pipeline,
+			ChokeInterval:     cfg.ChokeInterval,
+			MaxUnchoked:       cfg.MaxUnchoked,
+			KeepAliveInterval: cfg.KeepAliveInterval,
+			RequestTimeout:    cfg.RequestTimeout,
+			Seed:              cfg.Seed + int64(i)*7919,
+			Loop:              true,
+			Stats:             stats,
+		})
+		if err != nil {
+			return SwarmResult{}, err
+		}
+		peers = append(peers, p)
+		p.Start(runCtx)
+	}
+
+	// Warm-up trimming, then watch for StopAfter.
+	warmup := time.NewTimer(cfg.Warmup)
+	defer warmup.Stop()
+	warmed := false
+	poll := time.NewTicker(10 * time.Millisecond)
+	defer poll.Stop()
+	start := time.Now()
+	for runCtx.Err() == nil {
+		select {
+		case <-warmup.C:
+			stats.ResetWindow()
+			warmed = true
+			start = time.Now()
+		case <-poll.C:
+			if cfg.StopAfter > 0 && stats.Completions.Load() >= cfg.StopAfter {
+				cancel()
+			}
+		case <-runCtx.Done():
+		}
+	}
+	window := time.Since(start)
+	if !warmed {
+		window = time.Since(start)
+	}
+
+	res := SwarmResult{
+		Completions:  stats.Completions.Load(),
+		Pieces:       stats.Pieces.Load(),
+		BytesDown:    stats.BytesDown.Load(),
+		BytesUp:      stats.BytesUp.Load(),
+		Errors:       stats.Errors.Load(),
+		PieceLatency: stats.PieceLat.Summary(),
+		Msgs:         stats.Msgs(),
+	}
+	if secs := window.Seconds(); secs > 0 {
+		res.CompPerSec = float64(res.Completions) / secs
+		res.Mbps = float64(res.BytesDown) * 8 / 1e6 / secs
+	}
+	return res, nil
+}

@@ -2,6 +2,7 @@ package netkit
 
 import (
 	"context"
+	"net"
 
 	"github.com/flux-lang/flux/internal/runtime"
 )
@@ -42,6 +43,15 @@ func NewFluxPlane(rt *runtime.Server, source string, cfg Config) (*FluxPlane, er
 // enter a plane-fronted server.
 func (fp *FluxPlane) admit(c *Conn) error {
 	return fp.src.Inject(runtime.Record{c})
+}
+
+// AdmitDialed adopts an outbound connection the server dialed itself
+// onto the plane and injects it through the same source fresh accepts
+// take — so a peer-to-peer server's dialed and accepted connections
+// share one admission path, one tracked-conn sweep, and one shed
+// ledger.
+func (fp *FluxPlane) AdmitDialed(nc net.Conn) error {
+	return fp.plane.AdoptAndAdmit(nc)
 }
 
 // Reinject re-admits a live connection: keep-alive re-registration

@@ -15,6 +15,9 @@ import (
 // ErrNotStarted is returned by lifecycle methods before Start.
 var ErrNotStarted = errors.New("netkit: plane not started")
 
+// ErrPlaneClosed is returned by AdoptAndAdmit once shutdown has begun.
+var ErrPlaneClosed = errors.New("netkit: plane closed")
+
 // Config tunes a connection plane.
 type Config struct {
 	// Addr is the TCP listen address (default "127.0.0.1:0").
@@ -181,6 +184,27 @@ func (p *Plane) acceptLoop() {
 			}
 		}
 	}
+}
+
+// AdoptAndAdmit wraps an outbound (dialed) connection in pooled Conn
+// state, tracks it on the plane, and hands it to Admit — the symmetric
+// entry point for connections the server initiated itself (a BitTorrent
+// peer dialing into a swarm). Dialed connections bypass the gate and
+// conn cap: the server chose to open them, so overload control belongs
+// at the dial decision, not here. On any failure the connection is
+// dropped and counted like a refused accept.
+func (p *Plane) AdoptAndAdmit(nc net.Conn) error {
+	c := newConn(p, nc)
+	if !p.track(c) {
+		p.dropConn(c, "closed")
+		return ErrPlaneClosed
+	}
+	if err := p.cfg.Admit(c); err != nil {
+		p.dropConn(c, "refused")
+		return err
+	}
+	p.admitted.Add(1)
+	return nil
 }
 
 // ShedConn sheds a connection the server cannot serve right now: the

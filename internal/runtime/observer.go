@@ -103,13 +103,23 @@ const (
 	CtrlShedRate = CtrlStreamPrefix + "sheds-per-sec"
 )
 
+// MsgStreamPrefix marks per-message-type protocol streams (the
+// bittorrent server publishes one cumulative counter per wire-message
+// kind, plus piece-latency gauges, under this prefix). They ride the
+// QueueDepth surface so harnesses record them alongside backlogs and
+// ctrl/* trajectories, but they are counters/gauges, not backlogs:
+// CounterQueue excludes the whole prefix.
+const MsgStreamPrefix = "msg/"
+
 // CounterQueue reports whether a QueueDepth stream name carries a
 // monotonic counter or controller gauge rather than a backlog depth.
 // Engines adding counter streams to the queue-depth surface must
 // register the name here, or every depth-watching admission controller
 // would sum them as backlog and trip permanently into overload.
 func CounterQueue(queue string) bool {
-	return queue == QueueSteals || strings.HasPrefix(queue, CtrlStreamPrefix)
+	return queue == QueueSteals ||
+		strings.HasPrefix(queue, CtrlStreamPrefix) ||
+		strings.HasPrefix(queue, MsgStreamPrefix)
 }
 
 // ShedObserver is the optional Observer extension through which the

@@ -7,6 +7,16 @@
 // (§2.5.1), while the peer table and the piece store use global
 // constraints.
 //
+// Connection admission runs on the shared connection plane
+// (internal/netkit): the plane's accept loop wraps each connection in
+// pooled state and admits it through the runtime's external-admission
+// path (Server.Inject via a pre-resolved SourceHandle); outbound dials
+// (leecher bootstrap, tracker discovery) are adopted onto the same
+// plane through AdmitDialed. Overload control — a queue-depth watermark
+// gate, a live-connection cap, and optionally the SLO controller —
+// sheds fresh peers with counted ConnShed events instead of queueing
+// them unboundedly.
+//
 // Readiness substrate: the paper's runtime intercepts blocking socket
 // reads and multiplexes them with select; here every registered peer has
 // a pump goroutine reading raw frames into a bounded inbox that the Poll
@@ -22,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -29,6 +40,8 @@ import (
 
 	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/lang/parser"
+	"github.com/flux-lang/flux/internal/metrics"
+	"github.com/flux-lang/flux/internal/netkit"
 	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/torrent"
 )
@@ -127,13 +140,13 @@ session Poll PeerSession;
 
 atomic SetupConnection:{peers};
 atomic GetClients:{peers?};
-atomic Unregister:{peers};
-atomic DropPeer:{peers};
+atomic Unregister:{peers, store, peerstate(session)};
+atomic DropPeer:{peers, store, peerstate(session)};
 atomic UpdateChokeList:{peers?};
 atomic SendKeepAlives:{peers?};
 atomic CompletePiece:{peers?, store};
 atomic Bitfield:{peerstate(session), store};
-atomic Have:{peerstate(session)};
+atomic Have:{peerstate(session), store};
 atomic Interested:{peerstate(session)};
 atomic Uninterested:{peerstate(session)};
 atomic Choke:{peerstate(session)};
@@ -156,7 +169,6 @@ type Config struct {
 	// TrackerInterval is the check-in period (default 10s).
 	TrackerInterval time.Duration
 	// ChokeInterval is the choke recomputation period (default 10s).
-	// Per the paper's benchmark modifications all peers stay unchoked.
 	ChokeInterval time.Duration
 	// KeepAliveInterval is the keep-alive period (default 30s).
 	KeepAliveInterval time.Duration
@@ -168,6 +180,56 @@ type Config struct {
 	PoolSize      int
 	SourceTimeout time.Duration
 	Profiler      runtime.Profiler
+	// Observer, when non-nil, joins the runtime's observer plane: flow
+	// terminals, queue depths, per-message-type counters (msg/*), and
+	// the connection plane's shed events.
+	Observer runtime.Observer
+	// MaxUnchoked, when > 0, enables real choking: each choke tick the
+	// tit-for-tat policy unchokes the MaxUnchoked-1 fastest-uploading
+	// interested peers plus one rotating optimistic slot, and chokes
+	// the rest. 0 keeps the paper's benchmark modification — every
+	// peer stays unchoked (§4.3).
+	MaxUnchoked int
+	// HandshakeTimeout bounds the 68-byte handshake exchange (default
+	// 10s): a peer that dials and stalls mid-handshake is disconnected
+	// and counted as a shed instead of pinning the accept flow forever.
+	HandshakeTimeout time.Duration
+	// IdleTimeout, when > 0, bounds the wait for the next frame from a
+	// registered peer; dead keep-alive peers are reaped and counted the
+	// same way. 0 waits forever (keep-alives normally arrive every
+	// KeepAliveInterval).
+	IdleTimeout time.Duration
+	// AdmitWatermark, when > 0, bounds admission: once the engine's
+	// sampled queue depths sum past it, fresh peer connections are shed
+	// (closed, counted) until the backlog drains.
+	AdmitWatermark int
+	// MaxConns, when > 0, caps live peer connections; accepts beyond it
+	// are shed. Outbound dials bypass the cap (the server chose them).
+	MaxConns int
+	// QueueSample overrides the queue-depth sampling period (default
+	// 5ms with an AdmitWatermark, else the runtime's 100ms).
+	QueueSample time.Duration
+	// TargetP95, when > 0, puts admission under the SLO controller:
+	// served flow latency is measured on the Observer plane and every
+	// control interval the watermark — and the connection cap — takes
+	// one AIMD step toward holding the window's p95 at the target.
+	TargetP95 time.Duration
+}
+
+// msgKinds enumerates the per-message-type counters, in wire-ID order
+// with the two pseudo-kinds last.
+var msgKinds = []string{
+	"choke", "unchoke", "interested", "uninterested", "have",
+	"bitfield", "request", "piece", "cancel", "keepalive", "closed",
+}
+
+func msgKindIndex(kind string) int {
+	for i, k := range msgKinds {
+		if k == kind {
+			return i
+		}
+	}
+	return -1
 }
 
 // Server is a runnable Flux BitTorrent peer.
@@ -175,21 +237,37 @@ type Server struct {
 	cfg    Config
 	prog   *core.Program
 	rt     *runtime.Server
-	ln     net.Listener
+	cp     *netkit.FluxPlane
+	ctrl   *netkit.Controller
 	store  *torrent.Store
 	peerID [20]byte
 
-	readyConns chan net.Conn
-	inbox      chan *inboxItem
+	inbox chan *inboxItem
 
 	// peers is guarded by the Flux "peers" constraint.
 	peers       map[*Peer]bool
 	nextSession uint64
 
-	// requested tracks pieces already requested from some peer while
-	// leeching; guarded by the "store" constraint (every toucher holds
-	// it).
-	requested map[int]bool
+	// Leech-side piece claims, guarded by the "store" constraint:
+	// requestedBy maps a claimed piece to the peer it was requested
+	// from (claims release when that peer dies), requestedAt stamps the
+	// claim for the piece-latency stream, avail counts how many
+	// connected peers hold each piece (rarest-first input).
+	requestedBy map[int]*Peer
+	requestedAt map[int]time.Time
+	avail       []int
+
+	// pieceLat records request-to-verified latency per piece.
+	pieceLat *metrics.LatencyRecorder
+
+	// msgCounts counts received messages per wire kind (msgKinds order).
+	msgCounts [11]atomic.Uint64
+
+	// Choke-flow state (single flow at a time): the optimistic-unchoke
+	// slot, its rotation counter, and the rotation RNG.
+	optimistic *Peer
+	chokeTick  uint64
+	chokeRng   *mrand.Rand
 
 	// totalOut counts piece payload bytes served.
 	totalOut atomic.Uint64
@@ -197,18 +275,12 @@ type Server struct {
 	// trackerTick paces the tracker flow.
 	trackerTick runtime.SourceFunc
 
-	runCtx context.Context
-
-	stopOnce   sync.Once
-	stop       chan struct{}
-	acceptDone chan struct{}
+	startOnce sync.Once
+	started   chan struct{}
 }
 
 // New compiles the program and prepares the peer.
 func New(cfg Config) (*Server, error) {
-	if cfg.Addr == "" {
-		cfg.Addr = "127.0.0.1:0"
-	}
 	if cfg.Meta == nil {
 		return nil, errors.New("bittorrent: Config.Meta is required")
 	}
@@ -223,6 +295,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 500 * time.Microsecond
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.TargetP95 > 0 && cfg.AdmitWatermark <= 0 {
+		cfg.AdmitWatermark = 64 // the controller's starting point
+	}
+	if cfg.QueueSample <= 0 && cfg.AdmitWatermark > 0 {
+		cfg.QueueSample = 5 * time.Millisecond
 	}
 
 	astProg, err := parser.Parse("bittorrent.flux", FluxSource)
@@ -244,27 +325,42 @@ func New(cfg Config) (*Server, error) {
 		store = torrent.NewLeecher(cfg.Meta)
 	}
 
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
-	}
-
 	s := &Server{
-		cfg:        cfg,
-		prog:       prog,
-		ln:         ln,
-		store:      store,
-		readyConns: make(chan net.Conn, 256),
-		inbox:      make(chan *inboxItem, 4096),
-		peers:      make(map[*Peer]bool),
-		requested:  make(map[int]bool),
+		cfg:         cfg,
+		prog:        prog,
+		store:       store,
+		inbox:       make(chan *inboxItem, 4096),
+		peers:       make(map[*Peer]bool),
+		requestedBy: make(map[int]*Peer),
+		requestedAt: make(map[int]time.Time),
+		avail:       make([]int, cfg.Meta.NumPieces()),
+		pieceLat:    metrics.NewLatencyRecorder(),
+		started:     make(chan struct{}),
 	}
 	if _, err := rand.Read(s.peerID[:]); err != nil {
-		ln.Close()
 		return nil, err
 	}
 	copy(s.peerID[:8], "-FLUX01-")
+	s.chokeRng = mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(s.peerID[8:16]))))
 	s.trackerTick = runtime.IntervalSource(cfg.TrackerInterval)
+
+	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
+	if cfg.TargetP95 > 0 {
+		// The controller joins the observer chain now (FlowDone is its
+		// input signal) and meets the plane after the runtime exists.
+		ctrl, err := netkit.NewController(netkit.ControllerConfig{
+			Target:   cfg.TargetP95,
+			Interval: 50 * time.Millisecond,
+			Step:     4,
+			Kind:     cfg.Engine,
+			Sink:     cfg.Observer,
+		}, gate, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bittorrent: %w", err)
+		}
+		s.ctrl = ctrl
+		obs = runtime.MultiObserver(obs, ctrl)
+	}
 
 	b := runtime.NewBindings().
 		BindSource("Listen", s.listen).
@@ -327,12 +423,29 @@ func New(cfg Config) (*Server, error) {
 		runtime.WithPoolSize(cfg.PoolSize),
 		runtime.WithSourceTimeout(cfg.SourceTimeout),
 		runtime.WithProfiler(cfg.Profiler),
+		runtime.WithObserver(obs),
+		runtime.WithQueueSampleInterval(cfg.QueueSample),
 	)
 	if err != nil {
-		ln.Close()
 		return nil, err
 	}
 	s.rt = rt
+	s.cp, err = netkit.NewFluxPlane(rt, "Listen", netkit.Config{
+		Addr:     cfg.Addr,
+		Gate:     gate,
+		MaxConns: cfg.MaxConns,
+		// BitTorrent has no 503: shed peers are closed silently and the
+		// remote treats the reset as a refusal.
+		ShedResponse: nil,
+		Observer:     obs,
+		Name:         "bittorrent",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if s.ctrl != nil {
+		s.ctrl.BindPlane(s.cp.Plane())
+	}
 	return s, nil
 }
 
@@ -341,13 +454,22 @@ func kindPred(kind string) runtime.PredicateFunc {
 }
 
 // Addr returns the bound listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
+func (s *Server) Addr() string { return s.cp.Addr() }
 
 // Program exposes the compiled program.
 func (s *Server) Program() *core.Program { return s.prog }
 
 // Stats exposes runtime counters.
 func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
+
+// PlaneStats exposes the connection plane's admission counters.
+func (s *Server) PlaneStats() netkit.StatsSnapshot { return s.cp.PlaneStats() }
+
+// Gate exposes the admission gate (nil without an AdmitWatermark).
+func (s *Server) Gate() *netkit.Gate { return s.cp.Gate() }
+
+// Controller exposes the SLO controller (nil without a TargetP95).
+func (s *Server) Controller() *netkit.Controller { return s.ctrl }
 
 // Store exposes the piece store (for completeness checks in tests).
 func (s *Server) Store() *torrent.Store { return s.store }
@@ -356,65 +478,46 @@ func (s *Server) Store() *torrent.Store { return s.store }
 // ones that have disconnected.
 func (s *Server) BytesServed() uint64 { return s.totalOut.Load() }
 
-// Start launches the accept loop and the Flux runtime; the peer then
-// serves until the context is cancelled or Shutdown is called.
+// MsgCounts snapshots the per-message-type receive counters.
+func (s *Server) MsgCounts() map[string]uint64 {
+	out := make(map[string]uint64, len(msgKinds))
+	for i, k := range msgKinds {
+		out[k] = s.msgCounts[i].Load()
+	}
+	return out
+}
+
+// PieceLatency digests the request-to-verified piece latency stream
+// (leech side).
+func (s *Server) PieceLatency() metrics.LatencySummary { return s.pieceLat.Summary() }
+
+// Start launches the Flux runtime, the connection plane's accept loop,
+// and (with a TargetP95) the SLO control loop; the peer then serves
+// until the context is cancelled or Shutdown is called.
 func (s *Server) Start(ctx context.Context) error {
-	if err := s.rt.Start(ctx); err != nil {
+	if err := s.cp.Start(ctx); err != nil {
 		return err
 	}
-	s.runCtx = ctx
-	s.stop = make(chan struct{})
-	s.acceptDone = make(chan struct{})
-	go func() {
-		defer close(s.acceptDone)
-		for {
-			nc, err := s.ln.Accept()
-			if err != nil {
-				return
-			}
-			select {
-			case s.readyConns <- nc:
-			case <-s.stop:
-				nc.Close()
-				return
-			case <-ctx.Done():
-				nc.Close()
-				return
-			}
-		}
-	}()
-	go func() {
-		select {
-		case <-ctx.Done():
-		case <-s.stop:
-		}
-		s.ln.Close()
-	}()
+	if s.ctrl != nil {
+		s.ctrl.Start(ctx)
+	}
+	s.startOnce.Do(func() { close(s.started) })
 	return nil
 }
 
-// Shutdown gracefully stops the peer: the listener closes, Flux sources
-// stop admitting, and in-flight flows drain until their terminals or
-// ctx expires.
+// Shutdown gracefully stops the peer: the plane stops accepting and
+// interrupts every live connection (pumps report their peers dead), then
+// the runtime stops admitting and drains in-flight flows until their
+// terminals or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.stop == nil {
-		return runtime.ErrNotStarted
+	if s.ctrl != nil {
+		s.ctrl.Stop()
 	}
-	s.stopOnce.Do(func() { close(s.stop) })
-	err := s.rt.Shutdown(ctx)
-	<-s.acceptDone
-	return err
+	return s.cp.Shutdown(ctx)
 }
 
 // Wait blocks until the run ends and returns its error.
-func (s *Server) Wait() error {
-	if s.acceptDone == nil {
-		return runtime.ErrNotStarted
-	}
-	err := s.rt.Wait()
-	<-s.acceptDone
-	return err
-}
+func (s *Server) Wait() error { return s.cp.Wait() }
 
 // Run serves until the context is cancelled: Start followed by Wait.
 func (s *Server) Run(ctx context.Context) error {
@@ -424,45 +527,32 @@ func (s *Server) Run(ctx context.Context) error {
 	return s.Wait()
 }
 
-// ConnectTo dials a remote peer (leecher bootstrap); the connection then
-// flows through the same Accept pipeline as inbound peers.
+// ConnectTo dials a remote peer (leecher bootstrap) and adopts the
+// connection onto the plane: it is injected through the same Accept
+// pipeline as inbound peers and tracked for the shutdown sweep. Callers
+// may race Start (tests launch Run concurrently); the dial waits for
+// admission to be live.
 func (s *Server) ConnectTo(addr string) error {
+	select {
+	case <-s.started:
+	case <-time.After(5 * time.Second):
+		return errors.New("bittorrent: server not started")
+	}
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return err
 	}
-	select {
-	case s.readyConns <- nc:
-		return nil
-	default:
-		nc.Close()
-		return errors.New("bittorrent: connection backlog full")
-	}
+	return s.cp.AdmitDialed(nc)
 }
 
 // --- source nodes ----------------------------------------------------------
 
+// listen is the graph's source node. The connection plane owns accept
+// and admission: every peer connection — accepted or dialed — enters
+// through Inject on this source's graph, so the source itself retires
+// immediately; the Poll and timer sources keep the server alive.
 func (s *Server) listen(fl *runtime.Flow) (runtime.Record, error) {
-	if fl.SourceTimeout > 0 {
-		t := time.NewTimer(fl.SourceTimeout)
-		defer t.Stop()
-		select {
-		case nc := <-s.readyConns:
-			return runtime.Record{nc}, nil
-		case <-t.C:
-			return nil, runtime.ErrNoData
-		case <-fl.Wake:
-			return nil, runtime.ErrNoData
-		case <-fl.Ctx.Done():
-			return nil, fl.Ctx.Err()
-		}
-	}
-	select {
-	case nc := <-s.readyConns:
-		return runtime.Record{nc}, nil
-	case <-fl.Ctx.Done():
-		return nil, fl.Ctx.Err()
-	}
+	return nil, runtime.ErrStop
 }
 
 // poll is the select loop: it returns a ready inbox item, or an empty
@@ -523,61 +613,78 @@ func (s *Server) announceURL() string {
 // setupConnection registers the peer under the peers constraint and
 // assigns its session id.
 func (s *Server) setupConnection(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	nc := in[0].(net.Conn)
+	c := in[0].(*netkit.Conn)
 	s.nextSession++
 	p := &Peer{
-		conn:     nc,
+		conn:     c,
+		nc:       c.NetConn(),
+		br:       c.Reader(),
 		session:  s.nextSession,
 		bitfield: torrent.NewBitfield(s.cfg.Meta.NumPieces()),
-		choked:   false, // benchmark modification: everyone starts unchoked
 	}
+	// Real choking starts everyone choked; the paper's benchmark
+	// modification starts everyone unchoked.
+	p.choked.Store(s.cfg.MaxUnchoked > 0)
 	s.peers[p] = true
 	return runtime.Record{p}, nil
 }
 
-// handshake exchanges and validates handshakes.
+// handshake exchanges and validates handshakes under the handshake
+// deadline; a peer that stalls mid-handshake is shed and counted.
 func (s *Server) handshake(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
-	p.conn.SetDeadline(time.Now().Add(10 * time.Second))
-	defer p.conn.SetDeadline(time.Time{})
-	if err := WriteHandshake(p.conn, s.cfg.Meta.InfoHash, s.peerID); err != nil {
-		return nil, err
-	}
-	infoHash, peerID, err := ReadHandshake(p.conn)
+	_ = p.nc.SetDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	p.writeMu.Lock()
+	err := WriteHandshake(p.nc, s.cfg.Meta.InfoHash, s.peerID)
+	p.writeMu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, s.shedIfTimeout(err, "handshake-timeout")
+	}
+	infoHash, peerID, err := ReadHandshake(p.br)
+	if err != nil {
+		return nil, s.shedIfTimeout(err, "handshake-timeout")
 	}
 	if infoHash != s.cfg.Meta.InfoHash {
 		return nil, errors.New("bittorrent: info hash mismatch")
 	}
+	_ = p.nc.SetDeadline(time.Time{})
 	p.id = peerID
 	return in, nil
 }
 
-// sendBitfield announces our pieces and starts the peer's read pump.
+// shedIfTimeout counts a deadline pop as a shed on the plane before the
+// error routes to its handler (which owns the close).
+func (s *Server) shedIfTimeout(err error, reason string) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		s.cp.CountShed(reason)
+	}
+	return err
+}
+
+// sendBitfield announces our pieces, marks the peer ready for broadcast
+// flows, and starts its read pump.
 func (s *Server) sendBitfield(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
 	bf := s.store.Bitfield()
 	if err := p.send(&Message{ID: MsgBitfield, Payload: bf}); err != nil {
 		return nil, err
 	}
+	p.ready.Store(true)
 	go s.pump(p)
 	return nil, nil
 }
 
-// dropConn handles handshake failures: the peer leaves the table.
-// It is the error handler for Handshake, so the record is the Accept
-// flow's (peerconn); depending on where the failure happened this is the
-// raw conn or the registered peer.
+// dropConn handles handshake failures. The pump has not started, so the
+// flow owns the conn: it retires the pooled state and reports the peer
+// dead through the inbox so the Unregister flow removes it from the
+// table under the peers constraint.
 func (s *Server) dropConn(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	switch v := in[0].(type) {
-	case net.Conn:
+	case *netkit.Conn:
 		v.Close()
 	case *Peer:
-		v.close()
-		// The peers entry is removed by the Unregister flow when the
-		// pump reports the close; handshake failures happen before the
-		// pump starts, so remove eagerly via the inbox.
+		v.retire()
 		select {
 		case s.inbox <- &inboxItem{peer: v, err: io.EOF}:
 		default:
@@ -587,12 +694,19 @@ func (s *Server) dropConn(fl *runtime.Flow, in runtime.Record) (runtime.Record, 
 }
 
 // pump reads raw frames into the inbox until the connection dies — the
-// per-socket half of the readiness substrate.
+// per-socket half of the readiness substrate. It is the pooled conn's
+// owner from SendBitfield on: retirement happens exactly here, on
+// read-loop exit. With an IdleTimeout, a peer that stops sending even
+// keep-alives is reaped and counted as a shed.
 func (s *Server) pump(p *Peer) {
+	idle := s.cfg.IdleTimeout
 	for {
+		if idle > 0 {
+			_ = p.nc.SetReadDeadline(time.Now().Add(idle))
+		}
 		var lenBuf [4]byte
-		if _, err := io.ReadFull(p.conn, lenBuf[:]); err != nil {
-			s.inbox <- &inboxItem{peer: p, err: err}
+		if _, err := io.ReadFull(p.br, lenBuf[:]); err != nil {
+			s.pumpExit(p, err)
 			return
 		}
 		length := binary.BigEndian.Uint32(lenBuf[:])
@@ -601,15 +715,27 @@ func (s *Server) pump(p *Peer) {
 			continue
 		}
 		if length > maxFrame {
-			s.inbox <- &inboxItem{peer: p, err: fmt.Errorf("frame too large: %d", length)}
+			s.pumpExit(p, fmt.Errorf("frame too large: %d", length))
 			return
 		}
 		body := make([]byte, length)
-		if _, err := io.ReadFull(p.conn, body); err != nil {
-			s.inbox <- &inboxItem{peer: p, err: err}
+		if _, err := io.ReadFull(p.br, body); err != nil {
+			s.pumpExit(p, err)
 			return
 		}
 		p.bytesIn.Add(uint64(length))
 		s.inbox <- &inboxItem{peer: p, raw: &rawFrame{body: body}}
 	}
+}
+
+// pumpExit retires the peer's conn and reports it dead. An idle-timeout
+// reap (the peer was alive as far as we knew) is counted as a shed;
+// remote closes and resets are ordinary departures.
+func (s *Server) pumpExit(p *Peer, err error) {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() && !p.closed.Load() {
+		s.cp.CountShed("idle")
+	}
+	p.retire()
+	s.inbox <- &inboxItem{peer: p, err: err}
 }

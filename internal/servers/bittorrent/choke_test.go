@@ -1,0 +1,97 @@
+package bittorrent
+
+import "testing"
+
+func peersIn(list []*Peer) map[*Peer]bool {
+	set := make(map[*Peer]bool, len(list))
+	for _, p := range list {
+		set[p] = true
+	}
+	return set
+}
+
+// TestPlanChokesRanksByRate checks tit-for-tat: with no optimistic slot
+// the top maxUnchoked uploaders among interested peers get unchoked and
+// everyone else interested is choked.
+func TestPlanChokesRanksByRate(t *testing.T) {
+	fast, mid, slow := &Peer{}, &Peer{}, &Peer{}
+	cands := []chokeCand{
+		{peer: fast, rate: 300, interested: true, choked: true},
+		{peer: mid, rate: 200, interested: true, choked: false},
+		{peer: slow, rate: 100, interested: true, choked: false},
+	}
+	unchoke, choke := planChokes(cands, 2, nil)
+	u, c := peersIn(unchoke), peersIn(choke)
+	if !u[fast] {
+		t.Error("fastest peer not unchoked")
+	}
+	if u[mid] || c[mid] {
+		t.Error("mid peer flipped despite already holding a slot")
+	}
+	if !c[slow] {
+		t.Error("slowest peer not choked out of its slot")
+	}
+}
+
+// TestPlanChokesOptimisticSlot checks the optimistic unchoke consumes
+// one of the maxUnchoked slots regardless of its rate, and uninterested
+// unchoked peers are always choked off.
+func TestPlanChokesOptimisticSlot(t *testing.T) {
+	fast, lucky, slow, bored := &Peer{}, &Peer{}, &Peer{}, &Peer{}
+	cands := []chokeCand{
+		{peer: fast, rate: 300, interested: true, choked: true},
+		{peer: lucky, rate: 0, interested: true, choked: true},
+		{peer: slow, rate: 100, interested: true, choked: true},
+		{peer: bored, rate: 500, interested: false, choked: false},
+	}
+	unchoke, choke := planChokes(cands, 2, lucky)
+	u, c := peersIn(unchoke), peersIn(choke)
+	if !u[fast] {
+		t.Error("fastest peer not unchoked")
+	}
+	if !u[lucky] {
+		t.Error("optimistic peer not unchoked")
+	}
+	if u[slow] {
+		t.Error("slow peer unchoked past the slot limit")
+	}
+	if !c[bored] {
+		t.Error("uninterested unchoked peer not choked")
+	}
+}
+
+// TestPlanChokesFlipsOnly checks the plan contains only peers whose
+// state changes — steady state produces an empty plan.
+func TestPlanChokesFlipsOnly(t *testing.T) {
+	a, b := &Peer{}, &Peer{}
+	cands := []chokeCand{
+		{peer: a, rate: 300, interested: true, choked: false},
+		{peer: b, rate: 100, interested: true, choked: true},
+	}
+	unchoke, choke := planChokes(cands, 4, nil)
+	if len(choke) != 0 {
+		t.Errorf("steady state choked %d peers", len(choke))
+	}
+	if got := peersIn(unchoke); !got[b] || got[a] {
+		t.Errorf("want only the still-choked peer unchoked, got %d flips", len(unchoke))
+	}
+
+	unchoke, choke = planChokes(cands, 4, nil)
+	if len(unchoke) != 1 || len(choke) != 0 {
+		t.Errorf("plan not stable: %d unchokes, %d chokes", len(unchoke), len(choke))
+	}
+}
+
+// TestPlanChokesAbundantSlots: more slots than interested peers means
+// nobody interested is choked.
+func TestPlanChokesAbundantSlots(t *testing.T) {
+	a, b := &Peer{}, &Peer{}
+	cands := []chokeCand{
+		{peer: a, rate: 10, interested: true, choked: true},
+		{peer: b, rate: 0, interested: true, choked: true},
+	}
+	unchoke, choke := planChokes(cands, 8, nil)
+	if len(choke) != 0 || len(unchoke) != 2 {
+		t.Errorf("with abundant slots: %d unchokes %d chokes, want 2/0", len(unchoke), len(choke))
+	}
+}

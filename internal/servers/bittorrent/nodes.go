@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"time"
 
@@ -51,24 +52,26 @@ func (s *Server) checkSockets(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 	return runtime.Record{item.peer, false, &wireMsg{raw: item.raw, kind: "raw"}}, nil
 }
 
-// readMessage parses the raw frame into a typed message; malformed
-// frames error to DropPeer.
+// readMessage parses the raw frame into a typed message and counts it on
+// the per-message-type stream; malformed frames error to DropPeer.
 func (s *Server) readMessage(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	m := in[2].(*wireMsg)
-	if m.kind == "closed" {
-		return in, nil
+	if m.kind != "closed" {
+		if m.raw == nil || m.raw.body == nil {
+			m.msg = &Message{ID: -1}
+			m.kind = "keepalive"
+		} else {
+			msg, err := ParseMessageBody(m.raw.body)
+			if err != nil {
+				return nil, err
+			}
+			m.msg = msg
+			m.kind = msg.Kind()
+		}
 	}
-	if m.raw == nil || m.raw.body == nil {
-		m.msg = &Message{ID: -1}
-		m.kind = "keepalive"
-		return in, nil
+	if i := msgKindIndex(m.kind); i >= 0 {
+		s.msgCounts[i].Add(1)
 	}
-	msg, err := ParseMessageBody(m.raw.body)
-	if err != nil {
-		return nil, err
-	}
-	m.msg = msg
-	m.kind = msg.Kind()
 	return in, nil
 }
 
@@ -77,21 +80,48 @@ func (s *Server) messageDone(fl *runtime.Flow, in runtime.Record) (runtime.Recor
 	return nil, nil
 }
 
+// removePeer takes the peer out of the table and releases its piece
+// claims and availability counts — called under {peers, store} from the
+// DropPeer and Unregister nodes; the removed latch makes the two paths
+// (a flow kill followed by the pump's terminal report) idempotent.
+func (s *Server) removePeer(p *Peer) {
+	if !p.removed.CompareAndSwap(false, true) {
+		return
+	}
+	delete(s.peers, p)
+	for i := range s.avail {
+		if p.bitfield.Has(i) {
+			s.avail[i]--
+		}
+	}
+	for piece, owner := range s.requestedBy {
+		if owner == p {
+			delete(s.requestedBy, piece)
+			delete(s.requestedAt, piece)
+		}
+	}
+	if s.optimistic == p {
+		s.optimistic = nil
+	}
+}
+
 // dropPeer is the error handler for ReadMessage: the offending peer is
-// disconnected and unregistered under the peers constraint.
+// disconnected and unregistered. The pump owns the conn, so the flow
+// only interrupts the socket; the pump's terminal report then reaches
+// Unregister, whose removal is a no-op after ours.
 func (s *Server) dropPeer(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
-	p.close()
-	delete(s.peers, p)
+	p.interrupt()
+	s.removePeer(p)
 	return nil, nil
 }
 
 // unregister removes a dead peer (the "closed" dispatch case) under the
-// peers constraint.
+// peers constraint. The pump already retired the conn.
 func (s *Server) unregister(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
-	p.close()
-	delete(s.peers, p)
+	p.interrupt()
+	s.removePeer(p)
 	return in, nil
 }
 
@@ -104,13 +134,24 @@ func (s *Server) onBitfield(fl *runtime.Flow, in runtime.Record) (runtime.Record
 	if len(bf) != len(torrent.NewBitfield(s.cfg.Meta.NumPieces())) {
 		return nil, fmt.Errorf("bittorrent: bitfield of %d bytes", len(bf))
 	}
+	// Swap availability counts from the old bitfield to the new one
+	// (holds {peerstate, store}; avail rides the store constraint).
+	for i := range s.avail {
+		if p.bitfield.Has(i) {
+			s.avail[i]--
+		}
+	}
 	p.bitfield = bf.Clone()
-	// A leecher signals interest when the peer has pieces we miss, and
-	// — since the benchmark protocol starts everyone unchoked — begins
-	// requesting immediately.
+	for i := range s.avail {
+		if p.bitfield.Has(i) {
+			s.avail[i]++
+		}
+	}
+	// A leecher signals interest when the peer has pieces we miss, and —
+	// unless choked — begins requesting immediately.
 	if !s.store.Complete() {
 		_ = p.send(&Message{ID: MsgInterested})
-		if !p.theyChokeUs {
+		if !p.theyChokeUs.Load() {
 			s.requestMoreBlocks(p)
 		}
 	}
@@ -120,34 +161,44 @@ func (s *Server) onBitfield(fl *runtime.Flow, in runtime.Record) (runtime.Record
 func (s *Server) onHave(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
 	m := in[2].(*wireMsg)
-	p.bitfield.Set(int(m.msg.Index))
+	idx := int(m.msg.Index)
+	if idx >= s.cfg.Meta.NumPieces() {
+		return nil, fmt.Errorf("bittorrent: have for piece %d of %d", idx, s.cfg.Meta.NumPieces())
+	}
+	if !p.bitfield.Has(idx) {
+		p.bitfield.Set(idx)
+		s.avail[idx]++
+	}
 	return in, nil
 }
 
 func (s *Server) onInterested(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
-	p.interested = true
-	// Benchmark modification (§4.3): every peer is unchoked.
-	if p.choked {
-		p.choked = false
+	p.interested.Store(true)
+	if s.cfg.MaxUnchoked > 0 {
+		// Real choking: the choke flow decides who is unchoked; interest
+		// alone earns nothing.
+		return in, nil
 	}
+	// Benchmark modification (§4.3): every peer is unchoked.
+	p.choked.Store(false)
 	_ = p.send(&Message{ID: MsgUnchoke})
 	return in, nil
 }
 
 func (s *Server) onUninterested(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	in[0].(*Peer).interested = false
+	in[0].(*Peer).interested.Store(false)
 	return in, nil
 }
 
 func (s *Server) onChoke(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	in[0].(*Peer).theyChokeUs = true
+	in[0].(*Peer).theyChokeUs.Store(true)
 	return in, nil
 }
 
 func (s *Server) onUnchoke(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
-	p.theyChokeUs = false
+	p.theyChokeUs.Store(false)
 	// An unchoke opens the request window: start (or restart) the leech
 	// pipeline.
 	if !s.store.Complete() {
@@ -162,7 +213,7 @@ func (s *Server) onRequest(fl *runtime.Flow, in runtime.Record) (runtime.Record,
 	p := in[0].(*Peer)
 	m := in[2].(*wireMsg)
 	req := m.msg
-	if p.choked {
+	if p.choked.Load() {
 		return in, nil // choked peers get nothing
 	}
 	if req.Length > torrent.BlockSize {
@@ -186,7 +237,8 @@ func (s *Server) onCancel(fl *runtime.Flow, in runtime.Record) (runtime.Record, 
 }
 
 // onPiece stores a received block (leecher side) and flags completion
-// for the piececomplete dispatch.
+// for the piececomplete dispatch. Verified pieces feed the
+// piece-latency stream (claim to verification).
 func (s *Server) onPiece(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	p := in[0].(*Peer)
 	m := in[2].(*wireMsg)
@@ -196,25 +248,31 @@ func (s *Server) onPiece(fl *runtime.Flow, in runtime.Record) (runtime.Record, e
 		// A failed (e.g. hash-corrupt) piece must become requestable
 		// again or the download would stall; the store has already
 		// discarded its blocks.
-		delete(s.requested, int(msg.Index))
+		delete(s.requestedBy, int(msg.Index))
+		delete(s.requestedAt, int(msg.Index))
 		return nil, err
 	}
-	if p.pendingBlocks > 0 {
-		p.pendingBlocks--
+	if p.pendingBlocks.Load() > 0 {
+		p.pendingBlocks.Add(-1)
 	}
 	m.completed = done
 	m.pieceIndex = msg.Index
-	if !done {
+	if done {
+		if t, ok := s.requestedAt[int(msg.Index)]; ok {
+			s.pieceLat.Record(time.Since(t))
+			delete(s.requestedAt, int(msg.Index))
+		}
+	} else {
 		s.requestMoreBlocks(p)
 	}
 	return in, nil
 }
 
-// requestMoreBlocks keeps the request pipeline full while leeching:
-// random piece selection, as the protocol prescribes.
+// requestMoreBlocks keeps the request pipeline full while leeching,
+// claiming pieces rarest-first.
 func (s *Server) requestMoreBlocks(p *Peer) {
 	const pipeline = 8
-	for p.pendingBlocks < pipeline {
+	for p.pendingBlocks.Load() < pipeline {
 		piece, ok := s.pickMissingPiece(p)
 		if !ok {
 			return
@@ -225,29 +283,39 @@ func (s *Server) requestMoreBlocks(p *Peer) {
 			if err := p.send(&Message{ID: MsgRequest, Index: uint32(piece), Begin: uint32(begin), Length: uint32(length)}); err != nil {
 				return
 			}
-			p.pendingBlocks++
+			p.pendingBlocks.Add(1)
 		}
 	}
 }
 
-// pickMissingPiece chooses a piece the peer has and we lack.
+// pickMissingPiece claims the rarest piece the peer has and we lack:
+// lowest availability over connected peers' observed bitfields/haves,
+// ties broken toward the lowest index. Runs under the store constraint.
 func (s *Server) pickMissingPiece(p *Peer) (int, bool) {
 	missing := s.store.Bitfield().Missing(s.cfg.Meta.NumPieces())
+	best := -1
+	bestAvail := int(^uint(0) >> 1)
 	for _, i := range missing {
-		if p.bitfield.Has(i) && !s.requested[i] {
-			s.requested[i] = true
-			return i, true
+		if p.bitfield.Has(i) && s.requestedBy[i] == nil && s.avail[i] < bestAvail {
+			best, bestAvail = i, s.avail[i]
 		}
 	}
-	return 0, false
+	if best < 0 {
+		return 0, false
+	}
+	s.requestedBy[best] = p
+	s.requestedAt[best] = time.Now()
+	return best, true
 }
 
 // completePiece broadcasts HAVE for a freshly verified piece to every
-// peer (reader hold on the peers table).
+// ready peer (reader hold on the peers table).
 func (s *Server) completePiece(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	m := in[2].(*wireMsg)
 	for p := range s.peers {
-		_ = p.send(&Message{ID: MsgHave, Index: m.pieceIndex})
+		if p.ready.Load() {
+			_ = p.send(&Message{ID: MsgHave, Index: m.pieceIndex})
+		}
 	}
 	// Keep the leech pipeline moving.
 	if p := in[0].(*Peer); !s.store.Complete() {
@@ -258,39 +326,147 @@ func (s *Server) completePiece(fl *runtime.Flow, in runtime.Record) (runtime.Rec
 
 // --- choke flow ---------------------------------------------------------------
 
-// chokePlan lists peers whose choke state should flip.
-type chokePlan struct {
-	unchoke []*Peer
-	choke   []*Peer
+// chokeCand is one peer's standing at a choke tick.
+type chokeCand struct {
+	peer       *Peer
+	rate       uint64 // bytes received from the peer since the last tick
+	interested bool
+	choked     bool // our current choke state toward the peer
 }
 
-// updateChokeList snapshots candidate peers (reader on the table).
+// chokePlan lists peers whose choke state should flip.
+type chokePlan struct {
+	cands      []chokeCand
+	unchoke    []*Peer
+	choke      []*Peer
+	optimistic *Peer
+}
+
+// updateChokeList snapshots candidate peers and their per-tick upload
+// rates (reader on the table) and publishes the msg/* observer streams.
 func (s *Server) updateChokeList(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
-	plan := &chokePlan{}
+	plan := &chokePlan{optimistic: s.optimistic}
 	for p := range s.peers {
-		if p.choked {
-			plan.unchoke = append(plan.unchoke, p)
+		if !p.ready.Load() {
+			continue
 		}
+		if s.cfg.MaxUnchoked <= 0 {
+			// Benchmark modification: unchoke everyone still choked.
+			if p.choked.Load() {
+				plan.unchoke = append(plan.unchoke, p)
+			}
+			continue
+		}
+		got := p.bytesIn.Load()
+		plan.cands = append(plan.cands, chokeCand{
+			peer:       p,
+			rate:       got - p.rateBase,
+			interested: p.interested.Load(),
+			choked:     p.choked.Load(),
+		})
+		p.rateBase = got
 	}
+	s.publishMsgStreams()
 	return runtime.Record{plan}, nil
 }
 
-// pickChoked applies the choking policy. The paper's benchmark disables
-// choking ("all client peers are unchoked by default" and unlimited
-// unchoked peers), so the policy unchokes everyone.
+// publishMsgStreams samples the per-message-type counters and the piece
+// latency p95 onto the observer plane's QueueDepth surface under the
+// msg/ prefix (registered as counters, so admission control skips them).
+func (s *Server) publishMsgStreams() {
+	obs := s.cfg.Observer
+	if obs == nil {
+		return
+	}
+	for i, k := range msgKinds {
+		obs.QueueDepth(s.cfg.Engine, runtime.MsgStreamPrefix+k, int(s.msgCounts[i].Load()))
+	}
+	obs.QueueDepth(s.cfg.Engine, runtime.MsgStreamPrefix+"piece-p95us",
+		int(s.pieceLat.Summary().P95/time.Microsecond))
+}
+
+// optimisticRotation is how many choke ticks an optimistic unchoke
+// lasts (BEP 3: the optimistic slot rotates every third 10s tick).
+const optimisticRotation = 3
+
+// pickChoked applies the choking policy. With MaxUnchoked set this is
+// tit-for-tat plus optimistic unchoke: the MaxUnchoked-1 fastest
+// uploaders among interested peers keep their slots, one choked peer is
+// optimistically unchoked (rotating every optimisticRotation ticks), and
+// everyone else is choked. Without it the paper's benchmark policy —
+// unchoke everyone — was already planned by UpdateChokeList.
 func (s *Server) pickChoked(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
+	plan := in[0].(*chokePlan)
+	if s.cfg.MaxUnchoked <= 0 {
+		return in, nil
+	}
+	s.chokeTick++
+	if s.optimistic == nil || s.chokeTick%optimisticRotation == 0 {
+		// Rotate the optimistic slot onto a random choked interested peer.
+		var pool []*Peer
+		for _, c := range plan.cands {
+			if c.choked && c.interested && c.peer != s.optimistic {
+				pool = append(pool, c.peer)
+			}
+		}
+		if len(pool) > 0 {
+			s.optimistic = pool[s.chokeRng.Intn(len(pool))]
+		}
+	}
+	plan.optimistic = s.optimistic
+	plan.unchoke, plan.choke = planChokes(plan.cands, s.cfg.MaxUnchoked, plan.optimistic)
 	return in, nil
+}
+
+// planChokes is the pure tit-for-tat policy: rank interested peers by
+// their per-tick upload rate, keep the top maxUnchoked-1 plus the
+// optimistic slot unchoked, choke the rest. Returned lists contain only
+// peers whose state must flip.
+func planChokes(cands []chokeCand, maxUnchoked int, optimistic *Peer) (unchoke, choke []*Peer) {
+	regular := maxUnchoked
+	hasOptimistic := false
+	for _, c := range cands {
+		if c.peer == optimistic {
+			hasOptimistic = true
+		}
+	}
+	if hasOptimistic && regular > 0 {
+		regular--
+	}
+	ranked := make([]chokeCand, 0, len(cands))
+	for _, c := range cands {
+		if c.interested && c.peer != optimistic {
+			ranked = append(ranked, c)
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].rate > ranked[j].rate })
+	keep := make(map[*Peer]bool, regular+1)
+	for i := 0; i < len(ranked) && i < regular; i++ {
+		keep[ranked[i].peer] = true
+	}
+	if hasOptimistic {
+		keep[optimistic] = true
+	}
+	for _, c := range cands {
+		switch {
+		case keep[c.peer] && c.choked:
+			unchoke = append(unchoke, c.peer)
+		case !keep[c.peer] && !c.choked:
+			choke = append(choke, c.peer)
+		}
+	}
+	return unchoke, choke
 }
 
 // sendChokeUnchoke transmits the plan.
 func (s *Server) sendChokeUnchoke(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	plan := in[0].(*chokePlan)
 	for _, p := range plan.unchoke {
-		p.choked = false
+		p.choked.Store(false)
 		_ = p.send(&Message{ID: MsgUnchoke})
 	}
 	for _, p := range plan.choke {
-		p.choked = true
+		p.choked.Store(true)
 		_ = p.send(&Message{ID: MsgChoke})
 	}
 	return nil, nil
@@ -300,7 +476,9 @@ func (s *Server) sendChokeUnchoke(fl *runtime.Flow, in runtime.Record) (runtime.
 
 func (s *Server) sendKeepAlives(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	for p := range s.peers {
-		_ = p.send(&Message{ID: -1})
+		if p.ready.Load() {
+			_ = p.send(&Message{ID: -1})
+		}
 	}
 	return nil, nil
 }

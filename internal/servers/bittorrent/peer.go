@@ -1,10 +1,12 @@
 package bittorrent
 
 import (
+	"bufio"
 	"net"
 	"sync"
 	"sync/atomic"
 
+	"github.com/flux-lang/flux/internal/netkit"
 	"github.com/flux-lang/flux/internal/torrent"
 )
 
@@ -13,19 +15,46 @@ import (
 // keep-alives, choke updates) may target the same peer concurrently;
 // per-peer protocol state is guarded by the Flux session-scoped
 // "peerstate" constraint (§2.5.1), not by Go locking — each peer is a
-// session.
+// session. Choke/interest flags are atomics because the choke flow and
+// broadcast flows read them outside the session constraint.
+//
+// Connection ownership: the pooled netkit.Conn has exactly one retirer.
+// Once the pump goroutine starts it is the sole caller of conn.Close()
+// (pool retirement happens on its read-loop exit); before the pump
+// exists — handshake failures — the accept flow retires it. Everyone
+// else interrupts the peer by closing the raw socket (interrupt), which
+// unblocks the pump and lets it retire.
 type Peer struct {
-	conn net.Conn
+	conn *netkit.Conn  // pooled plane state; retired exactly once
+	nc   net.Conn      // raw socket: safe to close/write after retirement
+	br   *bufio.Reader // pooled reader: handshake + pump only, dead after retirement
 	id   [20]byte
 	// session is the Flux session identifier for this peer.
 	session uint64
 
 	// Protocol state guarded by the peerstate(session) constraint.
 	bitfield      torrent.Bitfield
-	interested    bool // they are interested in us
-	choked        bool // we choke them
-	theyChokeUs   bool
-	pendingBlocks int
+	pendingBlocks atomic.Int32
+
+	interested  atomic.Bool // they are interested in us
+	choked      atomic.Bool // we choke them
+	theyChokeUs atomic.Bool
+
+	// ready is set once the handshake and bitfield are exchanged;
+	// broadcast flows (keep-alives, haves, choke updates) skip peers
+	// still mid-handshake so their writes cannot interleave into the
+	// handshake byte stream.
+	ready atomic.Bool
+
+	// removed latches the peer's exit from the table so the DropPeer
+	// and Unregister paths (a flow kill followed by the pump's terminal
+	// report) cannot double-decrement piece availability.
+	removed atomic.Bool
+
+	// rateBase is the bytesIn watermark at the last choke tick; the
+	// choke flow alone reads and writes it (tit-for-tat rates are
+	// deltas between ticks).
+	rateBase uint64
 
 	writeMu sync.Mutex
 	closed  atomic.Bool
@@ -34,14 +63,16 @@ type Peer struct {
 	bytesIn  atomic.Uint64
 }
 
-// send writes one message, serialized per peer.
+// send writes one message, serialized per peer. It targets the raw
+// socket, never the pooled Conn, so late sends racing retirement fail
+// with a write error instead of touching recycled state.
 func (p *Peer) send(m *Message) error {
 	p.writeMu.Lock()
 	defer p.writeMu.Unlock()
 	if p.closed.Load() {
 		return net.ErrClosed
 	}
-	if err := WriteMessage(p.conn, m); err != nil {
+	if err := WriteMessage(p.nc, m); err != nil {
 		return err
 	}
 	if m.ID == MsgPiece {
@@ -50,11 +81,20 @@ func (p *Peer) send(m *Message) error {
 	return nil
 }
 
-// close shuts the connection down once.
-func (p *Peer) close() {
+// interrupt closes the raw socket once, unblocking the pump (which then
+// retires the pooled conn and reports the close through the inbox).
+func (p *Peer) interrupt() {
 	if p.closed.CompareAndSwap(false, true) {
-		p.conn.Close()
+		p.nc.Close()
 	}
+}
+
+// retire closes the socket and returns the pooled conn state — called
+// by the conn's owner only: the pump on read-loop exit, or the accept
+// flow on handshake failure.
+func (p *Peer) retire() {
+	p.closed.Store(true)
+	p.conn.Close()
 }
 
 // rawFrame is one length-delimited frame read by a peer's pump, before

@@ -1,0 +1,94 @@
+package bittorrent
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/loadgen"
+	"github.com/flux-lang/flux/internal/runtime"
+)
+
+// TestInjectAdmissionAllEngines drives real downloads through the
+// connection plane on every engine: peers must be admitted through
+// Server.Inject (the plane's only path into the graph) and complete.
+// Run under -race in CI.
+func TestInjectAdmissionAllEngines(t *testing.T) {
+	engines := []struct {
+		name string
+		kind runtime.EngineKind
+	}{
+		{"thread", runtime.ThreadPerFlow},
+		{"threadpool", runtime.ThreadPool},
+		{"event", runtime.EventDriven},
+		{"steal", runtime.WorkStealing},
+	}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			meta, data := testTorrent(t, 128*1024) // 2 pieces
+			s, addr, stop := startSeeder(t, Config{
+				Meta: meta, Content: data,
+				Engine: eng.kind, PoolSize: 8,
+			})
+			defer stop()
+
+			res := loadgen.RunBTLoad(context.Background(), loadgen.BTClientConfig{
+				Addr: addr, Meta: meta,
+				Clients:   2,
+				Duration:  20 * time.Second,
+				Seed:      int64(eng.kind) + 1,
+				StopAfter: 2,
+			})
+			if res.Completions < 2 {
+				t.Fatalf("completions = %d, want >= 2 (%+v)", res.Completions, res)
+			}
+			ps := s.PlaneStats()
+			if ps.Admitted < 2 {
+				t.Errorf("plane admitted %d conns, want >= 2", ps.Admitted)
+			}
+			if got := s.MsgCounts()["request"]; got == 0 {
+				t.Error("no request messages counted")
+			}
+		})
+	}
+}
+
+// TestSwarmAgainstFluxSeeder is the integration smoke the benchmark
+// sweep scales up: a looping swarm of real peers downloads from the Flux
+// seeder (tit-for-tat enabled) and from each other.
+func TestSwarmAgainstFluxSeeder(t *testing.T) {
+	meta, data := testTorrent(t, 256*1024) // 4 pieces
+	s, addr, stop := startSeeder(t, Config{
+		Meta: meta, Content: data,
+		Engine: runtime.WorkStealing, PoolSize: 8,
+		MaxUnchoked:   8,
+		ChokeInterval: 100 * time.Millisecond,
+	})
+	defer stop()
+
+	res, err := loadgen.RunSwarm(context.Background(), loadgen.SwarmConfig{
+		SeedAddr:      addr,
+		Meta:          meta,
+		Peers:         3,
+		Neighbors:     2,
+		Duration:      30 * time.Second,
+		ChokeInterval: 50 * time.Millisecond,
+		Seed:          42,
+		StopAfter:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completions < 3 {
+		t.Fatalf("swarm completions = %d, want >= 3 (%v)", res.Completions, res)
+	}
+	if res.PieceLatency.Count == 0 {
+		t.Error("no piece latencies recorded")
+	}
+	if res.Msgs["piece"] == 0 || res.Msgs["unchoke"] == 0 {
+		t.Errorf("missing wire traffic: %v", res.Msgs)
+	}
+	if got := s.PlaneStats().Admitted; got < 3 {
+		t.Errorf("plane admitted %d conns, want >= 3", got)
+	}
+}
