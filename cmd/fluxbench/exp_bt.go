@@ -50,7 +50,7 @@ func expFigure4(cfg benchConfig) error {
 		warmup = 400 * time.Millisecond
 	}
 
-	targets := btTargets()
+	targets := btTargets(cfg)
 	fmt.Printf("shared file: %d MB, %d pieces; clients re-download continuously\n\n",
 		meta.Length>>20, meta.NumPieces())
 	fmt.Printf("%-16s", "clients")
@@ -116,7 +116,7 @@ func expFigure4(cfg benchConfig) error {
 	return nil
 }
 
-func btTargets() []btTarget {
+func btTargets(cfg benchConfig) []btTarget {
 	fluxStart := func(kind flux.EngineKind) func(*torrent.MetaInfo, []byte) (string, func(), error) {
 		return func(meta *torrent.MetaInfo, data []byte) (string, func(), error) {
 			srv, err := bittorrent.New(bittorrent.Config{
@@ -124,6 +124,7 @@ func btTargets() []btTarget {
 				Engine:        kind,
 				PoolSize:      64,
 				SourceTimeout: 5 * time.Millisecond,
+				Telemetry:     cfg.tel,
 			})
 			if err != nil {
 				return "", nil, err
@@ -205,6 +206,7 @@ func expSwarm(cfg benchConfig) error {
 			HandshakeTimeout: 5 * time.Second,
 			IdleTimeout:      60 * time.Second,
 			MaxConns:         maxConns,
+			Telemetry:        cfg.tel,
 		})
 		if err != nil {
 			return err
@@ -277,6 +279,7 @@ func expProfile(cfg benchConfig) error {
 		PoolSize:     32,
 		PollInterval: 500 * time.Microsecond,
 		Profiler:     prof,
+		Telemetry:    cfg.tel,
 	})
 	if err != nil {
 		return err

@@ -42,6 +42,7 @@ func expGame(cfg benchConfig) error {
 				Heartbeat: 100 * time.Millisecond,
 				Engine:    eng.kind,
 				PoolSize:  16,
+				Telemetry: cfg.tel,
 				// 1ms keeps the event dispatcher's uninterruptible UDP
 				// polls an order of magnitude below the heartbeat, so
 				// turn timing is not quantized by source blocks.

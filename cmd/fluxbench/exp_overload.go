@@ -2,75 +2,58 @@ package main
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	flux "github.com/flux-lang/flux"
-	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/loadgen"
 	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/webserver"
+	"github.com/flux-lang/flux/internal/telemetry"
 )
 
-// ctrlTrace records the SLO controller's trajectory — the ctrl/*
-// counter streams the controller publishes on the queue-depth surface
-// each control step — so the experiment can print what the watermark
-// actually did under each offered rate.
-type ctrlTrace struct {
-	mu   sync.Mutex
-	wm   []int
-	p95  []int // microseconds; 0 while under MinSamples
-	shed []int // sheds/sec
-}
-
-func (t *ctrlTrace) QueueDepth(_ runtime.EngineKind, queue string, depth int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	switch queue {
-	case runtime.CtrlWatermark:
-		t.wm = append(t.wm, depth)
-	case runtime.CtrlWindowP95:
-		t.p95 = append(t.p95, depth)
-	case runtime.CtrlShedRate:
-		t.shed = append(t.shed, depth)
+// ctrlSummary compresses one run's SLO-controller trajectory — the
+// ctrl/* windows a telemetry plane aggregated off the observer surface —
+// into a line: how many steps ran, where the watermark travelled, the
+// last acted-on window p95, and the peak shed rate.
+func ctrlSummary(tel *flux.Telemetry) string {
+	var wm, p95, shed []telemetry.Sample
+	for _, ss := range tel.CtrlStreams() {
+		switch ss.Queue {
+		case runtime.CtrlWatermark:
+			wm = ss.Samples
+		case runtime.CtrlWindowP95:
+			p95 = ss.Samples
+		case runtime.CtrlShedRate:
+			shed = ss.Samples
+		}
 	}
-}
-
-func (t *ctrlTrace) FlowDone(*core.FlatGraph, uint64, runtime.FlowOutcome, time.Duration) {}
-func (t *ctrlTrace) NodeDone(*core.FlatGraph, *core.FlatNode, time.Duration)             {}
-
-// summary compresses one run's trajectory into a line: how many steps
-// ran, where the watermark travelled, and the last acted-on window p95.
-func (t *ctrlTrace) summary() string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if len(t.wm) == 0 {
+	if len(wm) == 0 {
 		return "no control steps"
 	}
-	lo, hi := t.wm[0], t.wm[0]
-	for _, w := range t.wm {
-		if w < lo {
-			lo = w
+	lo, hi := wm[0].V, wm[0].V
+	for _, s := range wm {
+		if s.V < lo {
+			lo = s.V
 		}
-		if w > hi {
-			hi = w
+		if s.V > hi {
+			hi = s.V
 		}
 	}
 	var lastP95 time.Duration
-	for i := len(t.p95) - 1; i >= 0; i-- {
-		if t.p95[i] > 0 {
-			lastP95 = time.Duration(t.p95[i]) * time.Microsecond
+	for i := len(p95) - 1; i >= 0; i-- {
+		if p95[i].V > 0 {
+			lastP95 = time.Duration(p95[i].V) * time.Microsecond
 			break
 		}
 	}
-	var maxShed int
-	for _, s := range t.shed {
-		if s > maxShed {
-			maxShed = s
+	var maxShed int64
+	for _, s := range shed {
+		if s.V > maxShed {
+			maxShed = s.V
 		}
 	}
 	return fmt.Sprintf("steps=%d  watermark min=%d max=%d final=%d  last-p95=%v  peak-sheds/s=%d",
-		len(t.wm), lo, hi, t.wm[len(t.wm)-1], lastP95.Round(100*time.Microsecond), maxShed)
+		len(wm), lo, hi, wm[len(wm)-1].V, lastP95.Round(100*time.Microsecond), maxShed)
 }
 
 // printRatesHeader prints the open-loop sweep's column header.
@@ -121,6 +104,9 @@ func expOverload(cfg benchConfig) error {
 		c.Engine = flux.EventDriven
 		c.PoolSize = 64
 		c.SourceTimeout = 20 * time.Millisecond
+		// The shared -obs plane rides every target; per-run planes (the
+		// adaptive trajectory below) join through the Observer slot.
+		c.Telemetry = cfg.tel
 		// Slow-loris hardening rides along on the bounded targets: a
 		// stalled request head or a dead keep-alive peer is reaped and
 		// counted instead of pinning capacity for the whole run.
@@ -139,13 +125,17 @@ func expOverload(cfg benchConfig) error {
 		return srv.Addr(), stop, nil
 	}
 
-	var traces []*ctrlTrace // one per flux-adaptive run, in rate order
+	// One fresh telemetry plane per flux-adaptive run, in rate order: it
+	// joins the observer chain, so the controller's Sink publishes each
+	// control step's ctrl/* windows into it, and the trajectory printout
+	// below is just a snapshot read — no ad-hoc stream scraping.
+	var traces []*flux.Telemetry
 	targets := []webTarget{
 		{"flux-static", func(*loadgen.FileSet) (string, func(), error) {
 			return startFlux(webserver.Config{AdmitWatermark: watermark, MaxConns: 2 * watermark})
 		}},
 		{"flux-adaptive", func(*loadgen.FileSet) (string, func(), error) {
-			tr := &ctrlTrace{}
+			tr := flux.NewTelemetry()
 			traces = append(traces, tr)
 			return startFlux(webserver.Config{TargetP95: targetP95, Observer: tr})
 		}},
@@ -189,7 +179,7 @@ func expOverload(cfg benchConfig) error {
 	fmt.Println("\nadaptive control trajectory (per offered rate):")
 	for i, tr := range traces {
 		if i < len(rates) {
-			fmt.Printf("%8d/s  %s\n", rates[i], tr.summary())
+			fmt.Printf("%8d/s  %s\n", rates[i], ctrlSummary(tr))
 		}
 	}
 

@@ -37,7 +37,7 @@ func expFigure6(cfg benchConfig) error {
 	// one-CPU parameterization run).
 	runtime.GOMAXPROCS(1)
 	prof := flux.NewProfiler()
-	prog, baseRate, err := profileImageServer(prof, compressWork, profileDuration)
+	prog, baseRate, err := profileImageServer(cfg, prof, compressWork, profileDuration)
 	if err != nil {
 		return err
 	}
@@ -68,7 +68,7 @@ func expFigure6(cfg benchConfig) error {
 			predicted := flux.Simulate(prog, params).Throughput
 
 			runtime.GOMAXPROCS(cpus)
-			measured, err := measureImageServer(compressWork, offered, measureDuration)
+			measured, err := measureImageServer(cfg, compressWork, offered, measureDuration)
 			if err != nil {
 				return err
 			}
@@ -99,13 +99,14 @@ func totalServiceMean(p flux.SimParams) float64 {
 
 // profileImageServer runs the instrumented server under moderate load
 // and returns its program and the offered rate used.
-func profileImageServer(prof *flux.Profiler, compressWork, duration time.Duration) (*flux.Program, float64, error) {
+func profileImageServer(cfg benchConfig, prof *flux.Profiler, compressWork, duration time.Duration) (*flux.Program, float64, error) {
 	srv, err := imageserver.New(imageserver.Config{
 		Engine:       flux.ThreadPool,
 		PoolSize:     8,
 		CompressWork: compressWork,
 		CacheBytes:   1, // disable caching: every request compresses
 		Profiler:     prof,
+		Telemetry:    cfg.tel,
 	})
 	if err != nil {
 		return nil, 0, err
@@ -129,12 +130,13 @@ func profileImageServer(prof *flux.Profiler, compressWork, duration time.Duratio
 
 // measureImageServer runs an uninstrumented server at the offered rate
 // and returns the measured throughput.
-func measureImageServer(compressWork time.Duration, offered float64, duration time.Duration) (float64, error) {
+func measureImageServer(cfg benchConfig, compressWork time.Duration, offered float64, duration time.Duration) (float64, error) {
 	srv, err := imageserver.New(imageserver.Config{
 		Engine:       flux.ThreadPool,
 		PoolSize:     64,
 		CompressWork: compressWork,
 		CacheBytes:   1,
+		Telemetry:    cfg.tel,
 	})
 	if err != nil {
 		return 0, err

@@ -86,7 +86,7 @@ func expFigure3(cfg benchConfig) error {
 	}
 
 	files := loadgen.NewFileSet(2)
-	targets := webTargets(files)
+	targets := webTargets(cfg, files)
 
 	fmt.Printf("SPECweb99-like static load, 5 requests per keep-alive connection, corpus %d MB\n\n",
 		files.TotalBytes()>>20)
@@ -133,7 +133,7 @@ func expWebMixed(cfg benchConfig) error {
 	}
 
 	files := loadgen.NewFileSet(2)
-	targets := webTargets(files)
+	targets := webTargets(cfg, files)
 
 	fmt.Printf("SPECweb99-like mixed load: keep-alive connections, %.0f%% dynamic "+
 		"(of which %.0f%% POSTs), corpus %d MB\n\n",
@@ -196,15 +196,20 @@ func startTarget(srv lifecycleServer) (func(), error) {
 	}, nil
 }
 
-func webTargets(files *loadgen.FileSet) []webTarget {
+func webTargets(cfg benchConfig, files *loadgen.FileSet) []webTarget {
 	fluxStart := func(kind flux.EngineKind) func(*loadgen.FileSet) (string, func(), error) {
 		return func(files *loadgen.FileSet) (string, func(), error) {
-			srv, err := webserver.New(webserver.Config{
+			c := webserver.Config{
 				Files:         files,
 				Engine:        kind,
 				PoolSize:      64,
 				SourceTimeout: 20 * time.Millisecond,
-			})
+				Telemetry:     cfg.tel,
+			}
+			if cfg.prof != nil {
+				c.Profiler = cfg.prof
+			}
+			srv, err := webserver.New(c)
 			if err != nil {
 				return "", nil, err
 			}

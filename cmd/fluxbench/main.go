@@ -17,28 +17,58 @@
 //
 // Usage:
 //
-//	fluxbench -exp fig3 [-quick]
+//	fluxbench -exp fig3 [-quick] [-obs addr]
 //
 // -quick shrinks client counts and durations for a fast smoke run; the
 // default sizes produce the shapes reported in EXPERIMENTS.md.
+//
+// -obs opens the live ops endpoint (internal/telemetry) on addr and
+// attaches one shared telemetry plane plus a path profiler to every
+// Flux server the experiments start: /metrics, /debug/pprof/*, and the
+// /debug/flux/* JSON views (fluxtop's feed) all serve mid-run.
+// -obs-hold keeps the endpoint up that long after the experiments
+// finish, so a scrape race never cuts an inspection short.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
+
+	flux "github.com/flux-lang/flux"
 )
 
 type benchConfig struct {
 	quick bool
+	// tel and prof are non-nil only under -obs: the shared telemetry
+	// plane and path profiler every Flux target in the experiments
+	// attaches, feeding the ops endpoint.
+	tel  *flux.Telemetry
+	prof *flux.Profiler
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1, fig3, web, overload, fig4, bt, game, fig5, fig6, profile, deadlock, all")
 	quick := flag.Bool("quick", false, "shrink durations and client counts for a smoke run")
+	obs := flag.String("obs", "", "serve the live ops endpoint (/metrics, /debug/pprof, /debug/flux) on this address")
+	obsHold := flag.Duration("obs-hold", 0, "keep the ops endpoint serving this long after the experiments finish")
 	flag.Parse()
 
 	cfg := benchConfig{quick: *quick}
+	var ops *flux.Ops
+	if *obs != "" {
+		cfg.tel = flux.NewTelemetry()
+		cfg.prof = flux.NewProfiler()
+		var err error
+		ops, err = flux.ServeOps(*obs, cfg.tel, flux.WithOpsProfiler(cfg.prof))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fluxbench: ops endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ops endpoint: http://%s/metrics  /debug/pprof/  /debug/flux/summary\n", ops.Addr())
+	}
+
 	experiments := map[string]func(benchConfig) error{
 		"table1":   expTable1,
 		"fig3":     expFigure3,
@@ -66,11 +96,19 @@ func main() {
 		for _, name := range order {
 			run(name)
 		}
-		return
+	} else {
+		if _, ok := experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "fluxbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		run(*exp)
 	}
-	if _, ok := experiments[*exp]; !ok {
-		fmt.Fprintf(os.Stderr, "fluxbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+
+	if ops != nil && *obsHold > 0 {
+		fmt.Printf("\nholding ops endpoint at http://%s for %v\n", ops.Addr(), *obsHold)
+		time.Sleep(*obsHold)
 	}
-	run(*exp)
+	if ops != nil {
+		_ = ops.Close()
+	}
 }

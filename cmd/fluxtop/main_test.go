@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/telemetry"
+)
+
+func TestSpark(t *testing.T) {
+	if got := spark(nil, 8); got != strings.Repeat(" ", 8) {
+		t.Errorf("empty spark = %q", got)
+	}
+	ramp := []telemetry.Sample{{V: 0}, {V: 1}, {V: 2}, {V: 3}}
+	got := spark(ramp, 8)
+	if len([]rune(got)) != 8 {
+		t.Errorf("spark width = %d runes, want 8", len([]rune(got)))
+	}
+	if !strings.HasPrefix(got, "▁") || !strings.Contains(got, "█") {
+		t.Errorf("ramp spark = %q, want low start and full peak", got)
+	}
+	// Flat series renders at the floor, not a divide-by-zero.
+	flat := spark([]telemetry.Sample{{V: 5}, {V: 5}}, 4)
+	if !strings.HasPrefix(flat, "▁▁") {
+		t.Errorf("flat spark = %q", flat)
+	}
+	// Wider-than-width windows keep only the most recent points.
+	wide := make([]telemetry.Sample, 100)
+	for i := range wide {
+		wide[i] = telemetry.Sample{V: int64(i)}
+	}
+	if got := spark(wide, 10); len([]rune(got)) != 10 {
+		t.Errorf("truncated spark = %q", got)
+	}
+}
+
+// TestRenderFrame: one synthetic snapshot produces every section with
+// the right rows; render stays pure so this needs no server.
+func TestRenderFrame(t *testing.T) {
+	now := time.Now()
+	var flows telemetry.Histogram
+	flows.Record(2 * time.Millisecond)
+	flows.Record(8 * time.Millisecond)
+	var nodeHist telemetry.Histogram
+	nodeHist.Record(time.Millisecond)
+
+	s := telemetry.Snapshot{
+		At:            now.UnixNano(),
+		UptimeSeconds: 90,
+		Graphs: []telemetry.GraphSnapshot{{
+			Graph:     "Listen",
+			Instances: 2,
+			Flows:     flows.Snapshot(),
+			Outcomes:  map[string]uint64{"completed": 100, "errored": 2, "dropped": 1},
+			Nodes: []telemetry.NodeSnapshot{
+				{Node: "Compress", Hist: nodeHist.Snapshot()},
+			},
+		}},
+		Streams: []telemetry.StreamSnapshot{{
+			Engine: "threadpool", Queue: "admission", Last: 7,
+			Samples: []telemetry.Sample{{V: 3}, {V: 7}},
+		}},
+		Sheds: []telemetry.ShedSnapshot{{
+			Server: "webserver", Reason: "overload", Count: 42,
+			Samples: []telemetry.Sample{{V: 40}, {V: 42}},
+		}},
+		Conns: []telemetry.ConnSnapshot{{
+			Name:  "webserver",
+			Stats: telemetry.ConnStats{Accepted: 500, Admitted: 460, Shed: 40, Live: 12},
+		}},
+		Traces: []telemetry.TraceSnapshot{
+			{At: now.UnixNano(), Graph: "Listen", PathID: 3, Path: "Listen -> Compress -> Write",
+				Outcome: "completed", Elapsed: int64(2 * time.Millisecond)},
+			{At: now.UnixNano(), Graph: "Listen", PathID: 9,
+				Outcome: "dropped", Elapsed: int64(time.Millisecond)},
+		},
+	}
+
+	frame := render(s, "127.0.0.1:9190")
+	for _, want := range []string{
+		"fluxtop — 127.0.0.1:9190 — up 1m30s",
+		"GRAPH", "Listen", "103", // flows summed across outcomes
+		"HOT NODE", "Listen.Compress",
+		"STREAM", "threadpool/admission",
+		"SHEDS", "webserver/overload", "42",
+		"PLANE", "500", "460", "12",
+		"SAMPLED FLOWS", "Listen -> Compress -> Write",
+		"path#9", // dropped trace falls back to the raw path register
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+	if !strings.Contains(frame, "err+drop") {
+		t.Error("frame missing err+drop column")
+	}
+}

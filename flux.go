@@ -70,6 +70,7 @@ import (
 	"github.com/flux-lang/flux/internal/profile"
 	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/sim"
+	"github.com/flux-lang/flux/internal/telemetry"
 )
 
 // Program is a compiled Flux program: the analyzed graph, lock
@@ -220,7 +221,46 @@ var (
 	// WithQueueSampleInterval sets the queue-depth sampling period
 	// (default 100ms; active only with an observer).
 	WithQueueSampleInterval = runtime.WithQueueSampleInterval
+	// WithAddedObserver composes an observer with the one already
+	// configured instead of replacing it.
+	WithAddedObserver = runtime.WithAddedObserver
 )
+
+// Live telemetry plane: always-on, allocation-free aggregation behind
+// the Observer interface, served over HTTP by ServeOps.
+type (
+	// Telemetry is the zero-alloc aggregation plane: per-graph flow
+	// latency histograms, per-node latency histograms, windowed
+	// queue-depth and ctrl/* series, shed counters, sampled flow
+	// traces. Attach with WithTelemetry; serve with ServeOps.
+	Telemetry = telemetry.Telemetry
+	// TelemetrySnapshot is a point-in-time copy of the whole plane.
+	TelemetrySnapshot = telemetry.Snapshot
+	// Ops is a running ops HTTP endpoint (/metrics, /debug/pprof/*,
+	// /debug/flux/*).
+	Ops = telemetry.Ops
+	// ServeOption configures ServeOps.
+	ServeOption = telemetry.ServeOption
+)
+
+// NewTelemetry returns a telemetry plane with default 1-in-128 flow
+// trace sampling.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// WithTelemetry attaches the telemetry plane to a server alongside any
+// other configured observer (it composes, never replaces).
+func WithTelemetry(t *Telemetry) Option { return runtime.WithAddedObserver(t) }
+
+// ServeOps starts the ops HTTP listener on addr ("" or ":0" pick a
+// port) serving /metrics, /debug/pprof/*, and the /debug/flux/* JSON
+// views of t.
+func ServeOps(addr string, t *Telemetry, opts ...ServeOption) (*Ops, error) {
+	return telemetry.Serve(addr, t, opts...)
+}
+
+// WithOpsProfiler attaches a path profiler to an ops endpoint so
+// /debug/flux/paths serves its ranked hot paths.
+func WithOpsProfiler(p *Profiler) ServeOption { return telemetry.WithProfiler(p) }
 
 // RegisterEngine makes a new engine selectable through WithEngine —
 // the extension point behind the three built-in runtimes.

@@ -11,10 +11,26 @@ import (
 	"time"
 )
 
-// LatencyRecorder accumulates latency samples from many goroutines.
+// latencyReservoir bounds a LatencyRecorder's stored samples. Up to
+// this many samples the recorder is exact; past it, reservoir sampling
+// (Vitter's algorithm R) keeps a uniform subset for the percentiles
+// while count/sum/min/max stay exact. 32768 samples hold percentile
+// error well under the bucket noise of any run this harness does, and
+// cap the recorder at 256 KB however long an open-loop run offers load
+// — the old recorder appended every sample forever and grew without
+// bound.
+const latencyReservoir = 1 << 15
+
+// LatencyRecorder accumulates latency samples from many goroutines in
+// bounded memory: exact aggregate statistics, reservoir-sampled
+// percentiles.
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	samples []time.Duration
+	mu       sync.Mutex
+	count    uint64
+	sum      time.Duration
+	min, max time.Duration
+	samples  []time.Duration // the reservoir; every sample while count <= cap
+	rng      uint64          // xorshift64 state for reservoir replacement
 }
 
 // NewLatencyRecorder returns an empty recorder.
@@ -25,30 +41,72 @@ func NewLatencyRecorder() *LatencyRecorder {
 // Record adds one sample.
 func (r *LatencyRecorder) Record(d time.Duration) {
 	r.mu.Lock()
-	r.samples = append(r.samples, d)
+	r.count++
+	r.sum += d
+	if r.count == 1 || d < r.min {
+		r.min = d
+	}
+	if d > r.max {
+		r.max = d
+	}
+	if len(r.samples) < latencyReservoir {
+		r.samples = append(r.samples, d)
+	} else {
+		// Algorithm R: replace a random slot with probability cap/count,
+		// keeping the reservoir a uniform sample of everything seen.
+		if j := r.next() % r.count; j < latencyReservoir {
+			r.samples[j] = d
+		}
+	}
 	r.mu.Unlock()
 }
 
-// Count returns the number of samples.
+// next steps the recorder's xorshift64 state (deterministic per
+// recorder, so tests are stable). Callers hold r.mu.
+func (r *LatencyRecorder) next() uint64 {
+	x := r.rng
+	if x == 0 {
+		x = 0x9E3779B97F4A7C15
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.rng = x
+	return x
+}
+
+// Count returns the number of recorded samples (not the bounded subset
+// retained for percentiles).
 func (r *LatencyRecorder) Count() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.samples)
+	return int(r.count)
 }
 
 // Reset discards all samples (warm-up trimming).
 func (r *LatencyRecorder) Reset() {
 	r.mu.Lock()
+	r.count, r.sum, r.min, r.max = 0, 0, 0, 0
 	r.samples = r.samples[:0]
 	r.mu.Unlock()
 }
 
-// Summary computes the distribution statistics.
+// Summary computes the distribution statistics. Count, Mean, Min, and
+// Max are exact for every recorded sample; the percentiles are computed
+// over the reservoir — identical to the full set until the reservoir
+// cap, a uniform approximation past it.
 func (r *LatencyRecorder) Summary() LatencySummary {
 	r.mu.Lock()
+	count, sum, min, max := r.count, r.sum, r.min, r.max
 	samples := append([]time.Duration(nil), r.samples...)
 	r.mu.Unlock()
-	return Summarize(samples)
+	s := Summarize(samples)
+	s.Count = int(count)
+	if count > 0 {
+		s.Mean = sum / time.Duration(count)
+		s.Min, s.Max = min, max
+	}
+	return s
 }
 
 // LatencySummary is a latency distribution digest.

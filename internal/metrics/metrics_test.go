@@ -95,3 +95,62 @@ func TestSummarizeSingleton(t *testing.T) {
 		t.Errorf("singleton summary = %+v", s)
 	}
 }
+
+// TestReservoirBoundsMemory is the regression test for the recorder's
+// storage: a 10M-sample run must hold exactly the reservoir cap in
+// memory while keeping count, mean, and extrema exact and quantiles
+// statistically sound (Vitter's algorithm R gives every sample equal
+// inclusion probability).
+func TestReservoirBoundsMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10M samples")
+	}
+	r := NewLatencyRecorder()
+	const n = 10_000_000
+	for i := 1; i <= n; i++ {
+		// Uniform 1..10s in milliseconds steps keeps expected quantiles
+		// trivial: pX ≈ X% of the range.
+		r.Record(time.Duration(i%10000+1) * time.Millisecond)
+	}
+	if got := r.Count(); got != n {
+		t.Fatalf("count = %d, want %d", got, n)
+	}
+	r.mu.Lock()
+	stored := len(r.samples)
+	capd := cap(r.samples)
+	r.mu.Unlock()
+	if stored != latencyReservoir {
+		t.Fatalf("stored samples = %d, want %d", stored, latencyReservoir)
+	}
+	if capd > 2*latencyReservoir {
+		t.Fatalf("reservoir capacity grew to %d", capd)
+	}
+
+	s := r.Summary()
+	if s.Count != n {
+		t.Errorf("summary count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 10*time.Second {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	// Exact mean from running sum, not the reservoir.
+	wantMean := 5000500 * time.Microsecond
+	if diff := s.Mean - wantMean; diff < -time.Millisecond || diff > time.Millisecond {
+		t.Errorf("mean = %v, want ~%v", s.Mean, wantMean)
+	}
+	// Quantiles estimated from the reservoir: within 2% of truth.
+	checks := []struct {
+		got, want time.Duration
+	}{
+		{s.P50, 5 * time.Second},
+		{s.P95, 9500 * time.Millisecond},
+		{s.P99, 9900 * time.Millisecond},
+	}
+	for _, c := range checks {
+		lo := c.want - c.want/50
+		hi := c.want + c.want/50
+		if c.got < lo || c.got > hi {
+			t.Errorf("quantile = %v, want within 2%% of %v", c.got, c.want)
+		}
+	}
+}

@@ -279,37 +279,108 @@ func (p *Profiler) EdgeFrequencies(g *core.FlatGraph) map[*core.FlatEdge]uint64 
 	return freq
 }
 
-// Report renders the hot-path table for a graph, in the spirit of the
+// GraphReport is one graph's structured profile: the ranked hot paths,
+// per-node statistics, and the dropped-flow bucket. It is the §5.2
+// report as data — the text renderers format it, and the telemetry ops
+// endpoint (/debug/flux/paths) serializes it as JSON.
+type GraphReport struct {
+	// Source names the graph (its source node).
+	Source string `json:"source"`
+	// Flows is the number of recorded complete flows.
+	Flows uint64 `json:"flows"`
+	// DistinctPaths counts the distinct Ball-Larus IDs observed.
+	DistinctPaths int `json:"distinctPaths"`
+	// Paths lists the ranked hot paths.
+	Paths []PathReport `json:"paths"`
+	// Nodes lists per-node statistics in bottleneck (total time) order.
+	Nodes []NodeStat `json:"nodes"`
+	// DroppedFlows / DroppedTotal aggregate flows terminated at an
+	// unmatched dispatch case (bucketed apart from complete paths).
+	DroppedFlows uint64        `json:"droppedFlows"`
+	DroppedTotal time.Duration `json:"droppedTotalNanos"`
+}
+
+// Report is the profiler's full structured snapshot: one GraphReport
+// per observed graph, sorted by source name.
+type Report struct {
+	Graphs []GraphReport `json:"graphs"`
+}
+
+// GraphSnapshot assembles one graph's structured report. A zero limit
+// returns every path.
+func (p *Profiler) GraphSnapshot(g *core.FlatGraph, by SortBy, limit int) GraphReport {
+	rep := GraphReport{
+		Source: g.Source.Name,
+		Flows:  p.TotalFlows(g),
+		Paths:  p.HotPaths(g, by, limit),
+		Nodes:  p.Nodes(g),
+	}
+	p.mu.Lock()
+	if gs := p.graphs[g]; gs != nil {
+		rep.DistinctPaths = len(gs.paths)
+	}
+	p.mu.Unlock()
+	rep.DroppedFlows, rep.DroppedTotal = p.DroppedFlows(g)
+	return rep
+}
+
+// Snapshot assembles the full structured report over every graph this
+// profiler has observed, sorted by source name. Both the text
+// renderers and the ops endpoint consume this one view.
+func (p *Profiler) Snapshot(by SortBy, limit int) Report {
+	p.mu.Lock()
+	graphs := make([]*core.FlatGraph, 0, len(p.graphs))
+	for g := range p.graphs {
+		graphs = append(graphs, g)
+	}
+	p.mu.Unlock()
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].Source.Name < graphs[j].Source.Name })
+	var rep Report
+	for _, g := range graphs {
+		rep.Graphs = append(rep.Graphs, p.GraphSnapshot(g, by, limit))
+	}
+	return rep
+}
+
+// Render formats the hot-path table for reading, in the spirit of the
 // §5.2 presentation.
-func (p *Profiler) Report(g *core.FlatGraph, by SortBy, limit int) string {
-	rows := p.HotPaths(g, by, limit)
-	total := p.TotalFlows(g)
+func (r GraphReport) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Path profile for source %s (%d distinct paths, %d flows):\n",
-		g.Source.Name, len(rows), total)
+		r.Source, len(r.Paths), r.Flows)
 	fmt.Fprintf(&b, "%4s  %10s  %12s  %12s  %s\n", "#", "count", "total", "mean", "path")
-	for i, r := range rows {
+	for i, row := range r.Paths {
 		fmt.Fprintf(&b, "%4d  %10d  %12s  %12s  %s\n",
-			i+1, r.Count, r.Total.Round(time.Microsecond), r.Mean().Round(time.Nanosecond), r.Label)
+			i+1, row.Count, row.Total.Round(time.Microsecond), row.Mean().Round(time.Nanosecond), row.Label)
 	}
-	if dc, dt := p.DroppedFlows(g); dc > 0 {
+	if r.DroppedFlows > 0 {
 		fmt.Fprintf(&b, "plus %d flows dropped at dispatch (no matching case), %s total\n",
-			dc, dt.Round(time.Microsecond))
+			r.DroppedFlows, r.DroppedTotal.Round(time.Microsecond))
 	}
 	return b.String()
 }
 
-// NodeReport renders the per-node bottleneck table.
-func (p *Profiler) NodeReport(g *core.FlatGraph) string {
-	rows := p.Nodes(g)
+// RenderNodes formats the per-node bottleneck table.
+func (r GraphReport) RenderNodes() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Node profile for source %s:\n", g.Source.Name)
+	fmt.Fprintf(&b, "Node profile for source %s:\n", r.Source)
 	fmt.Fprintf(&b, "%-24s  %10s  %12s  %12s\n", "node", "count", "total", "mean")
-	for _, r := range rows {
+	for _, row := range r.Nodes {
 		fmt.Fprintf(&b, "%-24s  %10d  %12s  %12s\n",
-			r.Name, r.Count, r.Total.Round(time.Microsecond), r.Mean().Round(time.Nanosecond))
+			row.Name, row.Count, row.Total.Round(time.Microsecond), row.Mean().Round(time.Nanosecond))
 	}
 	return b.String()
+}
+
+// Report renders the hot-path table for a graph — the text view of the
+// same GraphSnapshot the ops endpoint serves.
+func (p *Profiler) Report(g *core.FlatGraph, by SortBy, limit int) string {
+	return p.GraphSnapshot(g, by, limit).Render()
+}
+
+// NodeReport renders the per-node bottleneck table.
+func (p *Profiler) NodeReport(g *core.FlatGraph) string {
+	return p.GraphSnapshot(g, ByCount, 0).RenderNodes()
 }
 
 // Reset clears all recorded data (e.g. after a warm-up period, matching

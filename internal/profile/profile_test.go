@@ -224,3 +224,52 @@ func TestFlowDroppedBucketsSeparately(t *testing.T) {
 		t.Errorf("Reset left %d drops", dc)
 	}
 }
+
+// TestSnapshotStructured: the structured report carries everything the
+// text renderers show, sorted by source name, and Render round-trips
+// through the same data Report() prints.
+func TestSnapshotStructured(t *testing.T) {
+	g := graph(t)
+	p := New()
+	even := pathIDFor(t, g, "Gen -> Evens -> Sink")
+	for i := 0; i < 4; i++ {
+		p.FlowDone(g, even, 2*time.Millisecond)
+	}
+	for _, v := range g.Nodes {
+		if v.Kind == core.FlatExec {
+			p.NodeDone(g, v, time.Millisecond)
+			break
+		}
+	}
+	p.FlowDropped(g, 1, time.Millisecond)
+
+	rep := p.Snapshot(ByCount, 0)
+	if len(rep.Graphs) != 1 {
+		t.Fatalf("graphs = %d, want 1", len(rep.Graphs))
+	}
+	gr := rep.Graphs[0]
+	if gr.Source != "Gen" || gr.Flows != 4 || gr.DistinctPaths != 1 {
+		t.Errorf("report header = %+v", gr)
+	}
+	if len(gr.Paths) != 1 || gr.Paths[0].Count != 4 {
+		t.Errorf("paths = %+v", gr.Paths)
+	}
+	if len(gr.Nodes) == 0 {
+		t.Error("no node stats in snapshot")
+	}
+	if gr.DroppedFlows != 1 || gr.DroppedTotal != time.Millisecond {
+		t.Errorf("drops = %d/%v", gr.DroppedFlows, gr.DroppedTotal)
+	}
+
+	// The text report is the rendered snapshot — same rows, same drops.
+	text := p.Report(g, ByCount, 0)
+	if text != gr.Render() {
+		t.Error("Report() and GraphReport.Render() diverge")
+	}
+	if !strings.Contains(text, "Gen -> Evens -> Sink") || !strings.Contains(text, "dropped at dispatch") {
+		t.Errorf("render missing rows:\n%s", text)
+	}
+	if !strings.Contains(gr.RenderNodes(), "Gen") {
+		t.Errorf("node render missing source:\n%s", gr.RenderNodes())
+	}
+}

@@ -1,0 +1,89 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// shedCounter is an observer that also implements ShedObserver.
+type shedCounter struct {
+	recordingObserver
+	sheds []string
+}
+
+func (s *shedCounter) ConnShed(server, reason string) {
+	s.sheds = append(s.sheds, server+"/"+reason)
+}
+
+// TestWithAddedObserver: composing onto an empty config installs
+// directly; composing onto an occupied config fans out; nil is a no-op.
+func TestWithAddedObserver(t *testing.T) {
+	var c Config
+	WithAddedObserver(nil)(&c)
+	if c.Observer != nil {
+		t.Error("nil observer installed")
+	}
+
+	a := &recordingObserver{}
+	WithAddedObserver(a)(&c)
+	if c.Observer != Observer(a) {
+		t.Error("first observer not installed directly")
+	}
+
+	b := &recordingObserver{}
+	WithAddedObserver(b)(&c)
+	c.Observer.QueueDepth(ThreadPool, "admission", 1)
+	if a.samples != 1 || b.samples != 1 {
+		t.Errorf("fan-out samples = %d/%d, want 1/1", a.samples, b.samples)
+	}
+}
+
+// TestMultiObserverConnShedNested: ConnShed must reach shed-aware
+// members through arbitrarily nested compositions — the shape servers
+// build when layering telemetry over a profiler over a gate observer —
+// while shed-blind members are skipped, not crashed into.
+func TestMultiObserverConnShedNested(t *testing.T) {
+	inner := &shedCounter{}
+	outer := &shedCounter{}
+	blind := &recordingObserver{}
+
+	// telemetry ∘ (profiler ∘ gate) style nesting.
+	nested := MultiObserver(MultiObserver(blind, inner), outer)
+	ConnShed(nested, "webserver", "overload")
+	ConnShed(nested, "webserver", "conn-limit")
+
+	if len(inner.sheds) != 2 || inner.sheds[0] != "webserver/overload" {
+		t.Errorf("inner sheds = %v", inner.sheds)
+	}
+	if len(outer.sheds) != 2 || outer.sheds[1] != "webserver/conn-limit" {
+		t.Errorf("outer sheds = %v", outer.sheds)
+	}
+
+	// A composition with no shed-aware member ignores the event.
+	ConnShed(MultiObserver(blind, &recordingObserver{}), "x", "y")
+
+	// And a nil observer is a no-op, not a panic.
+	ConnShed(nil, "x", "y")
+}
+
+// TestCounterQueue pins the stream-name classification the admission
+// gate depends on: counters and controller gauges must never be summed
+// into backlog depth.
+func TestCounterQueue(t *testing.T) {
+	counters := []string{
+		QueueSteals,
+		CtrlWatermark, CtrlConnCap, CtrlWindowP95, CtrlShedRate,
+		CtrlStreamPrefix + "anything",
+		MsgStreamPrefix + "piece",
+	}
+	for _, q := range counters {
+		if !CounterQueue(q) {
+			t.Errorf("CounterQueue(%q) = false, want true", q)
+		}
+	}
+	depths := []string{"admission", "pool", "events", "steal/0", ""}
+	for _, q := range depths {
+		if CounterQueue(q) {
+			t.Errorf("CounterQueue(%q) = true, want false", q)
+		}
+	}
+}

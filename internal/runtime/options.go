@@ -58,6 +58,24 @@ func WithObserver(o Observer) Option {
 	return func(c *Config) { c.Observer = o }
 }
 
+// WithAddedObserver composes an observer with whatever observer the
+// config already carries (from WithObserver or an earlier
+// WithAddedObserver) instead of replacing it — the way an always-on
+// telemetry plane rides alongside a caller's own observer. A nil
+// observer is a no-op.
+func WithAddedObserver(o Observer) Option {
+	return func(c *Config) {
+		if o == nil {
+			return
+		}
+		if c.Observer == nil {
+			c.Observer = o
+			return
+		}
+		c.Observer = MultiObserver(c.Observer, o)
+	}
+}
+
 // WithKeepAlive keeps the server running after every source reports
 // ErrStop, so flows can still be admitted with Inject until Shutdown.
 // Without it a server retires once its sources are exhausted.

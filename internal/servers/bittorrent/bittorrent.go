@@ -43,6 +43,7 @@ import (
 	"github.com/flux-lang/flux/internal/metrics"
 	"github.com/flux-lang/flux/internal/netkit"
 	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/telemetry"
 	"github.com/flux-lang/flux/internal/torrent"
 )
 
@@ -184,6 +185,9 @@ type Config struct {
 	// terminals, queue depths, per-message-type counters (msg/*), and
 	// the connection plane's shed events.
 	Observer runtime.Observer
+	// Telemetry, when non-nil, rides the observer plane alongside
+	// Observer and receives the connection plane's admission counters.
+	Telemetry *telemetry.Telemetry
 	// MaxUnchoked, when > 0, enables real choking: each choke tick the
 	// tit-for-tat policy unchokes the MaxUnchoked-1 fastest-uploading
 	// interested peers plus one rotating optimistic slot, and chokes
@@ -344,6 +348,9 @@ func New(cfg Config) (*Server, error) {
 	s.chokeRng = mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(s.peerID[8:16]))))
 	s.trackerTick = runtime.IntervalSource(cfg.TrackerInterval)
 
+	if cfg.Telemetry != nil {
+		cfg.Observer = runtime.MultiObserver(cfg.Observer, cfg.Telemetry)
+	}
 	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
 	if cfg.TargetP95 > 0 {
 		// The controller joins the observer chain now (FlowDone is its
@@ -445,6 +452,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.ctrl != nil {
 		s.ctrl.BindPlane(s.cp.Plane())
+	}
+	if cfg.Telemetry != nil {
+		pl := s.cp.Plane()
+		cfg.Telemetry.RegisterConns("bittorrent", func() telemetry.ConnStats {
+			st := pl.Stats()
+			return telemetry.ConnStats{Accepted: st.Accepted, Admitted: st.Admitted, Shed: st.Shed, Live: st.Live}
+		})
 	}
 	return s, nil
 }

@@ -24,6 +24,7 @@ import (
 	"github.com/flux-lang/flux/internal/core"
 	"github.com/flux-lang/flux/internal/lang/parser"
 	"github.com/flux-lang/flux/internal/runtime"
+	"github.com/flux-lang/flux/internal/telemetry"
 )
 
 // FluxSource is the game server's Flux program.
@@ -79,6 +80,13 @@ type Config struct {
 	PoolSize      int
 	SourceTimeout time.Duration
 	Profiler      runtime.Profiler
+	// Observer, when non-nil, joins the runtime's observer plane: flow
+	// terminals (moves and turns) and queue depths.
+	Observer runtime.Observer
+	// Telemetry, when non-nil, rides the observer plane alongside
+	// Observer (composed, never replacing it). The game server has no
+	// TCP connection plane, so no admission counters register.
+	Telemetry *telemetry.Telemetry
 }
 
 type player struct {
@@ -187,11 +195,15 @@ func New(cfg Config) (*Server, error) {
 		BindNode("Broadcast", s.broadcast).
 		MarkBlocking("Broadcast")
 
+	if cfg.Telemetry != nil {
+		cfg.Observer = runtime.MultiObserver(cfg.Observer, cfg.Telemetry)
+	}
 	rt, err := runtime.New(prog, b,
 		runtime.WithEngine(cfg.Engine),
 		runtime.WithPoolSize(cfg.PoolSize),
 		runtime.WithSourceTimeout(cfg.SourceTimeout),
 		runtime.WithProfiler(cfg.Profiler),
+		runtime.WithObserver(cfg.Observer),
 	)
 	if err != nil {
 		conn.Close()

@@ -29,6 +29,7 @@ import (
 	"github.com/flux-lang/flux/internal/ppm"
 	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/httpkit"
+	"github.com/flux-lang/flux/internal/telemetry"
 )
 
 // FluxSource is Figure 2 of the paper.
@@ -105,6 +106,9 @@ type Config struct {
 	// Observer, when non-nil, joins the runtime's observer plane (flow
 	// terminals, queue depths, connection-plane shed events).
 	Observer runtime.Observer
+	// Telemetry, when non-nil, rides the observer plane alongside
+	// Observer and receives the connection plane's admission counters.
+	Telemetry *telemetry.Telemetry
 	// AdmitWatermark, when > 0, sheds fresh connections with a 503 once
 	// the engine's sampled queue depths sum past it. 0 admits
 	// unboundedly.
@@ -183,6 +187,9 @@ func New(cfg Config) (*Server, error) {
 		BindPredicate("TestInCache", func(v any) bool { return v.(*Tag).hit }).
 		MarkBlocking("ReadRequest", "Write")
 
+	if cfg.Telemetry != nil {
+		cfg.Observer = runtime.MultiObserver(cfg.Observer, cfg.Telemetry)
+	}
 	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
 	rt, err := runtime.New(prog, b,
 		runtime.WithEngine(cfg.Engine),
@@ -208,6 +215,13 @@ func New(cfg Config) (*Server, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Telemetry != nil {
+		pl := s.cp.Plane()
+		cfg.Telemetry.RegisterConns("imageserver", func() telemetry.ConnStats {
+			st := pl.Stats()
+			return telemetry.ConnStats{Accepted: st.Accepted, Admitted: st.Admitted, Shed: st.Shed, Live: st.Live}
+		})
 	}
 	return s, nil
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/flux-lang/flux/internal/runtime"
 	"github.com/flux-lang/flux/internal/servers/httpkit"
 	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
+	"github.com/flux-lang/flux/internal/telemetry"
 )
 
 // FluxSource is the web server's Flux program. Its shape follows the
@@ -113,6 +114,10 @@ type Config struct {
 	// Observer, when non-nil, joins the runtime's observer plane: flow
 	// terminals, queue depths, and the connection plane's shed events.
 	Observer runtime.Observer
+	// Telemetry, when non-nil, rides the observer plane alongside
+	// Observer (composed, never replacing it) and receives the
+	// connection plane's admission counters under the server's name.
+	Telemetry *telemetry.Telemetry
 	// MaxKeepAlive bounds requests per connection (default 100).
 	MaxKeepAlive int
 	// ScriptWork is the loop bound handed to dynamic pages (default
@@ -205,6 +210,9 @@ func New(cfg Config) (*Server, error) {
 		cache: lfu.New(cfg.CacheBytes),
 		pages: pages,
 	}
+	if cfg.Telemetry != nil {
+		cfg.Observer = runtime.MultiObserver(cfg.Observer, cfg.Telemetry)
+	}
 	gate, obs := netkit.NewGateObserver(cfg.AdmitWatermark, cfg.Observer)
 	if cfg.TargetP95 > 0 {
 		// The controller joins the observer chain now (FlowDone is its
@@ -278,6 +286,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.ctrl != nil {
 		s.ctrl.BindPlane(s.cp.Plane())
+	}
+	if cfg.Telemetry != nil {
+		pl := s.cp.Plane()
+		cfg.Telemetry.RegisterConns("webserver", func() telemetry.ConnStats {
+			st := pl.Stats()
+			return telemetry.ConnStats{Accepted: st.Accepted, Admitted: st.Admitted, Shed: st.Shed, Live: st.Live}
+		})
 	}
 	return s, nil
 }

@@ -1,0 +1,50 @@
+package telemetry
+
+import "sync/atomic"
+
+// counterStripes is the stripe count of a Counter — enough that flows
+// hashing to different stripes (by path ID, graph, or reason) rarely
+// contend on one cache line, small enough that summing stays trivial.
+const counterStripes = 8
+
+// counterCell pads each stripe to its own cache line so concurrent
+// adders on different stripes never false-share.
+type counterCell struct {
+	v atomic.Uint64
+	_ [7]uint64
+}
+
+// Counter is a sharded atomic counter: Add spreads writers across
+// cache-line-padded stripes selected by a caller-supplied hint (the
+// flow's path ID, a reason hash — anything roughly uniform), and Value
+// sums them. The zero value is ready; no method allocates.
+type Counter struct {
+	cells [counterStripes]counterCell
+}
+
+// Add increments the counter by n on the hint's stripe.
+func (c *Counter) Add(hint uint64, n uint64) {
+	c.cells[hint&(counterStripes-1)].v.Add(n)
+}
+
+// Value sums the stripes. Concurrent adders may land mid-sum; the
+// result is a consistent lower bound, exact once writers quiesce.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.cells {
+		total += c.cells[i].v.Load()
+	}
+	return total
+}
+
+// strhash is FNV-1a over a short string — the stripe/bucket hint for
+// string-keyed counters (shed reasons, server names), inlined to stay
+// allocation-free.
+func strhash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

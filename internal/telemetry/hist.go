@@ -1,0 +1,198 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram's bucket layout is logarithmic with linear subdivision:
+// each power-of-two octave of nanoseconds is split into 2^histSubBits
+// equal sub-buckets, so relative resolution is bounded at
+// 1/2^histSubBits (12.5%) across the whole range — from 1ns to ~584
+// years — in a fixed 4KB of atomics. This is the HdrHistogram shape cut
+// down to what a latency plane needs: a lock-free, allocation-free
+// Record and a mergeable snapshot.
+const (
+	histSubBits = 3
+	histSubMask = (1 << histSubBits) - 1
+	// histBuckets covers every (octave, sub-bucket) pair of a uint64.
+	histBuckets = 64 << histSubBits
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram. The zero
+// value is ready to use; Record is safe for any number of concurrent
+// writers and never allocates — it is the always-on aggregation behind
+// the Observer plane's FlowDone/NodeDone hot path.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+	min     atomic.Int64 // stored as -(v+1) so zero means "unset"
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketIndex maps a nanosecond value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < 1<<histSubBits {
+		// The first sub-octave values index directly (their leading bit
+		// sits inside the sub-bucket field).
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the leading bit
+	sub := (v >> (uint(exp) - histSubBits)) & histSubMask
+	return ((exp - histSubBits) << histSubBits) + int(sub) + (1 << histSubBits)
+}
+
+// bucketUpper returns the inclusive upper bound (in nanoseconds) of a
+// bucket — the value quantile estimation reports for samples landing in
+// it.
+func bucketUpper(i int) uint64 {
+	if i < 1<<histSubBits {
+		return uint64(i)
+	}
+	i -= 1 << histSubBits
+	exp := uint(i >> histSubBits)
+	base := uint64(1<<histSubBits) + uint64(i&histSubMask) + 1
+	if base > ^uint64(0)>>exp {
+		// The top octaves' bounds exceed uint64; saturate.
+		return ^uint64(0)
+	}
+	return base<<exp - 1
+}
+
+// Record adds one duration sample. Non-positive samples count into the
+// zero bucket (a flow can legitimately take under the clock's
+// resolution).
+func (h *Histogram) Record(d time.Duration) { h.RecordNanos(int64(d)) }
+
+// RecordNanos adds one sample in nanoseconds.
+func (h *Histogram) RecordNanos(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(uint64(v))].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		// Smaller values store closer to -1, so "not a new min" is <=.
+		cur := h.min.Load()
+		if (cur != 0 && -(v+1) <= cur) || h.min.CompareAndSwap(cur, -(v+1)) {
+			break
+		}
+	}
+}
+
+// HistBucket is one non-empty bucket of a snapshot: the bucket's index
+// in the fixed layout and its sample count. Bounds are recovered from
+// the index, so snapshots stay compact in JSON.
+type HistBucket struct {
+	Idx int    `json:"idx"`
+	N   uint64 `json:"n"`
+}
+
+// UpperNanos returns the bucket's inclusive upper bound in nanoseconds.
+func (b HistBucket) UpperNanos() uint64 { return bucketUpper(b.Idx) }
+
+// HistSnapshot is a point-in-time copy of a histogram: totals plus the
+// non-empty buckets in index order. It serializes to JSON for the
+// /debug/flux endpoints and merges with other snapshots of the same
+// layout (the /metrics exposition merges per-graph histograms that share
+// a source name).
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     int64        `json:"sumNanos"`
+	Min     int64        `json:"minNanos"`
+	Max     int64        `json:"maxNanos"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram. Concurrent writers may land between
+// bucket reads; the skew is at most the traffic of one pass and washes
+// out of any windowed view.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if m := h.min.Load(); m != 0 {
+		s.Min = -m - 1
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{Idx: i, N: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the average recorded duration.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.Sum / int64(s.Count))
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket where the cumulative count crosses it — accurate to the
+// bucket resolution (12.5%).
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := uint64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.N
+		if cum >= rank {
+			up := b.UpperNanos()
+			if int64(up) > s.Max && s.Max > 0 {
+				return time.Duration(s.Max) // never report past the observed max
+			}
+			return time.Duration(up)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Merge folds other into s, bucket-wise. Both snapshots must come from
+// this package's layout.
+func (s HistSnapshot) Merge(other HistSnapshot) HistSnapshot {
+	if other.Count == 0 {
+		return s
+	}
+	if s.Count == 0 {
+		return other
+	}
+	out := HistSnapshot{Count: s.Count + other.Count, Sum: s.Sum + other.Sum, Min: s.Min, Max: s.Max}
+	if other.Min < out.Min {
+		out.Min = other.Min
+	}
+	if other.Max > out.Max {
+		out.Max = other.Max
+	}
+	var dense [histBuckets]uint64
+	for _, b := range s.Buckets {
+		dense[b.Idx] += b.N
+	}
+	for _, b := range other.Buckets {
+		dense[b.Idx] += b.N
+	}
+	for i, n := range dense {
+		if n > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{Idx: i, N: n})
+		}
+	}
+	return out
+}

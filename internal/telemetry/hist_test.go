@@ -1,0 +1,138 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBucketLayout pins the bucket function's invariants: indices are
+// monotone in the value, every value lands at or below its bucket's
+// upper bound, and the bound of the previous bucket sits strictly
+// below the value — together, 12.5% relative resolution everywhere.
+func TestBucketLayout(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := []uint64{0, 1, 2, 7, 8, 9, 15, 16, 17, 255, 256, 1 << 20, 1<<63 - 1, 1 << 63}
+	for i := 0; i < 10000; i++ {
+		values = append(values, rng.Uint64()>>uint(rng.Intn(64)))
+	}
+	prev := -1
+	for _, v := range values {
+		idx := bucketIndex(v)
+		if idx < 0 || idx >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if up := bucketUpper(idx); up < v {
+			t.Fatalf("bucketUpper(bucketIndex(%d)) = %d < value", v, up)
+		}
+		if idx > 0 {
+			if lo := bucketUpper(idx - 1); lo >= v {
+				t.Fatalf("value %d not above previous bucket bound %d (idx %d)", v, lo, idx)
+			}
+		}
+		_ = prev
+	}
+	// Monotone upper bounds; the unreachable top octaves saturate at
+	// MaxUint64 and may repeat it.
+	for i := 1; i < histBuckets; i++ {
+		lo, hi := bucketUpper(i-1), bucketUpper(i)
+		if hi < lo || (hi == lo && hi != ^uint64(0)) {
+			t.Fatalf("bucketUpper not increasing at %d: %d <= %d", i, hi, lo)
+		}
+	}
+}
+
+// TestHistogramAggregates: count/sum/min/max are exact, quantiles are
+// within one bucket (12.5%) of the true value, and negatives clamp.
+func TestHistogramAggregates(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	h.Record(-5) // clamps into the zero bucket
+	s := h.Snapshot()
+	if s.Count != 1001 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if s.Min != 0 {
+		t.Errorf("min = %d, want 0 (clamped negative)", s.Min)
+	}
+	if s.Max != int64(1000*time.Microsecond) {
+		t.Errorf("max = %d", s.Max)
+	}
+	wantSum := int64(1000*1001/2) * int64(time.Microsecond)
+	if s.Sum != wantSum {
+		t.Errorf("sum = %d, want %d", s.Sum, wantSum)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q).Seconds()
+		want := q * 1000 * 1e-6
+		if got < want*0.99 || got > want*1.13 {
+			t.Errorf("q%.2f = %vs, want within +12.5%% of %vs", q, got, want)
+		}
+	}
+}
+
+// TestHistogramMinZeroSample: a first sample of exactly zero must be
+// reported as the min (zero is a legitimate value, not "unset").
+func TestHistogramMinZeroSample(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(time.Millisecond)
+	s := h.Snapshot()
+	if s.Min != 0 {
+		t.Errorf("min = %d, want 0", s.Min)
+	}
+	if s.Max != int64(time.Millisecond) {
+		t.Errorf("max = %d", s.Max)
+	}
+}
+
+// TestHistogramQuantileClampsToMax: bucket upper bounds past the
+// observed max must not leak into quantile estimates.
+func TestHistogramQuantileClampsToMax(t *testing.T) {
+	var h Histogram
+	h.Record(1000000) // 1ms, bucket upper bound > 1ms
+	if got := h.Snapshot().Quantile(1.0); got > time.Millisecond {
+		t.Errorf("q100 = %v > observed max 1ms", got)
+	}
+}
+
+// TestHistogramMerge: merged snapshots sum counts bucket-wise and
+// combine extrema.
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Record(time.Microsecond)
+	a.Record(2 * time.Microsecond)
+	b.Record(time.Millisecond)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 3 {
+		t.Errorf("merged count = %d", m.Count)
+	}
+	if m.Min != int64(time.Microsecond) || m.Max != int64(time.Millisecond) {
+		t.Errorf("merged extrema = %d/%d", m.Min, m.Max)
+	}
+	var n uint64
+	for _, bk := range m.Buckets {
+		n += bk.N
+	}
+	if n != 3 {
+		t.Errorf("merged bucket total = %d", n)
+	}
+	// Merging with empty is identity in both directions.
+	if got := m.Merge(HistSnapshot{}); got.Count != 3 {
+		t.Errorf("merge with empty = %d", got.Count)
+	}
+	if got := (HistSnapshot{}).Merge(m); got.Count != 3 {
+		t.Errorf("empty merge = %d", got.Count)
+	}
+}
+
+// TestHistogramRecordNoAlloc: the record path must never allocate — it
+// rides every FlowDone/NodeDone.
+func TestHistogramRecordNoAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Record(123456) }); n != 0 {
+		t.Errorf("Record allocates %v/op", n)
+	}
+}

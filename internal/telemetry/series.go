@@ -1,0 +1,93 @@
+package telemetry
+
+import "sync"
+
+// seriesCap bounds every windowed time series: at the engines' 5–100ms
+// sampling cadence, 1024 points hold seconds to minutes of history —
+// the live-inspection window fluxtop and the JSON endpoints render.
+const seriesCap = 1024
+
+// Sample is one (time, value) point of a windowed series.
+type Sample struct {
+	At int64 `json:"at"` // unix nanoseconds
+	V  int64 `json:"v"`
+}
+
+// Series is a fixed-capacity ring of time-stamped values: the windowed
+// form of a queue-depth stream, a ctrl/* trajectory, or a shed-rate
+// curve. Appends past capacity overwrite the oldest point, so memory is
+// bounded for any run length. A mutex (not atomics) guards it: series
+// feed from sampler ticks and control steps, never from the per-flow
+// hot path.
+type Series struct {
+	mu    sync.Mutex
+	buf   [seriesCap]Sample
+	next  int
+	n     int
+	total uint64 // appends ever, including overwritten
+}
+
+// Append records one point.
+func (s *Series) Append(at, v int64) {
+	s.mu.Lock()
+	s.buf[s.next] = Sample{At: at, V: v}
+	s.next = (s.next + 1) % seriesCap
+	if s.n < seriesCap {
+		s.n++
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// AppendCoalesced records the point unless the previous one is younger
+// than minGap nanoseconds, in which case it overwrites it — bounding
+// the append rate of evented streams (per-shed counters) without
+// losing the latest value.
+func (s *Series) AppendCoalesced(at, v, minGap int64) {
+	s.mu.Lock()
+	if s.n > 0 {
+		lastIdx := (s.next - 1 + seriesCap) % seriesCap
+		if at-s.buf[lastIdx].At < minGap {
+			s.buf[lastIdx] = Sample{At: at, V: v}
+			s.mu.Unlock()
+			return
+		}
+	}
+	s.buf[s.next] = Sample{At: at, V: v}
+	s.next = (s.next + 1) % seriesCap
+	if s.n < seriesCap {
+		s.n++
+	}
+	s.total++
+	s.mu.Unlock()
+}
+
+// Snapshot copies the window oldest-first.
+func (s *Series) Snapshot() []Sample {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Sample, s.n)
+	start := (s.next - s.n + seriesCap) % seriesCap
+	for i := 0; i < s.n; i++ {
+		out[i] = s.buf[(start+i)%seriesCap]
+	}
+	return out
+}
+
+// Last returns the most recent point, if any.
+func (s *Series) Last() (Sample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return Sample{}, false
+	}
+	return s.buf[(s.next-1+seriesCap)%seriesCap], true
+}
+
+// Total returns how many points were ever appended (the window may hold
+// fewer).
+func (s *Series) Total() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}

@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/flux-lang/flux/internal/profile"
+)
+
+// Ops is the running ops endpoint: one HTTP listener carrying the
+// telemetry plane's live views.
+//
+//	/metrics                Prometheus text exposition
+//	/debug/pprof/*          net/http/pprof (profile, heap, goroutine, ...)
+//	/debug/flux/summary     the full Snapshot (fluxtop's feed)
+//	/debug/flux/paths       the path profiler's ranked hot paths
+//	/debug/flux/nodes       per-node latency histograms
+//	/debug/flux/ctrl        SLO-controller trajectory windows
+//	/debug/flux/sheds       shed counters and trajectories
+//	/debug/flux/conns       connection-plane admission counters
+//	/debug/flux/traces      sampled flow traces
+type Ops struct {
+	t    *Telemetry
+	prof *profile.Profiler
+	ln   net.Listener
+	srv  *http.Server
+}
+
+// ServeOption configures the ops endpoint.
+type ServeOption func(*Ops)
+
+// WithProfiler attaches a path profiler; /debug/flux/paths serves its
+// structured snapshot (the same one the text reports render).
+func WithProfiler(p *profile.Profiler) ServeOption {
+	return func(o *Ops) { o.prof = p }
+}
+
+// Serve opens the ops listener on addr (":0" picks a port; see Addr)
+// and serves until Close. The handlers only read the telemetry plane's
+// lock-free aggregate, so scraping a loaded server is safe.
+func Serve(addr string, t *Telemetry, opts ...ServeOption) (*Ops, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &Ops{t: t, ln: ln}
+	for _, opt := range opts {
+		opt(o)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", o.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/flux/summary", o.handleJSON(func() any { return t.Snapshot() }))
+	mux.HandleFunc("/debug/flux/paths", o.handlePaths)
+	mux.HandleFunc("/debug/flux/nodes", o.handleJSON(func() any {
+		s := t.snapshot(false, false)
+		return s.Graphs
+	}))
+	mux.HandleFunc("/debug/flux/ctrl", o.handleJSON(func() any { return t.CtrlStreams() }))
+	mux.HandleFunc("/debug/flux/sheds", o.handleJSON(func() any {
+		s := t.snapshot(true, false)
+		return s.Sheds
+	}))
+	mux.HandleFunc("/debug/flux/conns", o.handleJSON(func() any {
+		s := t.snapshot(false, false)
+		return s.Conns
+	}))
+	mux.HandleFunc("/debug/flux/traces", o.handleJSON(func() any { return t.Traces() }))
+
+	o.srv = &http.Server{Handler: mux}
+	go func() { _ = o.srv.Serve(ln) }()
+	return o, nil
+}
+
+// Addr returns the bound listen address.
+func (o *Ops) Addr() string { return o.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (o *Ops) Close() error { return o.srv.Close() }
+
+func (o *Ops) handleJSON(fn func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(fn())
+	}
+}
+
+// handlePaths serves the path profiler's structured snapshot — the
+// §5.2 hot-path report as data instead of text. Without a profiler it
+// serves an empty report (telemetry alone does not aggregate by path;
+// the profiler owns that).
+func (o *Ops) handlePaths(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	var rep profile.Report
+	if o.prof != nil {
+		rep = o.prof.Snapshot(profile.ByCount, 0)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(rep)
+}
+
+// --- Prometheus text exposition ---------------------------------------------
+
+// handleMetrics renders the aggregate in Prometheus text exposition
+// format (version 0.0.4): per-graph flow histograms and outcome
+// counters, per-node latency summaries, queue-depth gauges, ctrl/*
+// trajectory gauges, shed counters, and connection-plane counters.
+func (o *Ops) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s := o.t.snapshot(false, false)
+	var b strings.Builder
+
+	fmt.Fprintf(&b, "# HELP flux_uptime_seconds Time since the telemetry plane was created.\n")
+	fmt.Fprintf(&b, "# TYPE flux_uptime_seconds gauge\n")
+	fmt.Fprintf(&b, "flux_uptime_seconds %g\n", s.UptimeSeconds)
+
+	// Flow outcome counters.
+	fmt.Fprintf(&b, "# HELP flux_flows_total Flow terminals by graph and outcome.\n")
+	fmt.Fprintf(&b, "# TYPE flux_flows_total counter\n")
+	for _, g := range s.Graphs {
+		for _, out := range []string{"completed", "errored", "dropped"} {
+			fmt.Fprintf(&b, "flux_flows_total{graph=%q,outcome=%q} %d\n", g.Graph, out, g.Outcomes[out])
+		}
+	}
+
+	// Per-graph flow latency histograms.
+	fmt.Fprintf(&b, "# HELP flux_flow_latency_seconds Flow latency by graph (all outcomes).\n")
+	fmt.Fprintf(&b, "# TYPE flux_flow_latency_seconds histogram\n")
+	for _, g := range s.Graphs {
+		writeHistogram(&b, "flux_flow_latency_seconds", fmt.Sprintf("graph=%q", g.Graph), g.Flows)
+	}
+
+	// Per-node latency summaries (quantiles, not full histograms — a
+	// graph has dozens of vertices and the scrape should stay readable).
+	fmt.Fprintf(&b, "# HELP flux_node_latency_seconds Node execution latency by graph and node.\n")
+	fmt.Fprintf(&b, "# TYPE flux_node_latency_seconds summary\n")
+	for _, g := range s.Graphs {
+		for _, n := range g.Nodes {
+			base := fmt.Sprintf("graph=%q,node=%q", g.Graph, n.Node)
+			fmt.Fprintf(&b, "flux_node_latency_seconds{%s,quantile=\"0.5\"} %g\n", base, n.Hist.Quantile(0.50).Seconds())
+			fmt.Fprintf(&b, "flux_node_latency_seconds{%s,quantile=\"0.95\"} %g\n", base, n.Hist.Quantile(0.95).Seconds())
+			fmt.Fprintf(&b, "flux_node_latency_seconds_sum{%s} %g\n", base, time.Duration(n.Hist.Sum).Seconds())
+			fmt.Fprintf(&b, "flux_node_latency_seconds_count{%s} %d\n", base, n.Hist.Count)
+		}
+	}
+
+	// Queue-depth gauges (backlogs) and stream gauges (counters riding
+	// the same surface: steals, msg/*), plus ctrl/* trajectory gauges.
+	var depths, streams, ctrls []StreamSnapshot
+	for _, ss := range s.Streams {
+		switch {
+		case strings.HasPrefix(ss.Queue, "ctrl/"):
+			ctrls = append(ctrls, ss)
+		case ss.Counter:
+			streams = append(streams, ss)
+		default:
+			depths = append(depths, ss)
+		}
+	}
+	fmt.Fprintf(&b, "# HELP flux_queue_depth Latest sampled depth of an engine queue.\n")
+	fmt.Fprintf(&b, "# TYPE flux_queue_depth gauge\n")
+	for _, ss := range depths {
+		fmt.Fprintf(&b, "flux_queue_depth{engine=%q,queue=%q} %d\n", ss.Engine, ss.Queue, ss.Last)
+	}
+	fmt.Fprintf(&b, "# HELP flux_stream_value Latest value of a counter stream riding the queue-depth surface.\n")
+	fmt.Fprintf(&b, "# TYPE flux_stream_value gauge\n")
+	for _, ss := range streams {
+		fmt.Fprintf(&b, "flux_stream_value{engine=%q,stream=%q} %d\n", ss.Engine, ss.Queue, ss.Last)
+	}
+	fmt.Fprintf(&b, "# HELP flux_ctrl Latest SLO-controller trajectory value by signal.\n")
+	fmt.Fprintf(&b, "# TYPE flux_ctrl gauge\n")
+	for _, ss := range ctrls {
+		fmt.Fprintf(&b, "flux_ctrl{engine=%q,signal=%q} %d\n", ss.Engine, strings.TrimPrefix(ss.Queue, "ctrl/"), ss.Last)
+	}
+
+	// Shed counters.
+	fmt.Fprintf(&b, "# HELP flux_conn_sheds_total Connections shed by server and reason.\n")
+	fmt.Fprintf(&b, "# TYPE flux_conn_sheds_total counter\n")
+	for _, sh := range s.Sheds {
+		fmt.Fprintf(&b, "flux_conn_sheds_total{server=%q,reason=%q} %d\n", sh.Server, sh.Reason, sh.Count)
+	}
+
+	// Connection-plane counters.
+	fmt.Fprintf(&b, "# HELP flux_plane_connections_total Connection-plane admission counters by plane and state.\n")
+	fmt.Fprintf(&b, "# TYPE flux_plane_connections_total counter\n")
+	for _, c := range s.Conns {
+		fmt.Fprintf(&b, "flux_plane_connections_total{plane=%q,state=\"accepted\"} %d\n", c.Name, c.Stats.Accepted)
+		fmt.Fprintf(&b, "flux_plane_connections_total{plane=%q,state=\"admitted\"} %d\n", c.Name, c.Stats.Admitted)
+		fmt.Fprintf(&b, "flux_plane_connections_total{plane=%q,state=\"shed\"} %d\n", c.Name, c.Stats.Shed)
+	}
+	fmt.Fprintf(&b, "# HELP flux_plane_live_connections Live connections tracked per plane.\n")
+	fmt.Fprintf(&b, "# TYPE flux_plane_live_connections gauge\n")
+	for _, c := range s.Conns {
+		fmt.Fprintf(&b, "flux_plane_live_connections{plane=%q} %d\n", c.Name, c.Stats.Live)
+	}
+
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeHistogram renders one HistSnapshot as a Prometheus histogram:
+// cumulative buckets over the non-empty bounds (ascending le values are
+// all the format requires), then +Inf, _sum, and _count.
+func writeHistogram(b *strings.Builder, name, labels string, h HistSnapshot) {
+	sort.Slice(h.Buckets, func(i, j int) bool { return h.Buckets[i].Idx < h.Buckets[j].Idx })
+	var cum uint64
+	for _, bk := range h.Buckets {
+		cum += bk.N
+		le := time.Duration(bk.UpperNanos()).Seconds()
+		fmt.Fprintf(b, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, le, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count)
+	fmt.Fprintf(b, "%s_sum{%s} %g\n", name, labels, time.Duration(h.Sum).Seconds())
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, labels, h.Count)
+}

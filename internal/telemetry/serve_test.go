@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/flux-lang/flux/internal/profile"
+	"github.com/flux-lang/flux/internal/runtime"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndpoints stands up the ops listener on an ephemeral port
+// and exercises every route: the Prometheus exposition, the JSON debug
+// views, and the pprof index.
+func TestServeEndpoints(t *testing.T) {
+	tel := NewSampled(1)
+	g := flowGraph(t, compileProgram(t))
+	prof := profile.New()
+
+	tel.FlowDone(g, 0, runtime.FlowCompleted, 3*time.Millisecond)
+	tel.FlowDone(g, 0, runtime.FlowErrored, time.Millisecond)
+	tel.NodeDone(g, g.Nodes[0], 40*time.Microsecond)
+	tel.QueueDepth(runtime.ThreadPool, "admission", 5)
+	tel.QueueDepth(runtime.ThreadPool, runtime.QueueSteals, 12)
+	tel.QueueDepth(runtime.EventDriven, runtime.CtrlWatermark, 64)
+	tel.ConnShed("webserver", "overload")
+	tel.RegisterConns("webserver", func() ConnStats {
+		return ConnStats{Accepted: 10, Admitted: 8, Shed: 2, Live: 1}
+	})
+	prof.FlowDone(g, 0, 3*time.Millisecond)
+
+	ops, err := Serve("127.0.0.1:0", tel, WithProfiler(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+	base := "http://" + ops.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"flux_uptime_seconds",
+		`flux_flows_total{graph="` + g.Source.Name + `",outcome="completed"} 1`,
+		`outcome="errored"} 1`,
+		"flux_flow_latency_seconds_bucket",
+		`le="+Inf"`,
+		"flux_flow_latency_seconds_count",
+		"flux_node_latency_seconds",
+		`quantile="0.95"`,
+		`flux_queue_depth{engine="threadpool",queue="admission"} 5`,
+		`flux_stream_value{engine="threadpool",stream="steals"} 12`,
+		`flux_ctrl{engine="event",signal="watermark"} 64`,
+		`flux_conn_sheds_total{server="webserver",reason="overload"} 1`,
+		`flux_plane_connections_total{plane="webserver",state="accepted"} 10`,
+		`flux_plane_live_connections{plane="webserver"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// Counter streams (steals, ctrl/*) must not leak into queue depth.
+	if strings.Contains(body, `flux_queue_depth{engine="threadpool",queue="steals"}`) {
+		t.Error("/metrics exposes steals as a queue depth")
+	}
+
+	// Summary JSON round-trips through the public snapshot type.
+	code, body = get(t, base+"/debug/flux/summary")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flux/summary status %d", code)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("summary decode: %v", err)
+	}
+	if len(snap.Graphs) != 1 || snap.Graphs[0].Flows.Count != 2 {
+		t.Errorf("summary graphs = %+v", snap.Graphs)
+	}
+	if len(snap.Traces) != 2 {
+		t.Errorf("summary traces = %d", len(snap.Traces))
+	}
+
+	// Paths comes from the profiler's structured snapshot.
+	code, body = get(t, base+"/debug/flux/paths")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flux/paths status %d", code)
+	}
+	var rep profile.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("paths decode: %v", err)
+	}
+	if len(rep.Graphs) != 1 || rep.Graphs[0].Flows != 1 {
+		t.Errorf("paths report = %+v", rep)
+	}
+
+	for _, route := range []string{
+		"/debug/flux/nodes", "/debug/flux/ctrl", "/debug/flux/sheds",
+		"/debug/flux/conns", "/debug/flux/traces", "/debug/pprof/",
+	} {
+		if code, _ := get(t, base+route); code != http.StatusOK {
+			t.Errorf("%s status %d", route, code)
+		}
+	}
+
+	// ctrl view carries only ctrl/* streams.
+	_, body = get(t, base+"/debug/flux/ctrl")
+	var ctrl []StreamSnapshot
+	if err := json.Unmarshal([]byte(body), &ctrl); err != nil {
+		t.Fatalf("ctrl decode: %v", err)
+	}
+	if len(ctrl) != 1 || ctrl[0].Queue != runtime.CtrlWatermark {
+		t.Errorf("ctrl = %+v", ctrl)
+	}
+}
+
+// TestServeWithoutProfiler: /debug/flux/paths degrades to an empty
+// report instead of failing when no profiler is attached.
+func TestServeWithoutProfiler(t *testing.T) {
+	ops, err := Serve("127.0.0.1:0", New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ops.Close()
+	code, body := get(t, "http://"+ops.Addr()+"/debug/flux/paths")
+	if code != http.StatusOK {
+		t.Fatalf("paths status %d", code)
+	}
+	var rep profile.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(rep.Graphs) != 0 {
+		t.Errorf("expected empty report, got %+v", rep)
+	}
+}
