@@ -14,6 +14,7 @@ package lfu
 import (
 	"container/heap"
 	"sync"
+	"sync/atomic"
 )
 
 // Entry is one cached item.
@@ -35,7 +36,9 @@ type Cache struct {
 	evict    evictHeap
 	seq      uint64
 
-	hits, misses, evictions uint64
+	// Counters are atomic so Stats can be sampled from a monitoring
+	// goroutine while flows mutate the cache under the Flux constraint.
+	hits, misses, evictions atomic.Uint64
 }
 
 // New returns a cache bounded to capacity bytes of values.
@@ -48,10 +51,10 @@ func New(capacity int64) *Cache {
 func (c *Cache) Get(key string) (value []byte, ok bool) {
 	e, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
 		return nil, false
 	}
-	c.hits++
+	c.hits.Add(1)
 	e.freq++
 	e.refs++
 	if e.index >= 0 {
@@ -122,7 +125,7 @@ func (c *Cache) evictOne() bool {
 		}
 		delete(c.items, e.key)
 		c.used -= int64(len(e.value))
-		c.evictions++
+		c.evictions.Add(1)
 		return true
 	}
 	return false
@@ -134,9 +137,10 @@ func (c *Cache) Len() int { return len(c.items) }
 // Used returns the total bytes of cached values.
 func (c *Cache) Used() int64 { return c.used }
 
-// Stats returns hit/miss/eviction counters.
+// Stats returns hit/miss/eviction counters. Unlike the structural
+// operations it is safe to call concurrently with them.
 func (c *Cache) Stats() (hits, misses, evictions uint64) {
-	return c.hits, c.misses, c.evictions
+	return c.hits.Load(), c.misses.Load(), c.evictions.Load()
 }
 
 // evictHeap orders entries by (freq, seq) ascending: least frequently

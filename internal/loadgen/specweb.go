@@ -8,6 +8,9 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 )
 
@@ -22,6 +25,10 @@ type FileSet struct {
 
 	mu    sync.Mutex
 	cache map[string][]byte
+	// diskDir, when non-empty, is the materialized on-disk mirror of the
+	// corpus (see Materialize): the sendfile(2) serving path reads large
+	// bodies from these files instead of user-space memory.
+	diskDir string
 }
 
 // SPECweb99's four file classes: probability of selection and base size.
@@ -75,6 +82,59 @@ func (fs *FileSet) Lookup(path string) ([]byte, bool) {
 	data := synthesize(path, fs.Size(class, file))
 	fs.cache[path] = data
 	return data, true
+}
+
+// Materialize writes the whole corpus to dir — one flat file per URL
+// path, deterministic contents identical to Lookup's — so servers can
+// stream large static bodies with sendfile(2) instead of copying them
+// through user space. Idempotent per FileSet; safe to call before
+// handing the set to servers and load generators (their in-memory
+// Lookup view is unchanged).
+func (fs *FileSet) Materialize(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for d := 0; d < fs.Dirs; d++ {
+		for c := 0; c < 4; c++ {
+			for f := 1; f <= 9; f++ {
+				urlPath := fs.Path(d, c, f)
+				body, _ := fs.Lookup(urlPath)
+				if err := os.WriteFile(filepath.Join(dir, diskName(urlPath)), body, 0o644); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	fs.mu.Lock()
+	fs.diskDir = dir
+	fs.mu.Unlock()
+	return nil
+}
+
+// DiskPath maps a corpus URL path to its materialized on-disk file and
+// size, or ok=false when the corpus is not materialized or the path is
+// outside it. Callers open the file per request: sendfile advances the
+// descriptor's offset, so a shared handle cannot serve concurrently.
+func (fs *FileSet) DiskPath(path string) (name string, size int64, ok bool) {
+	fs.mu.Lock()
+	dir := fs.diskDir
+	fs.mu.Unlock()
+	if dir == "" {
+		return "", 0, false
+	}
+	var d, c, f int
+	if _, err := fmt.Sscanf(path, "/dir%d/class%d_%d.html", &d, &c, &f); err != nil {
+		return "", 0, false
+	}
+	if d < 0 || d >= fs.Dirs || c < 0 || c > 3 || f < 1 || f > 9 {
+		return "", 0, false
+	}
+	return filepath.Join(dir, diskName(path)), int64(fs.Size(c, f)), true
+}
+
+// diskName flattens a corpus URL path into a single file name.
+func diskName(urlPath string) string {
+	return strings.ReplaceAll(strings.TrimPrefix(urlPath, "/"), "/", "_")
 }
 
 // TotalBytes returns the corpus size.

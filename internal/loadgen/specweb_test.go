@@ -3,6 +3,7 @@ package loadgen
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -272,5 +273,45 @@ func TestQuickSampledPathsAlwaysResolve(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestMaterializeDiskPath: the on-disk mirror must hold byte-identical
+// bodies for every corpus path, DiskPath must agree with Lookup on
+// sizes and membership, and an unmaterialized set must report no disk
+// paths at all.
+func TestMaterializeDiskPath(t *testing.T) {
+	fs := NewFileSet(2)
+	if _, _, ok := fs.DiskPath(fs.Path(0, 0, 1)); ok {
+		t.Fatal("DiskPath ok before Materialize")
+	}
+	dir := t.TempDir()
+	if err := fs.Materialize(dir); err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	for d := 0; d < fs.Dirs; d++ {
+		for c := 0; c < 4; c++ {
+			for f := 1; f <= 9; f++ {
+				p := fs.Path(d, c, f)
+				name, size, ok := fs.DiskPath(p)
+				if !ok {
+					t.Fatalf("DiskPath(%s) not ok after Materialize", p)
+				}
+				want, _ := fs.Lookup(p)
+				if size != int64(len(want)) {
+					t.Fatalf("DiskPath(%s) size = %d, want %d", p, size, len(want))
+				}
+				got, err := os.ReadFile(name)
+				if err != nil {
+					t.Fatalf("read %s: %v", name, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("materialized %s differs from in-memory body", p)
+				}
+			}
+		}
+	}
+	if _, _, ok := fs.DiskPath("/outside/corpus.html"); ok {
+		t.Fatal("DiskPath ok for a path outside the corpus")
 	}
 }

@@ -70,6 +70,9 @@ func (fp *FluxPlane) Addr() string { return fp.plane.Addr() }
 // Gate returns the admission gate (nil when unbounded).
 func (fp *FluxPlane) Gate() *Gate { return fp.gate }
 
+// Shards reports how many accept shards the plane opened.
+func (fp *FluxPlane) Shards() int { return fp.plane.Shards() }
+
 // Plane returns the underlying connection plane — the controller
 // adapts its conn cap, and owners shed timed-out connections through
 // it.

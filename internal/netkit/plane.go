@@ -18,6 +18,10 @@ var ErrNotStarted = errors.New("netkit: plane not started")
 // ErrPlaneClosed is returned by AdoptAndAdmit once shutdown has begun.
 var ErrPlaneClosed = errors.New("netkit: plane closed")
 
+// errReuseportUnsupported marks a platform (or forced-fallback test)
+// where SO_REUSEPORT accept sharding is unavailable.
+var errReuseportUnsupported = errors.New("netkit: SO_REUSEPORT unavailable")
+
 // Config tunes a connection plane.
 type Config struct {
 	// Addr is the TCP listen address (default "127.0.0.1:0").
@@ -45,6 +49,23 @@ type Config struct {
 	// Connection: close). Nil sheds close silently.
 	ShedResponse []byte
 
+	// WriteTimeout, when > 0, bounds every write through an admitted
+	// Conn (Write, WriteVec, SendFile): a dead or zero-window client
+	// stalls the response for at most this long before the write fails
+	// and the owner's error path retires the connection. 0 preserves
+	// the historical block-forever behavior.
+	WriteTimeout time.Duration
+
+	// ListenShards, when > 1, opens that many SO_REUSEPORT listeners on
+	// the same address, each with its own accept loop — the kernel then
+	// load-balances accepts across the shards, so connections stay
+	// core-local from the accept queue onward (the per-core design the
+	// steal engine has, extended to the socket layer). On platforms
+	// without SO_REUSEPORT (or when the option is refused) the plane
+	// falls back to a single listener and serves identically; Shards()
+	// reports what was actually opened. 0 or 1 opens one listener.
+	ListenShards int
+
 	// Observer, when non-nil, receives a ConnShed event for every shed
 	// (it also composes into the runtime observer plane; see
 	// runtime.ShedObserver).
@@ -71,7 +92,11 @@ type StatsSnapshot struct {
 type Plane struct {
 	cfg  Config
 	name string
-	ln   net.Listener
+	// lns holds one listener per accept shard: a single listener in the
+	// classic configuration, Config.ListenShards SO_REUSEPORT sockets on
+	// the same address when sharding is enabled and the platform
+	// supports it.
+	lns []net.Listener
 
 	accepted atomic.Uint64
 	admitted atomic.Uint64
@@ -90,23 +115,37 @@ type Plane struct {
 	acceptDone chan struct{}
 }
 
-// Listen opens the plane's listener; Start begins accepting.
+// Listen opens the plane's listener shards; Start begins accepting.
+// With ListenShards > 1 it attempts SO_REUSEPORT sharding and falls
+// back — silently, serving identically — to one listener when the
+// platform or socket refuses the option.
 func Listen(cfg Config) (*Plane, error) {
 	if cfg.Addr == "" {
 		cfg.Addr = "127.0.0.1:0"
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, err
+	var lns []net.Listener
+	if cfg.ListenShards > 1 {
+		lns, _ = listenReuseport(cfg.Addr, cfg.ListenShards)
+	}
+	if len(lns) == 0 {
+		ln, err := net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, err
+		}
+		lns = []net.Listener{ln}
 	}
 	name := cfg.Name
 	if name == "" {
-		name = ln.Addr().String()
+		name = lns[0].Addr().String()
 	}
-	p := &Plane{cfg: cfg, name: name, ln: ln, conns: make(map[*Conn]net.Conn)}
+	p := &Plane{cfg: cfg, name: name, lns: lns, conns: make(map[*Conn]net.Conn)}
 	p.maxConns.Store(int64(cfg.MaxConns))
 	return p, nil
 }
+
+// Shards reports how many accept shards the plane actually opened (1
+// when REUSEPORT sharding was not requested or not available).
+func (p *Plane) Shards() int { return len(p.lns) }
 
 // MaxConns returns the current live-connection bound (0 = unbounded).
 func (p *Plane) MaxConns() int { return int(p.maxConns.Load()) }
@@ -116,8 +155,8 @@ func (p *Plane) MaxConns() int { return int(p.maxConns.Load()) }
 // sheds fresh accepts until attrition brings the live count under it.
 func (p *Plane) SetMaxConns(n int) { p.maxConns.Store(int64(n)) }
 
-// Addr returns the bound listen address.
-func (p *Plane) Addr() string { return p.ln.Addr().String() }
+// Addr returns the bound listen address (all shards share it).
+func (p *Plane) Addr() string { return p.lns[0].Addr().String() }
 
 // Stats returns the plane's counters.
 func (p *Plane) Stats() StatsSnapshot {
@@ -141,9 +180,17 @@ func (p *Plane) Overloaded() bool {
 // connection is interrupted, exactly as Shutdown does.
 func (p *Plane) Start(ctx context.Context) error {
 	p.acceptDone = make(chan struct{})
+	var loops sync.WaitGroup
+	for _, ln := range p.lns {
+		loops.Add(1)
+		go func(ln net.Listener) {
+			defer loops.Done()
+			p.acceptLoop(ln)
+		}(ln)
+	}
 	go func() {
-		defer close(p.acceptDone)
-		p.acceptLoop()
+		loops.Wait()
+		close(p.acceptDone)
 	}()
 	go func() {
 		select {
@@ -155,9 +202,9 @@ func (p *Plane) Start(ctx context.Context) error {
 	return nil
 }
 
-func (p *Plane) acceptLoop() {
+func (p *Plane) acceptLoop(ln net.Listener) {
 	for {
-		nc, err := p.ln.Accept()
+		nc, err := ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
@@ -306,7 +353,9 @@ func (p *Plane) untrack(c *Conn) {
 // the usual Close.
 func (p *Plane) beginShutdown() {
 	p.closeOnce.Do(func() {
-		p.ln.Close()
+		for _, ln := range p.lns {
+			ln.Close()
+		}
 		p.mu.Lock()
 		p.closing = true
 		ncs := make([]net.Conn, 0, len(p.conns))

@@ -1,0 +1,58 @@
+//go:build linux
+
+package netkit
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT on Linux (the frozen syscall package
+// predates the option, so the constant lives here).
+const soReusePort = 0xf
+
+// reuseportAvailable gates the sharded-listener attempt; tests flip it
+// off to exercise the single-listener fallback on platforms that do
+// support SO_REUSEPORT.
+var reuseportAvailable = true
+
+// listenReuseport opens n TCP listeners on addr, each with SO_REUSEPORT
+// set before bind so the kernel splits the accept queue across them.
+// The first listener resolves an ephemeral port; the rest bind the
+// resolved address. Any failure closes what was opened and reports the
+// error — the caller falls back to a single ordinary listener.
+func listenReuseport(addr string, n int) ([]net.Listener, error) {
+	if !reuseportAvailable {
+		return nil, errReuseportUnsupported
+	}
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	lns := make([]net.Listener, 0, n)
+	first, err := lc.Listen(context.Background(), "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	lns = append(lns, first)
+	bound := first.Addr().String()
+	for len(lns) < n {
+		ln, err := lc.Listen(context.Background(), "tcp", bound)
+		if err != nil {
+			for _, l := range lns {
+				l.Close()
+			}
+			return nil, err
+		}
+		lns = append(lns, ln)
+	}
+	return lns, nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package netkit
+
+import "net"
+
+// reuseportAvailable is false off Linux: accept sharding silently falls
+// back to a single listener, and the plane serves identically.
+var reuseportAvailable = false
+
+// listenReuseport reports SO_REUSEPORT sharding unsupported; the plane
+// falls back to one listener.
+func listenReuseport(addr string, n int) ([]net.Listener, error) {
+	return nil, errReuseportUnsupported
+}

@@ -18,10 +18,13 @@ package knotweb
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
@@ -49,6 +52,12 @@ type Config struct {
 	// Observer, when non-nil, receives the plane's shed events
 	// (runtime.ShedObserver).
 	Observer runtime.Observer
+	// WriteTimeout, when > 0, bounds every response write; a dead or
+	// zero-window client fails the write and the shed is counted.
+	WriteTimeout time.Duration
+	// ListenShards, when > 1, opens that many SO_REUSEPORT accept
+	// shards; platforms without SO_REUSEPORT fall back to one listener.
+	ListenShards int
 }
 
 // Server is the threaded baseline web server.
@@ -87,6 +96,8 @@ func New(cfg Config) (*Server, error) {
 		Admit:        s.admit,
 		MaxConns:     cfg.MaxConns,
 		ShedResponse: httpkit.Unavailable(),
+		WriteTimeout: cfg.WriteTimeout,
+		ListenShards: cfg.ListenShards,
 		Observer:     cfg.Observer,
 		Name:         "knotweb",
 	})
@@ -156,7 +167,11 @@ func (s *Server) serveConn(c *netkit.Conn) {
 		}
 		closing := !keepAlive || c.Served+1 >= s.cfg.MaxKeepAlive
 
-		var resp []byte
+		// Static bodies take the zero-copy path (cached bare body, shared
+		// header blob, one writev); rendered pages keep the contiguous
+		// write — the same split as the Flux web server, so the baseline
+		// comparison measures architecture, not write syscalls.
+		var resp, staticBody []byte
 		switch {
 		case method == "POST":
 			resp = httpkit.RenderPostConfirm(path, len(body))
@@ -168,24 +183,33 @@ func (s *Server) serveConn(c *netkit.Conn) {
 			resp = render(200, "OK", []byte(out))
 		default:
 			var ok bool
-			if resp, ok = s.cache.Get(path); ok {
+			if staticBody, ok = s.cache.Get(path); ok {
 				s.cache.Release(path)
 			} else {
 				fileBody, found := s.cfg.Files.Lookup(path)
 				if !found {
 					notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-					c.Write(withClose(render(404, "Not Found", notFound)))
+					_ = c.WriteVec(httpkit.StaticHeader(404, "Not Found", "text/html", len(notFound), true), notFound)
 					return
 				}
-				resp = render(200, "OK", fileBody)
-				s.cache.Put(path, resp)
+				staticBody = fileBody
+				s.cache.Put(path, staticBody)
 				s.cache.Release(path)
 			}
 		}
-		if closing {
-			resp = withClose(resp)
+		if staticBody != nil {
+			err = c.WriteVec(httpkit.StaticHeader(200, "OK", "text/html", len(staticBody), closing), staticBody)
+		} else {
+			if closing {
+				resp = withClose(resp)
+			}
+			_, err = c.Write(resp)
 		}
-		if _, err := c.Write(resp); err != nil {
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.plane.CountShed("write-timeout")
+			}
 			return
 		}
 		s.served.Add(1)

@@ -15,10 +15,13 @@ package sedaweb
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"net"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/flux-lang/flux/internal/lfu"
 	"github.com/flux-lang/flux/internal/loadgen"
@@ -46,6 +49,12 @@ type Config struct {
 	// Observer, when non-nil, receives the plane's shed events
 	// (runtime.ShedObserver).
 	Observer runtime.Observer
+	// WriteTimeout, when > 0, bounds every response write; a dead or
+	// zero-window client fails the write and the shed is counted.
+	WriteTimeout time.Duration
+	// ListenShards, when > 1, opens that many SO_REUSEPORT accept
+	// shards; platforms without SO_REUSEPORT fall back to one listener.
+	ListenShards int
 }
 
 // event is the unit passed between stages: one connection awaiting its
@@ -57,7 +66,10 @@ type event struct {
 	query  string
 	body   []byte
 	keep   bool
+	// resp is a fully rendered reply (dynamic pages, POSTs); static is a
+	// bare static body sent zero-copy with the shared header blob.
 	resp   []byte
+	static []byte
 }
 
 // Server is the staged baseline web server.
@@ -113,6 +125,8 @@ func New(cfg Config) (*Server, error) {
 		Addr:         cfg.Addr,
 		Admit:        s.admit,
 		ShedResponse: httpkit.Unavailable(),
+		WriteTimeout: cfg.WriteTimeout,
+		ListenShards: cfg.ListenShards,
 		Observer:     cfg.Observer,
 		Name:         "sedaweb",
 	})
@@ -229,9 +243,9 @@ func (s *Server) lookupStage(ev *event) {
 		s.enqueue(s.fileQ, ev)
 		return
 	}
-	if resp, ok := s.cache.Get(ev.path); ok {
+	if body, ok := s.cache.Get(ev.path); ok {
 		s.cache.Release(ev.path)
-		ev.resp = resp
+		ev.static = body
 		s.enqueue(s.sendQ, ev)
 		return
 	}
@@ -253,12 +267,12 @@ func (s *Server) fileStage(ev *event) {
 		body, ok := s.cfg.Files.Lookup(ev.path)
 		if !ok {
 			notFound := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-			ev.conn.Write(withClose(render(404, "Not Found", notFound)))
+			_ = ev.conn.WriteVec(httpkit.StaticHeader(404, "Not Found", "text/html", len(notFound), true), notFound)
 			ev.conn.Close()
 			return
 		}
-		ev.resp = render(200, "OK", body)
-		s.cache.Put(ev.path, ev.resp)
+		ev.static = body
+		s.cache.Put(ev.path, ev.static)
 		s.cache.Release(ev.path)
 	}
 	s.enqueue(s.sendQ, ev)
@@ -266,11 +280,21 @@ func (s *Server) fileStage(ev *event) {
 
 func (s *Server) sendStage(ev *event) {
 	closing := !ev.keep || ev.conn.Served+1 >= s.cfg.MaxKeepAlive
-	resp := ev.resp
-	if closing {
-		resp = withClose(resp)
+	var err error
+	if ev.static != nil {
+		err = ev.conn.WriteVec(httpkit.StaticHeader(200, "OK", "text/html", len(ev.static), closing), ev.static)
+	} else {
+		resp := ev.resp
+		if closing {
+			resp = withClose(resp)
+		}
+		_, err = ev.conn.Write(resp)
 	}
-	if _, err := ev.conn.Write(resp); err != nil {
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.plane.CountShed("write-timeout")
+		}
 		ev.conn.Close()
 		return
 	}
@@ -280,7 +304,7 @@ func (s *Server) sendStage(ev *event) {
 		ev.conn.Close()
 		return
 	}
-	ev.resp = nil
+	ev.resp, ev.static = nil, nil
 	s.enqueue(s.readQ, ev)
 }
 

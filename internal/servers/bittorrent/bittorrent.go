@@ -203,6 +203,11 @@ type Config struct {
 	// same way. 0 waits forever (keep-alives normally arrive every
 	// KeepAliveInterval).
 	IdleTimeout time.Duration
+	// WriteTimeout bounds every serialized wire write (default 30s): a
+	// peer that stops draining its socket mid-frame would otherwise pin
+	// the per-peer write mutex — and every broadcast flow behind it —
+	// forever. On a pop the connection is torn down and the shed counted.
+	WriteTimeout time.Duration
 	// AdmitWatermark, when > 0, bounds admission: once the engine's
 	// sampled queue depths sum past it, fresh peer connections are shed
 	// (closed, counted) until the backlog drains.
@@ -302,6 +307,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 10 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	if cfg.TargetP95 > 0 && cfg.AdmitWatermark <= 0 {
 		cfg.AdmitWatermark = 64 // the controller's starting point
@@ -630,11 +638,15 @@ func (s *Server) setupConnection(fl *runtime.Flow, in runtime.Record) (runtime.R
 	c := in[0].(*netkit.Conn)
 	s.nextSession++
 	p := &Peer{
-		conn:     c,
-		nc:       c.NetConn(),
-		br:       c.Reader(),
-		session:  s.nextSession,
-		bitfield: torrent.NewBitfield(s.cfg.Meta.NumPieces()),
+		conn:         c,
+		nc:           c.NetConn(),
+		br:           c.Reader(),
+		session:      s.nextSession,
+		bitfield:     torrent.NewBitfield(s.cfg.Meta.NumPieces()),
+		writeTimeout: s.cfg.WriteTimeout,
+		onWriteTimeout: func() {
+			s.cp.CountShed("write-timeout")
+		},
 	}
 	// Real choking starts everyone choked; the paper's benchmark
 	// modification starts everyone unchoked.

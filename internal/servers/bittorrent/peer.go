@@ -2,9 +2,11 @@ package bittorrent
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/flux-lang/flux/internal/netkit"
 	"github.com/flux-lang/flux/internal/torrent"
@@ -56,6 +58,13 @@ type Peer struct {
 	// deltas between ticks).
 	rateBase uint64
 
+	// writeTimeout bounds each serialized wire write; a deadline pop
+	// means a dead or zero-window peer stalling mid-frame, so the
+	// connection is interrupted (the stream is unrecoverable) and
+	// onWriteTimeout reports the shed to the plane's ledger.
+	writeTimeout   time.Duration
+	onWriteTimeout func()
+
 	writeMu sync.Mutex
 	closed  atomic.Bool
 
@@ -72,7 +81,19 @@ func (p *Peer) send(m *Message) error {
 	if p.closed.Load() {
 		return net.ErrClosed
 	}
+	if p.writeTimeout > 0 {
+		_ = p.nc.SetWriteDeadline(time.Now().Add(p.writeTimeout))
+	}
 	if err := WriteMessage(p.nc, m); err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			if p.onWriteTimeout != nil {
+				p.onWriteTimeout()
+			}
+			// A frame stalled partway cannot be resumed; tear the
+			// connection down so no later send interleaves into it.
+			p.interrupt()
+		}
 		return err
 	}
 	if m.ID == MsgPiece {

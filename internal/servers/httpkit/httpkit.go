@@ -14,6 +14,7 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Request-parser hardening limits: a request exceeding them is
@@ -54,6 +55,7 @@ func ReadLine(br *bufio.Reader) (string, error) {
 // header count are both capped.
 func ReadHeaders(br *bufio.Reader) (keepAlive bool, contentLen int, err error) {
 	keepAlive = true
+	sawContentLen := false
 	for n := 0; ; n++ {
 		if n >= MaxHeaderLines {
 			return false, 0, fmt.Errorf("httpkit: more than %d header lines", MaxHeaderLines)
@@ -84,6 +86,15 @@ func ReadHeaders(br *bufio.Reader) (keepAlive bool, contentLen int, err error) {
 			if cl > MaxBodyBytes {
 				return false, 0, fmt.Errorf("httpkit: content length %d exceeds limit", cl)
 			}
+			// Duplicate Content-Length headers with conflicting values are
+			// the request-smuggling shape: two parsers on the path framing
+			// the body differently. Last-wins silently accepted them
+			// before; now only byte-identical repeats pass (RFC 7230 §3.3.2
+			// allows collapsing those).
+			if sawContentLen && cl != contentLen {
+				return false, 0, fmt.Errorf("httpkit: conflicting content lengths %d and %d", contentLen, cl)
+			}
+			sawContentLen = true
 			contentLen = cl
 		}
 	}
@@ -110,6 +121,55 @@ func Render(code int, status, ctype string, body []byte) []byte {
 	out = append(out, head...)
 	out = append(out, body...)
 	return out
+}
+
+// headerKey identifies one immutable header blob: static responses reuse
+// a tiny set of (code, content type, length) combinations, so the blobs
+// are rendered once and shared forever.
+type headerKey struct {
+	code       int
+	status     string
+	ctype      string
+	contentLen int
+	closing    bool // Connection: close baked in
+}
+
+var (
+	headerMu    sync.RWMutex
+	headerBlobs = map[headerKey][]byte{}
+)
+
+// StaticHeader returns the pre-serialized header block for a response of
+// the given shape — byte-identical to the head Render produces (and,
+// with close set, to what WithCloseHeader inserts), so the zero-copy and
+// copy paths stay wire-compatible. Blobs are immutable and cached
+// per (code, status, ctype, length, close): the hot path is one
+// read-locked map lookup with no allocation. Callers must treat the
+// returned slice as read-only.
+func StaticHeader(code int, status, ctype string, contentLen int, close bool) []byte {
+	key := headerKey{code: code, status: status, ctype: ctype, contentLen: contentLen, closing: close}
+	headerMu.RLock()
+	blob := headerBlobs[key]
+	headerMu.RUnlock()
+	if blob != nil {
+		return blob
+	}
+	head := fmt.Sprintf("HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n",
+		code, status, ctype, contentLen)
+	if close {
+		head += "Connection: close\r\n"
+	}
+	head += "\r\n"
+	blob = []byte(head)
+	headerMu.Lock()
+	// First writer wins so every caller shares one blob.
+	if prev, ok := headerBlobs[key]; ok {
+		blob = prev
+	} else {
+		headerBlobs[key] = blob
+	}
+	headerMu.Unlock()
+	return blob
 }
 
 // RenderPostConfirm builds the POST confirmation response every server

@@ -1,6 +1,7 @@
 package httpkit
 
 import (
+	"bufio"
 	"bytes"
 	"strings"
 	"testing"
@@ -37,5 +38,62 @@ func TestWithCloseHeader(t *testing.T) {
 	// Malformed input (no blank line) passes through untouched.
 	if got := WithCloseHeader([]byte("junk")); string(got) != "junk" {
 		t.Errorf("malformed passthrough = %q", got)
+	}
+}
+
+// TestReadHeadersDuplicateContentLength: conflicting duplicate
+// Content-Length headers are the classic request-smuggling shape and
+// must be rejected; identical repeats are legal (RFC 7230 §3.3.2) and
+// collapse to one value.
+func TestReadHeadersDuplicateContentLength(t *testing.T) {
+	read := func(headers string) (bool, int, error) {
+		br := bufio.NewReader(strings.NewReader(headers))
+		return ReadHeaders(br)
+	}
+	if _, _, err := read("Content-Length: 5\r\nContent-Length: 6\r\n\r\n"); err == nil {
+		t.Error("conflicting Content-Length headers accepted")
+	}
+	_, n, err := read("Content-Length: 5\r\nContent-Length: 5\r\n\r\n")
+	if err != nil {
+		t.Errorf("identical repeated Content-Length rejected: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("content length = %d, want 5", n)
+	}
+	if _, n, err = read("Content-Length: 7\r\n\r\n"); err != nil || n != 7 {
+		t.Errorf("single Content-Length: n=%d err=%v", n, err)
+	}
+}
+
+// TestStaticHeaderParity: the pre-serialized header blob must be
+// byte-identical to Render's head — the zero-copy path may never
+// change the wire format — including the Connection: close variant,
+// which must match WithCloseHeader's insertion exactly.
+func TestStaticHeaderParity(t *testing.T) {
+	body := []byte("hello world")
+	rendered := Render(200, "OK", "text/html", body)
+	head := StaticHeader(200, "OK", "text/html", len(body), false)
+	if got := append(append([]byte{}, head...), body...); !bytes.Equal(got, rendered) {
+		t.Errorf("StaticHeader+body = %q, Render = %q", got, rendered)
+	}
+	closedRendered := WithCloseHeader(rendered)
+	closedHead := StaticHeader(200, "OK", "text/html", len(body), true)
+	if got := append(append([]byte{}, closedHead...), body...); !bytes.Equal(got, closedRendered) {
+		t.Errorf("closing StaticHeader+body = %q, WithCloseHeader(Render) = %q", got, closedRendered)
+	}
+}
+
+// TestStaticHeaderInterned: repeated lookups return the same backing
+// blob — the hot path is a map read, not a render.
+func TestStaticHeaderInterned(t *testing.T) {
+	a := StaticHeader(200, "OK", "text/html", 4096, false)
+	b := StaticHeader(200, "OK", "text/html", 4096, false)
+	if &a[0] != &b[0] {
+		t.Error("StaticHeader re-rendered an interned header")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		_ = StaticHeader(200, "OK", "text/html", 4096, false)
+	}); allocs != 0 {
+		t.Errorf("interned lookup allocates %v per call", allocs)
 	}
 }

@@ -16,8 +16,10 @@ package imageserver
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"image/jpeg"
+	"net"
 	"strconv"
 	"strings"
 	"time"
@@ -120,6 +122,14 @@ type Config struct {
 	// 5ms with an AdmitWatermark — admission control needs a fresh
 	// signal — else the runtime's 100ms).
 	QueueSample time.Duration
+	// WriteTimeout, when > 0, bounds every response write; a dead or
+	// zero-window client fails the write, the connection is torn down,
+	// and the shed is counted on the Observer plane.
+	WriteTimeout time.Duration
+	// ListenShards, when > 1, opens that many SO_REUSEPORT accept
+	// shards; platforms without SO_REUSEPORT fall back to a single
+	// listener.
+	ListenShards int
 }
 
 // Server is a runnable Flux image server, driven through the runtime's
@@ -210,6 +220,8 @@ func New(cfg Config) (*Server, error) {
 		Gate:         gate,
 		MaxConns:     cfg.MaxConns,
 		ShedResponse: httpkit.Unavailable(),
+		WriteTimeout: cfg.WriteTimeout,
+		ListenShards: cfg.ListenShards,
 		Observer:     obs,
 		Name:         "imageserver",
 	})
@@ -379,17 +391,24 @@ func (s *Server) storeInCache(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 	return in, nil
 }
 
-// write sends the JPEG response.
+// write sends the JPEG response: the immutable header blob and the
+// cached JPEG go out in one writev(2) — the response is never assembled
+// into a contiguous buffer, so cache hits cost zero allocations here.
 func (s *Server) write(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*netkit.Conn)
 	tag := in[2].(*Tag)
-	head := fmt.Sprintf("HTTP/1.1 200 OK\r\nContent-Type: image/jpeg\r\nContent-Length: %d\r\n\r\n", len(tag.jpeg))
-	if _, err := c.Write(append([]byte(head), tag.jpeg...)); err != nil {
+	head := httpkit.StaticHeader(200, "OK", "image/jpeg", len(tag.jpeg), false)
+	if err := c.WriteVec(head, tag.jpeg); err != nil {
 		// Figure 2 declares no handler for Write, so the flow will
 		// terminate here; release the flow's cache reference so a
-		// vanished client cannot pin the entry.
+		// vanished client cannot pin the entry. A popped write deadline
+		// is the server shedding a dead client — count it.
 		if tag.hit || tag.stored {
 			s.cache.Release(tag.key)
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.cp.CountShed("write-timeout")
 		}
 		c.Close()
 		return nil, err
@@ -416,8 +435,7 @@ func (s *Server) complete(fl *runtime.Flow, in runtime.Record) (runtime.Record, 
 func (s *Server) fourOhFour(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*netkit.Conn)
 	body := []byte("image not found")
-	head := fmt.Sprintf("HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: %d\r\n\r\n", len(body))
-	_, _ = c.Write(append([]byte(head), body...))
+	_ = c.WriteVec(httpkit.StaticHeader(404, "Not Found", "text/plain", len(body), false), body)
 	c.Close()
 	return nil, nil
 }

@@ -25,6 +25,8 @@ func FuzzReadRequest(f *testing.F) {
 		"POST /post HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nab=cd",
 		"POST /post HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
 		"POST /post HTTP/1.1\r\nContent-Length: 1048577\r\n\r\n",
+		"POST /post HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\nab=cd",
+		"POST /post HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nab=cd",
 		"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\nConnection: close\r\n\r\n",
 		"DELETE /x HTTP/1.1\r\n\r\n",
 		"GET /half",

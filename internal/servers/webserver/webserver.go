@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"time"
 
 	"github.com/flux-lang/flux/internal/core"
@@ -91,8 +92,19 @@ type Request struct {
 	post     bool
 	dynamic  bool
 	hit      bool
+	stored   bool // this flow inserted the cache entry (owns one reference)
 	cacheKey string
+	// response is the fully rendered reply — the dynamic/POST fallback
+	// path, and every response in CopyWrites mode.
 	response []byte
+	// body is a static response's payload, served zero-copy: the header
+	// comes from httpkit's shared blob cache and body goes out in the
+	// same writev(2), never assembled into a contiguous response.
+	body []byte
+	// fileName/fileSize describe a large static body served from the
+	// materialized corpus with sendfile(2); body stays nil.
+	fileName string
+	fileSize int64
 }
 
 // Config tunes the server.
@@ -154,6 +166,29 @@ type Config struct {
 	// keep-alive connection; dead peers are reaped and counted the same
 	// way.
 	IdleTimeout time.Duration
+	// WriteTimeout, when > 0, bounds every response write: a dead or
+	// zero-window client (write-side slow loris) stalls a response for
+	// at most this long before the write fails, the connection is torn
+	// down, and the shed is counted — the write-side twin of
+	// HeaderTimeout/IdleTimeout.
+	WriteTimeout time.Duration
+	// ListenShards, when > 1, opens that many SO_REUSEPORT accept
+	// shards (one accept loop each) so accepted connections spread
+	// across cores at the socket layer — pair it with the steal
+	// engine's dispatcher count. Platforms without SO_REUSEPORT fall
+	// back to a single listener and serve identically.
+	ListenShards int
+	// CopyWrites forces the legacy render path — every response
+	// assembled contiguously (fmt-rendered header + body copy) and
+	// written with a single Write — instead of the zero-copy
+	// writev/sendfile path. It exists for the copy-vs-zero-copy
+	// experiment; production configurations leave it false.
+	CopyWrites bool
+	// SendfileFrom is the body size (bytes) from which static responses
+	// stream via sendfile(2) — requires the FileSet to be Materialized;
+	// smaller bodies and unmaterialized corpora use the writev path.
+	// Default 64 KB; negative disables sendfile entirely.
+	SendfileFrom int
 }
 
 // Server is a runnable Flux web server, driven through the same
@@ -182,6 +217,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.ScriptWork <= 0 {
 		cfg.ScriptWork = 2000
+	}
+	if cfg.SendfileFrom == 0 {
+		cfg.SendfileFrom = 64 << 10
 	}
 	if cfg.TargetP95 > 0 && cfg.AdmitWatermark <= 0 {
 		cfg.AdmitWatermark = 64 // the controller's starting point, not a tuning decision
@@ -278,6 +316,8 @@ func New(cfg Config) (*Server, error) {
 		Gate:         gate,
 		MaxConns:     cfg.MaxConns,
 		ShedResponse: httpkit.Unavailable(),
+		WriteTimeout: cfg.WriteTimeout,
+		ListenShards: cfg.ListenShards,
 		Observer:     obs,
 		Name:         "webserver",
 	})
@@ -406,36 +446,52 @@ func (s *Server) readRequest(fl *runtime.Flow, in runtime.Record) (runtime.Recor
 	return runtime.Record{c, closeAfter, req}, nil
 }
 
-// checkCache looks up the rendered response for static paths; the
-// "cache" constraint serializes it against StoreInCache and Complete.
+// checkCache looks up the static body for static paths; the "cache"
+// constraint serializes it against StoreInCache and Complete. The cache
+// holds bare bodies, not rendered responses: the header is a shared
+// immutable blob chosen at send time, so hits and misses serve the same
+// bytes with no per-response assembly.
 func (s *Server) checkCache(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	req := in[2].(*Request)
 	if req.dynamic {
 		return in, nil
 	}
-	if resp, ok := s.cache.Get(req.cacheKey); ok {
+	if body, ok := s.cache.Get(req.cacheKey); ok {
 		req.hit = true
-		req.response = resp
+		req.body = body
 	}
 	return in, nil
 }
 
 // readFile fetches the static file, failing (to FourOhFour) on unknown
-// paths.
+// paths. Large bodies from a materialized corpus are flagged for
+// sendfile(2) and bypass the response cache — the kernel's page cache
+// already holds them, so caching a user-space copy would only pay the
+// copy tax back.
 func (s *Server) readFile(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	req := in[2].(*Request)
 	body, ok := s.cfg.Files.Lookup(req.Path)
 	if !ok {
 		return nil, fmt.Errorf("webserver: no such file %q", req.Path)
 	}
-	req.response = renderResponse(200, "OK", "text/html", body)
+	if !s.cfg.CopyWrites && s.cfg.SendfileFrom > 0 && len(body) >= s.cfg.SendfileFrom {
+		if name, size, ok := s.cfg.Files.DiskPath(req.Path); ok {
+			req.fileName, req.fileSize = name, size
+			return in, nil
+		}
+	}
+	req.body = body
 	return in, nil
 }
 
-// storeInCache publishes the rendered response.
+// storeInCache publishes the static body (sendfile-served bodies are
+// never cached; their flows carry no body).
 func (s *Server) storeInCache(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	req := in[2].(*Request)
-	s.cache.Put(req.cacheKey, req.response)
+	if req.body != nil {
+		s.cache.Put(req.cacheKey, req.body)
+		req.stored = true
+	}
 	return in, nil
 }
 
@@ -460,21 +516,55 @@ func (s *Server) handlePost(fl *runtime.Flow, in runtime.Record) (runtime.Record
 	return in, nil
 }
 
-// sendResponse writes the rendered response to the client. When this is
-// the connection's last response, a Connection: close header announces
-// the close so keep-alive clients reconnect instead of failing.
+// sendResponse writes the response to the client. Static bodies take
+// the zero-copy path: the immutable header blob and the cached body go
+// out in one writev(2), and large materialized bodies stream with
+// sendfile(2) — the bytes never assembled into a contiguous response.
+// Rendered responses (dynamic pages, POSTs) and CopyWrites mode keep
+// the single contiguous Write. When this is the connection's last
+// response, Connection: close is announced (baked into the static
+// header variant; copied in on rendered responses) so keep-alive
+// clients reconnect instead of failing. A write deadline popping means
+// a dead or zero-window client: the connection is torn down by the
+// plane-level write path and the shed is counted here.
 func (s *Server) sendResponse(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*netkit.Conn)
 	closeAfter := in[1].(bool)
 	req := in[2].(*Request)
-	if req.response == nil {
+	var err error
+	switch {
+	case req.response != nil:
+		resp := req.response
+		if closeAfter {
+			resp = withCloseHeader(resp)
+		}
+		_, err = c.Write(resp)
+	case req.fileName != "":
+		head := httpkit.StaticHeader(200, "OK", "text/html", int(req.fileSize), closeAfter)
+		var f *os.File
+		if f, err = os.Open(req.fileName); err == nil {
+			err = c.SendFile(head, f, req.fileSize)
+			f.Close()
+		}
+	case req.body != nil:
+		head := httpkit.StaticHeader(200, "OK", "text/html", len(req.body), closeAfter)
+		if s.cfg.CopyWrites {
+			// The experiment's "before" arm: one user-space copy into a
+			// contiguous response, one Write.
+			resp := make([]byte, 0, len(head)+len(req.body))
+			resp = append(append(resp, head...), req.body...)
+			_, err = c.Write(resp)
+		} else {
+			err = c.WriteVec(head, req.body)
+		}
+	default:
 		return nil, errors.New("webserver: no response rendered")
 	}
-	resp := req.response
-	if closeAfter {
-		resp = withCloseHeader(resp)
-	}
-	if _, err := c.Write(resp); err != nil {
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			s.cp.CountShed("write-timeout")
+		}
 		return nil, err
 	}
 	return in, nil
@@ -493,7 +583,7 @@ func (s *Server) complete(fl *runtime.Flow, in runtime.Record) (runtime.Record, 
 	c := in[0].(*netkit.Conn)
 	closeAfter := in[1].(bool)
 	req := in[2].(*Request)
-	if req.hit || (!req.dynamic && req.response != nil) {
+	if req.hit || req.stored {
 		s.cache.Release(req.cacheKey)
 	}
 	c.Served++
@@ -518,7 +608,7 @@ func (s *Server) discard(fl *runtime.Flow, in runtime.Record) (runtime.Record, e
 func (s *Server) cleanup(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*netkit.Conn)
 	req := in[2].(*Request)
-	if req.hit || (!req.dynamic && req.response != nil) {
+	if req.hit || req.stored {
 		s.cache.Release(req.cacheKey)
 	}
 	c.Close()
@@ -530,7 +620,7 @@ func (s *Server) cleanup(fl *runtime.Flow, in runtime.Record) (runtime.Record, e
 func (s *Server) fourOhFour(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	c := in[0].(*netkit.Conn)
 	body := []byte("<html><body><h1>404 Not Found</h1></body></html>")
-	_, _ = c.Write(withCloseHeader(renderResponse(404, "Not Found", "text/html", body)))
+	_ = c.WriteVec(httpkit.StaticHeader(404, "Not Found", "text/html", len(body), true), body)
 	c.Close()
 	return nil, nil
 }
