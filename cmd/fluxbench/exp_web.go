@@ -11,6 +11,7 @@ import (
 	"github.com/flux-lang/flux/internal/servers/baseline/knotweb"
 	"github.com/flux-lang/flux/internal/servers/baseline/sedaweb"
 	"github.com/flux-lang/flux/internal/servers/webserver"
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
 )
 
 // webTarget abstracts "a web server listening somewhere" across the
@@ -234,9 +235,42 @@ func expWebMixed(cfg benchConfig) error {
 		warmup = 200 * time.Millisecond
 	}
 
+	// The dynamic share must ride the compiled FScript path: a stale or
+	// missing pages_compiled.go would silently re-pay the interpreter
+	// tax and invalidate the numbers, so fail loudly instead.
+	probe, err := fscript.NewBenchPages()
+	if err != nil {
+		return err
+	}
+	if !probe.CompiledActive() {
+		return fmt.Errorf("compiled dynamic-page path inactive (stale pages_compiled.go? " +
+			"run `go generate ./internal/servers/webserver/fscript`)")
+	}
+
 	files := loadgen.NewFileSet(2)
 	targets := webTargets(cfg, files)
+	// One arm forces the bare interpreter on the same engine, so every
+	// mixed sweep carries its own before/after of the interpreter tax.
+	targets = append(targets, webTarget{"flux-tp-interp", func(files *loadgen.FileSet) (string, func(), error) {
+		srv, err := webserver.New(webserver.Config{
+			Files:         files,
+			Engine:        flux.ThreadPool,
+			PoolSize:      64,
+			SourceTimeout: 20 * time.Millisecond,
+			Dispatch:      fscript.DispatchInterpretRaw,
+		})
+		if err != nil {
+			return "", nil, err
+		}
+		stop, err := startTarget(srv)
+		if err != nil {
+			return "", nil, err
+		}
+		return srv.Addr(), stop, nil
+	}})
 
+	fmt.Printf("dynamic dispatch: %s (flux-tp-interp forces the bare interpreter for comparison)\n",
+		fscript.DispatchCompiled)
 	fmt.Printf("SPECweb99-like mixed load: keep-alive connections, %.0f%% dynamic "+
 		"(of which %.0f%% POSTs), corpus %d MB\n\n",
 		100*loadgen.DefaultDynamicFraction, 100*loadgen.DefaultPostFraction,
@@ -271,10 +305,12 @@ func expWebMixed(cfg benchConfig) error {
 		fmt.Printf("%-16s %s\n", tgt.name, rows[len(rows)-1].ClassBreakdown())
 	}
 	fmt.Println("\npaper (§4.2): persistent connections + the mixed class/dynamic workload are the")
-	fmt.Println("conditions of Figure 3. The dynamic share is interpreter-bound, so it sets the")
-	fmt.Println("throughput ceiling; on the Flux event/steal engines the per-class table shows")
-	fmt.Println("dynamic latency above static (MarkBlocking offloads the script work), while the")
-	fmt.Println("baselines run scripts inline and show uniform per-class latency")
+	fmt.Println("conditions of Figure 3. The dynamic share used to be interpreter-bound and set")
+	fmt.Println("the throughput ceiling; with templates compiled to native Go (fluxc -fscript)")
+	fmt.Println("the ceiling lifts — flux-tp-interp re-runs the same engine on the bare")
+	fmt.Println("interpreter to show the tax. On the Flux event/steal engines the per-class")
+	fmt.Println("table shows dynamic latency above static (MarkBlocking offloads script work),")
+	fmt.Println("while the baselines run scripts inline and show uniform per-class latency")
 	return nil
 }
 

@@ -14,15 +14,27 @@
 //	-sim          emit the per-node simulator source (Figure 5 style)
 //	-paths        list every Ball-Larus path per source
 //	-o file       write output to file instead of stdout
+//
+// A second mode compiles FScript page templates instead of Flux
+// programs:
+//
+//	fluxc -fscript [-pkg name] [-o file] template.fs...
+//
+// emits a Go source file with one native render function per template,
+// registered against the exact template bytes (see
+// internal/servers/webserver/fscript/compile). The web servers' dynamic
+// pages are checked in as generated output of this mode.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"go/format"
 	"os"
 	"sort"
 
 	flux "github.com/flux-lang/flux"
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript/compile"
 )
 
 func main() {
@@ -31,8 +43,17 @@ func main() {
 	stubs := flag.String("stubs", "", "emit Go binding stubs for the named package")
 	simSrc := flag.Bool("sim", false, "emit simulator source (Figure 5 style)")
 	paths := flag.Bool("paths", false, "list Ball-Larus paths per source")
+	fs := flag.Bool("fscript", false, "compile FScript templates to native Go")
+	pkg := flag.String("pkg", "fscript", "package name for -fscript output")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
+
+	if *fs {
+		if err := compileFScript(flag.Args(), *pkg, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: fluxc [flags] program.flux")
@@ -114,6 +135,38 @@ func listPaths(p *flux.Program) string {
 		}
 	}
 	return out
+}
+
+// compileFScript lowers page templates to native Go and writes the
+// gofmt-ed generated file.
+func compileFScript(files []string, pkg, out string) error {
+	if len(files) == 0 {
+		return fmt.Errorf("-fscript requires at least one template file")
+	}
+	templates := make([]compile.Template, 0, len(files))
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		templates = append(templates, compile.Template{
+			FuncName: compile.FuncNameFor(f),
+			Source:   string(src),
+		})
+	}
+	gen, err := compile.File(pkg, templates)
+	if err != nil {
+		return err
+	}
+	formatted, err := format.Source([]byte(gen))
+	if err != nil {
+		return fmt.Errorf("generated code does not parse (compiler bug): %w\n%s", err, gen)
+	}
+	if out == "" {
+		fmt.Print(string(formatted))
+		return nil
+	}
+	return os.WriteFile(out, formatted, 0o644)
 }
 
 func fatal(err error) {

@@ -176,11 +176,15 @@ func (s *Server) serveConn(c *netkit.Conn) {
 		case method == "POST":
 			resp = httpkit.RenderPostConfirm(path, len(body))
 		case strings.HasPrefix(path, "/dynamic"), strings.HasPrefix(path, "/adrotate"):
-			out, err := s.pages.Render(path, query, int64(s.cfg.ScriptWork))
+			buf := fscript.GetBuf()
+			out, err := s.pages.RenderTo(buf.B, path, query, int64(s.cfg.ScriptWork))
+			buf.B = out[:0]
 			if err != nil {
+				fscript.PutBuf(buf)
 				return
 			}
-			resp = render(200, "OK", []byte(out))
+			resp = render(200, "OK", out)
+			fscript.PutBuf(buf)
 		default:
 			var ok bool
 			if staticBody, ok = s.cache.Get(path); ok {

@@ -257,12 +257,16 @@ func (s *Server) fileStage(ev *event) {
 	case ev.method == "POST":
 		ev.resp = httpkit.RenderPostConfirm(ev.path, len(ev.body))
 	case strings.HasPrefix(ev.path, "/dynamic"), strings.HasPrefix(ev.path, "/adrotate"):
-		out, err := s.pages.Render(ev.path, ev.query, int64(s.cfg.ScriptWork))
+		buf := fscript.GetBuf()
+		out, err := s.pages.RenderTo(buf.B, ev.path, ev.query, int64(s.cfg.ScriptWork))
+		buf.B = out[:0]
 		if err != nil {
+			fscript.PutBuf(buf)
 			ev.conn.Close()
 			return
 		}
-		ev.resp = render(200, "OK", []byte(out))
+		ev.resp = render(200, "OK", out)
+		fscript.PutBuf(buf)
 	default:
 		body, ok := s.cfg.Files.Lookup(ev.path)
 		if !ok {

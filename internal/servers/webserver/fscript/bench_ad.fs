@@ -1,0 +1,10 @@
+<html><head><title>flux ads</title></head><body>
+<?fs
+ad = (user + rot) % 8;
+total = 0;
+for i = 1 to work {
+  total = total + (i + ad) * i % 89;
+}
+echo "<p>ad="; echo ad; echo " user="; echo user; echo " checksum="; echo total; echo "</p>";
+?>
+</body></html>

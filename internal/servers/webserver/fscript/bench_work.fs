@@ -1,0 +1,9 @@
+<html><head><title>flux dynamic</title></head><body>
+<?fs
+total = 0;
+for i = 1 to work {
+  total = total + i * i % 97;
+}
+echo "<p>work="; echo work; echo " checksum="; echo total; echo "</p>";
+?>
+</body></html>

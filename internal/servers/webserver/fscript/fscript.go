@@ -12,6 +12,13 @@
 //	  for i = 1 to n { total = total + i*i; }
 //	  echo "sum: "; echo total;
 //	?></html>
+//
+// Pages execute two ways. The interpreter below walks the AST — the
+// fallback that handles any script. Known templates additionally carry a
+// CompiledPage (see RegisterCompiled and the fscript/compile package):
+// straight-line Go generated from the same AST, with loops as native
+// for loops over int64 locals and echo as appends into a caller-supplied
+// []byte — byte-for-byte identical output at a fraction of the cost.
 package fscript
 
 import (
@@ -22,8 +29,20 @@ import (
 )
 
 // MaxSteps bounds script execution; exceeding it aborts the page (a
-// server must not let one request loop forever).
+// server must not let one request loop forever). Env.StepLimit can
+// tighten it per execution.
 const MaxSteps = 10_000_000
+
+// Sentinel errors shared by the interpreter and compiled pages, so the
+// two paths fail byte-identically.
+var (
+	// ErrStepLimit aborts a script that exceeds its step budget.
+	ErrStepLimit = errors.New("fscript: step limit exceeded")
+	// ErrDivZero aborts integer division by zero.
+	ErrDivZero = errors.New("fscript: division by zero")
+	// ErrModZero aborts modulo by zero.
+	ErrModZero = errors.New("fscript: modulo by zero")
+)
 
 // Value is an FScript value: int64 or string.
 type Value struct {
@@ -45,6 +64,15 @@ func (v Value) text() string {
 	return strconv.FormatInt(v.Int, 10)
 }
 
+// appendText appends the value's rendered form without allocating (the
+// int case is strconv.AppendInt straight into the output buffer).
+func (v Value) appendText(b []byte) []byte {
+	if v.IsStr {
+		return append(b, v.Str...)
+	}
+	return strconv.AppendInt(b, v.Int, 10)
+}
+
 func (v Value) truthy() bool {
 	if v.IsStr {
 		return v.Str != ""
@@ -54,13 +82,20 @@ func (v Value) truthy() bool {
 
 // Page is a parsed template ready for repeated execution.
 type Page struct {
-	segments []segment
+	segments []Segment
 }
 
-type segment struct {
-	literal string // emitted verbatim when script is nil
-	script  []stmt // parsed block
+// Segment is one parsed template piece: literal HTML (Script nil) or a
+// script block. Exported read-only for the compiler backend
+// (fscript/compile); mutating a Page's segments after Parse is not
+// supported.
+type Segment struct {
+	Literal string // emitted verbatim when Script is nil
+	Script  []Stmt // parsed block
 }
+
+// Segments exposes the parsed template for the compiler backend.
+func (p *Page) Segments() []Segment { return p.segments }
 
 // Parse splits the template into literal and script segments and parses
 // every script block.
@@ -70,12 +105,12 @@ func Parse(src string) (*Page, error) {
 		open := strings.Index(src, "<?fs")
 		if open < 0 {
 			if src != "" {
-				p.segments = append(p.segments, segment{literal: src})
+				p.segments = append(p.segments, Segment{Literal: src})
 			}
 			return p, nil
 		}
 		if open > 0 {
-			p.segments = append(p.segments, segment{literal: src[:open]})
+			p.segments = append(p.segments, Segment{Literal: src[:open]})
 		}
 		rest := src[open+4:]
 		close := strings.Index(rest, "?>")
@@ -87,93 +122,180 @@ func Parse(src string) (*Page, error) {
 		if err != nil {
 			return nil, err
 		}
-		p.segments = append(p.segments, segment{script: stmts})
+		p.segments = append(p.segments, Segment{Script: stmts})
 		src = rest[close+2:]
 	}
 }
 
-// Execute runs the page with the given variables, returning the rendered
-// output.
-func (p *Page) Execute(vars map[string]Value) (string, error) {
-	env := &env{vars: make(map[string]Value, len(vars))}
-	for k, v := range vars {
-		env.vars[k] = v
+// Env carries a page execution's variables in two parallel slices with
+// linear-scan lookup — pages have a handful of variables, so the scan
+// beats a map and, reused across requests (Reset keeps capacity), costs
+// zero allocations where the old map[string]Value cost one per request.
+// The zero value is ready to use; it is not safe for concurrent use.
+type Env struct {
+	// StepLimit, when > 0, overrides MaxSteps for this execution (the
+	// fuzz harness runs hostile scripts under a small budget).
+	StepLimit int64
+
+	names []string
+	vals  []Value
+	out   []byte
+	steps int64
+	limit int64
+}
+
+// Reset clears the variables, keeping their storage for reuse.
+func (e *Env) Reset() {
+	e.names = e.names[:0]
+	e.vals = e.vals[:0]
+}
+
+// Set binds a variable, replacing any existing binding.
+func (e *Env) Set(name string, v Value) {
+	for i, n := range e.names {
+		if n == name {
+			e.vals[i] = v
+			return
+		}
 	}
-	var out strings.Builder
-	env.out = &out
-	for _, seg := range p.segments {
-		if seg.script == nil {
-			out.WriteString(seg.literal)
+	e.names = append(e.names, name)
+	e.vals = append(e.vals, v)
+}
+
+// SetInt binds an integer variable.
+func (e *Env) SetInt(name string, v int64) { e.Set(name, IntVal(v)) }
+
+// SetStr binds a string variable.
+func (e *Env) SetStr(name, s string) { e.Set(name, StrVal(s)) }
+
+// Get looks a variable up.
+func (e *Env) Get(name string) (Value, bool) {
+	for i, n := range e.names {
+		if n == name {
+			return e.vals[i], true
+		}
+	}
+	return Value{}, false
+}
+
+// GetInt looks an integer variable up; ok is false when the variable is
+// missing or holds a string. Compiled pages use it to validate their
+// inputs before committing to the native path.
+func (e *Env) GetInt(name string) (int64, bool) {
+	v, ok := e.Get(name)
+	if !ok || v.IsStr {
+		return 0, false
+	}
+	return v.Int, true
+}
+
+// Limit resolves the effective step budget for one execution.
+func (e *Env) Limit() int64 {
+	if e.StepLimit > 0 {
+		return e.StepLimit
+	}
+	return MaxSteps
+}
+
+// Execute runs the page with the given variables, returning the rendered
+// output. It is the map-keyed convenience wrapper around ExecuteInto.
+func (p *Page) Execute(vars map[string]Value) (string, error) {
+	var env Env
+	for k, v := range vars {
+		env.Set(k, v)
+	}
+	out, err := p.ExecuteInto(&env, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// ExecuteInto interprets the page with env's variables, appending the
+// rendered output to out and returning the extended slice. The env is
+// mutated (scripts assign variables into it); Reset it before reuse. On
+// error the returned slice's extra content is meaningless and must be
+// discarded.
+func (p *Page) ExecuteInto(env *Env, out []byte) ([]byte, error) {
+	env.out = out
+	env.steps = 0
+	env.limit = env.Limit()
+	for i := range p.segments {
+		seg := &p.segments[i]
+		if seg.Script == nil {
+			env.out = append(env.out, seg.Literal...)
 			continue
 		}
-		if err := execBlock(env, seg.script); err != nil {
-			return "", err
+		if err := execBlock(env, seg.Script); err != nil {
+			out, env.out = env.out, nil
+			return out, err
 		}
 	}
-	return out.String(), nil
+	out, env.out = env.out, nil
+	return out, nil
 }
 
-type env struct {
-	vars  map[string]Value
-	out   *strings.Builder
-	steps int
-}
-
-func (e *env) step() error {
+func (e *Env) step() error {
 	e.steps++
-	if e.steps > MaxSteps {
-		return errors.New("fscript: step limit exceeded")
+	if e.steps > e.limit {
+		return ErrStepLimit
 	}
 	return nil
 }
 
 // --- statements -----------------------------------------------------------
 
-type stmt interface{ exec(e *env) error }
+// Stmt is one parsed statement. The concrete types (AssignStmt, EchoStmt,
+// ForStmt, IfStmt) are exported for the compiler backend; execution stays
+// internal to the interpreter.
+type Stmt interface{ exec(e *Env) error }
 
-type assignStmt struct {
-	name string
-	expr expr
+// AssignStmt is `name = expr;`.
+type AssignStmt struct {
+	Name string
+	X    Expr
 }
 
-func (s *assignStmt) exec(e *env) error {
+func (s *AssignStmt) exec(e *Env) error {
 	if err := e.step(); err != nil {
 		return err
 	}
-	v, err := s.expr.eval(e)
+	v, err := s.X.eval(e)
 	if err != nil {
 		return err
 	}
-	e.vars[s.name] = v
+	e.Set(s.Name, v)
 	return nil
 }
 
-type echoStmt struct{ expr expr }
+// EchoStmt is `echo expr;`.
+type EchoStmt struct{ X Expr }
 
-func (s *echoStmt) exec(e *env) error {
+func (s *EchoStmt) exec(e *Env) error {
 	if err := e.step(); err != nil {
 		return err
 	}
-	v, err := s.expr.eval(e)
+	v, err := s.X.eval(e)
 	if err != nil {
 		return err
 	}
-	e.out.WriteString(v.text())
+	e.out = v.appendText(e.out)
 	return nil
 }
 
-type forStmt struct {
-	name     string
-	from, to expr
-	body     []stmt
+// ForStmt is `for name = from to to { body }` (inclusive integer bounds).
+type ForStmt struct {
+	Name     string
+	From, To Expr
+	Body     []Stmt
 }
 
-func (s *forStmt) exec(e *env) error {
-	from, err := s.from.eval(e)
+func (s *ForStmt) exec(e *Env) error {
+	from, err := s.From.eval(e)
 	if err != nil {
 		return err
 	}
-	to, err := s.to.eval(e)
+	to, err := s.To.eval(e)
 	if err != nil {
 		return err
 	}
@@ -184,34 +306,35 @@ func (s *forStmt) exec(e *env) error {
 		if err := e.step(); err != nil {
 			return err
 		}
-		e.vars[s.name] = IntVal(i)
-		if err := execBlock(e, s.body); err != nil {
+		e.Set(s.Name, IntVal(i))
+		if err := execBlock(e, s.Body); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-type ifStmt struct {
-	cond        expr
-	then, else_ []stmt
+// IfStmt is `if cond { then } else { else }`.
+type IfStmt struct {
+	Cond       Expr
+	Then, Else []Stmt
 }
 
-func (s *ifStmt) exec(e *env) error {
+func (s *IfStmt) exec(e *Env) error {
 	if err := e.step(); err != nil {
 		return err
 	}
-	c, err := s.cond.eval(e)
+	c, err := s.Cond.eval(e)
 	if err != nil {
 		return err
 	}
 	if c.truthy() {
-		return execBlock(e, s.then)
+		return execBlock(e, s.Then)
 	}
-	return execBlock(e, s.else_)
+	return execBlock(e, s.Else)
 }
 
-func execBlock(e *env, stmts []stmt) error {
+func execBlock(e *Env, stmts []Stmt) error {
 	for _, s := range stmts {
 		if err := s.exec(e); err != nil {
 			return err
@@ -222,42 +345,47 @@ func execBlock(e *env, stmts []stmt) error {
 
 // --- expressions -----------------------------------------------------------
 
-type expr interface{ eval(e *env) (Value, error) }
+// Expr is one parsed expression. The concrete types (Lit, Var, Bin) are
+// exported for the compiler backend.
+type Expr interface{ eval(e *Env) (Value, error) }
 
-type litExpr struct{ v Value }
+// Lit is a literal value.
+type Lit struct{ V Value }
 
-func (x *litExpr) eval(*env) (Value, error) { return x.v, nil }
+func (x *Lit) eval(*Env) (Value, error) { return x.V, nil }
 
-type varExpr struct{ name string }
+// Var is a variable reference.
+type Var struct{ Name string }
 
-func (x *varExpr) eval(e *env) (Value, error) {
-	v, ok := e.vars[x.name]
+func (x *Var) eval(e *Env) (Value, error) {
+	v, ok := e.Get(x.Name)
 	if !ok {
-		return Value{}, fmt.Errorf("fscript: undefined variable %q", x.name)
+		return Value{}, fmt.Errorf("fscript: undefined variable %q", x.Name)
 	}
 	return v, nil
 }
 
-type binExpr struct {
-	op   string
-	l, r expr
+// Bin is a binary operation.
+type Bin struct {
+	Op   string
+	L, R Expr
 }
 
-func (x *binExpr) eval(e *env) (Value, error) {
+func (x *Bin) eval(e *Env) (Value, error) {
 	if err := e.step(); err != nil {
 		return Value{}, err
 	}
-	l, err := x.l.eval(e)
+	l, err := x.L.eval(e)
 	if err != nil {
 		return Value{}, err
 	}
-	r, err := x.r.eval(e)
+	r, err := x.R.eval(e)
 	if err != nil {
 		return Value{}, err
 	}
 	// String concatenation and comparison.
 	if l.IsStr || r.IsStr {
-		switch x.op {
+		switch x.Op {
 		case "+":
 			return StrVal(l.text() + r.text()), nil
 		case "==":
@@ -265,10 +393,10 @@ func (x *binExpr) eval(e *env) (Value, error) {
 		case "!=":
 			return boolVal(l.text() != r.text()), nil
 		default:
-			return Value{}, fmt.Errorf("fscript: operator %q not defined on strings", x.op)
+			return Value{}, fmt.Errorf("fscript: operator %q not defined on strings", x.Op)
 		}
 	}
-	switch x.op {
+	switch x.Op {
 	case "+":
 		return IntVal(l.Int + r.Int), nil
 	case "-":
@@ -277,12 +405,12 @@ func (x *binExpr) eval(e *env) (Value, error) {
 		return IntVal(l.Int * r.Int), nil
 	case "/":
 		if r.Int == 0 {
-			return Value{}, errors.New("fscript: division by zero")
+			return Value{}, ErrDivZero
 		}
 		return IntVal(l.Int / r.Int), nil
 	case "%":
 		if r.Int == 0 {
-			return Value{}, errors.New("fscript: modulo by zero")
+			return Value{}, ErrModZero
 		}
 		return IntVal(l.Int % r.Int), nil
 	case "<":
@@ -298,7 +426,17 @@ func (x *binExpr) eval(e *env) (Value, error) {
 	case "!=":
 		return boolVal(l.Int != r.Int), nil
 	}
-	return Value{}, fmt.Errorf("fscript: unknown operator %q", x.op)
+	return Value{}, fmt.Errorf("fscript: unknown operator %q", x.Op)
+}
+
+// Btoi is the compiled form of a comparison result: FScript comparisons
+// yield the integers 1 and 0, so generated code converts Go booleans
+// with it when a comparison nests inside arithmetic.
+func Btoi(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func boolVal(b bool) Value {
@@ -320,13 +458,13 @@ type stok struct {
 	lit  string
 }
 
-func parseScript(src string) ([]stmt, error) {
+func parseScript(src string) ([]Stmt, error) {
 	toks, err := scan(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	var stmts []stmt
+	var stmts []Stmt
 	for !p.at("") {
 		s, err := p.stmt()
 		if err != nil {
@@ -426,7 +564,7 @@ func (p *parser) expect(kind string) (stok, error) {
 	return p.take(), nil
 }
 
-func (p *parser) stmt() (stmt, error) {
+func (p *parser) stmt() (Stmt, error) {
 	switch {
 	case p.atIdent("echo"):
 		p.take()
@@ -437,7 +575,7 @@ func (p *parser) stmt() (stmt, error) {
 		if _, err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &echoStmt{expr: e}, nil
+		return &EchoStmt{X: e}, nil
 
 	case p.atIdent("for"):
 		p.take()
@@ -464,7 +602,7 @@ func (p *parser) stmt() (stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &forStmt{name: name.lit, from: from, to: to, body: body}, nil
+		return &ForStmt{Name: name.lit, From: from, To: to, Body: body}, nil
 
 	case p.atIdent("if"):
 		p.take()
@@ -476,7 +614,7 @@ func (p *parser) stmt() (stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		var els []stmt
+		var els []Stmt
 		if p.atIdent("else") {
 			p.take()
 			els, err = p.block()
@@ -484,7 +622,7 @@ func (p *parser) stmt() (stmt, error) {
 				return nil, err
 			}
 		}
-		return &ifStmt{cond: cond, then: then, else_: els}, nil
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
 
 	case p.at("ident"):
 		name := p.take()
@@ -498,16 +636,16 @@ func (p *parser) stmt() (stmt, error) {
 		if _, err := p.expect(";"); err != nil {
 			return nil, err
 		}
-		return &assignStmt{name: name.lit, expr: e}, nil
+		return &AssignStmt{Name: name.lit, X: e}, nil
 	}
 	return nil, errors.New("fscript: expected statement")
 }
 
-func (p *parser) block() ([]stmt, error) {
+func (p *parser) block() ([]Stmt, error) {
 	if _, err := p.expect("{"); err != nil {
 		return nil, err
 	}
-	var stmts []stmt
+	var stmts []Stmt
 	for !p.at("}") {
 		if p.at("") {
 			return nil, errors.New("fscript: unterminated block")
@@ -523,7 +661,7 @@ func (p *parser) block() ([]stmt, error) {
 }
 
 // expr parses comparison-level precedence.
-func (p *parser) expr() (expr, error) {
+func (p *parser) expr() (Expr, error) {
 	l, err := p.addExpr()
 	if err != nil {
 		return nil, err
@@ -544,11 +682,11 @@ func (p *parser) expr() (expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &binExpr{op: op, l: l, r: r}
+		l = &Bin{Op: op, L: l, R: r}
 	}
 }
 
-func (p *parser) addExpr() (expr, error) {
+func (p *parser) addExpr() (Expr, error) {
 	l, err := p.mulExpr()
 	if err != nil {
 		return nil, err
@@ -559,12 +697,12 @@ func (p *parser) addExpr() (expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &binExpr{op: op, l: l, r: r}
+		l = &Bin{Op: op, L: l, R: r}
 	}
 	return l, nil
 }
 
-func (p *parser) mulExpr() (expr, error) {
+func (p *parser) mulExpr() (Expr, error) {
 	l, err := p.primary()
 	if err != nil {
 		return nil, err
@@ -575,12 +713,12 @@ func (p *parser) mulExpr() (expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &binExpr{op: op, l: l, r: r}
+		l = &Bin{Op: op, L: l, R: r}
 	}
 	return l, nil
 }
 
-func (p *parser) primary() (expr, error) {
+func (p *parser) primary() (Expr, error) {
 	switch {
 	case p.at("int"):
 		t := p.take()
@@ -588,11 +726,11 @@ func (p *parser) primary() (expr, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fscript: bad integer %q", t.lit)
 		}
-		return &litExpr{v: IntVal(v)}, nil
+		return &Lit{V: IntVal(v)}, nil
 	case p.at("str"):
-		return &litExpr{v: StrVal(p.take().lit)}, nil
+		return &Lit{V: StrVal(p.take().lit)}, nil
 	case p.at("ident"):
-		return &varExpr{name: p.take().lit}, nil
+		return &Var{Name: p.take().lit}, nil
 	case p.at("("):
 		p.take()
 		e, err := p.expr()

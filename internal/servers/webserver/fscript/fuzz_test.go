@@ -1,0 +1,76 @@
+package fscript_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
+)
+
+// fuzzStepLimit keeps hostile scripts cheap: MaxSteps is 10M, far too
+// slow per fuzz iteration, so executions run under a tight budget (the
+// Env.StepLimit override exists for exactly this).
+const fuzzStepLimit = 2000
+
+// FuzzParsePage throws arbitrary template bytes at the parser: it must
+// never panic, and anything it accepts must execute (under the small
+// step budget) without panicking.
+func FuzzParsePage(f *testing.F) {
+	f.Add(fscript.BenchWorkPage)
+	f.Add(fscript.BenchAdPage)
+	f.Add("plain html, no script")
+	f.Add("<?fs echo 1; ?>")
+	f.Add("<?fs x = 1; for i = 1 to x { echo i; } ?>")
+	f.Add(`<?fs if a == "s" { echo "yes"; } else { echo a + 1; } ?>`)
+	f.Add("<?fs")              // unterminated block
+	f.Add("<?fs x = ; ?>")     // parse error
+	f.Add("<?fs echo \"un ?>") // unterminated string
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := fscript.Parse(src)
+		if err != nil {
+			return
+		}
+		env := fscript.GetEnv()
+		defer fscript.PutEnv(env)
+		env.StepLimit = fuzzStepLimit
+		env.SetInt("work", 3)
+		env.SetInt("n", 2)
+		_, _ = p.ExecuteInto(env, nil)
+	})
+}
+
+// FuzzExecute drives accepted scripts with fuzzed integer inputs: no
+// panics, and execution must be deterministic — two runs with the same
+// env agree byte for byte (and on the error verdict).
+func FuzzExecute(f *testing.F) {
+	f.Add(fscript.BenchWorkPage, int64(10), int64(0), int64(1))
+	f.Add(fscript.BenchAdPage, int64(5), int64(-3), int64(9))
+	f.Add("<?fs total = 0; for i = 1 to work { total = total + i / (user + 1); } echo total; ?>", int64(4), int64(-1), int64(0))
+	f.Add("<?fs echo work % user; ?>", int64(7), int64(0), int64(0))
+	f.Add("<?fs for i = 1 to 100 { for j = 1 to 100 { x = x + 1; } } ?>", int64(0), int64(0), int64(0))
+
+	f.Fuzz(func(t *testing.T, src string, work, user, rot int64) {
+		p, err := fscript.Parse(src)
+		if err != nil {
+			return
+		}
+		run := func() ([]byte, error) {
+			env := fscript.GetEnv()
+			defer fscript.PutEnv(env)
+			env.StepLimit = fuzzStepLimit
+			env.SetInt("work", work)
+			env.SetInt("user", user)
+			env.SetInt("rot", rot)
+			return p.ExecuteInto(env, nil)
+		}
+		out1, err1 := run()
+		out2, err2 := run()
+		if (err1 != nil) != (err2 != nil) {
+			t.Fatalf("nondeterministic error verdict: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !bytes.Equal(out1, out2) {
+			t.Fatalf("nondeterministic output: %q vs %q", out1, out2)
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package fscript
+
+import "testing"
+
+// The dynamic-page dispatch benchmarks, run at the macro benchmark's
+// default work=2000. The compiled path is the tentpole: native Go, zero
+// allocations; the interpreted path is the seed behavior it replaces;
+// the cached path is the interpreter behind the LFU fragment cache (the
+// non-compilable fallback configuration).
+
+func benchRender(b *testing.B, mode Dispatch) {
+	pages, err := NewBenchPages()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pages.SetDispatch(mode)
+	if mode == DispatchCompiled && !pages.CompiledActive() {
+		b.Fatal("compiled path inactive (stale pages_compiled.go?)")
+	}
+	buf := GetBuf()
+	defer PutBuf(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pages.RenderTo(buf.B, "/dynamic", "", 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.B = out[:0]
+	}
+}
+
+func BenchmarkDynamicPageCompiled(b *testing.B)    { benchRender(b, DispatchCompiled) }
+func BenchmarkDynamicPageInterpreted(b *testing.B) { benchRender(b, DispatchInterpretRaw) }
+func BenchmarkDynamicPageFragCached(b *testing.B)  { benchRender(b, DispatchInterpret) }
+
+// BenchmarkDynamicAdCompiled exercises the three-input page with query
+// parsing in the path, as the servers run it.
+func BenchmarkDynamicAdCompiled(b *testing.B) {
+	pages, err := NewBenchPages()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := GetBuf()
+	defer PutBuf(buf)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := pages.RenderTo(buf.B, "/adrotate", "u=7", 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.B = out[:0]
+	}
+}
+
+// BenchmarkQueryParam pins the allocation-free parameter scan.
+func BenchmarkQueryParam(b *testing.B) {
+	query := "class=2&n=2000&u=42&session=9f3"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if QueryParam(query, "u") != "42" {
+			b.Fatal("wrong value")
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package fscript
+
+import (
+	"errors"
+	"sync"
+)
+
+// CompiledPage is a template lowered to native Go by the fscript/compile
+// backend: variables are int64 locals, loops are native for loops, and
+// echo appends straight into out. It must render byte-for-byte what the
+// interpreter renders for the same env — the parity sweep in
+// compiled_parity_test.go enforces it — and return ErrNotCompiled when
+// the env's inputs fall outside what was compiled (a missing or
+// string-typed variable), so the caller can fall back to interpreting.
+type CompiledPage func(env *Env, out []byte) ([]byte, error)
+
+// ErrNotCompiled is returned by a CompiledPage whose runtime inputs are
+// not covered by the compiled code; callers must fall back to the
+// interpreter (which produces the authoritative result, including its
+// errors).
+var ErrNotCompiled = errors.New("fscript: inputs not covered by compiled page")
+
+// The registry maps exact template source text to its compiled form.
+// Generated code (pages_compiled.go, emitted by `fluxc -fscript`)
+// registers at init with the source snapshot it was generated from: if
+// a template is edited without regenerating, the lookup simply misses
+// and the interpreter serves it — correct output, and the staleness
+// test plus the `-exp web` compiled-path assertion fail loudly.
+var (
+	compiledMu  sync.RWMutex
+	compiledReg = make(map[string]CompiledPage)
+)
+
+// RegisterCompiled installs a compiled page for the exact template
+// source. Later registrations for the same source win.
+func RegisterCompiled(src string, fn CompiledPage) {
+	compiledMu.Lock()
+	compiledReg[src] = fn
+	compiledMu.Unlock()
+}
+
+// CompiledFor returns the compiled form of a template, if one was
+// registered for byte-identical source.
+func CompiledFor(src string) (CompiledPage, bool) {
+	compiledMu.RLock()
+	fn, ok := compiledReg[src]
+	compiledMu.RUnlock()
+	return fn, ok
+}
+
+// Buf is a pooled page output builder. It is a pointer-shaped wrapper
+// (not a bare []byte) so Get/Put never box a slice header — the render
+// hot path stays allocation-free.
+type Buf struct{ B []byte }
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, 4096)} },
+}
+
+// GetBuf returns an empty pooled output buffer.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (growth is kept).
+func PutBuf(b *Buf) { bufPool.Put(b) }
+
+// envPool recycles Envs across requests; with it the interpreted
+// fallback binds its variables with zero allocations too.
+var envPool = sync.Pool{New: func() any { return new(Env) }}
+
+// GetEnv returns an empty pooled Env.
+func GetEnv() *Env { return envPool.Get().(*Env) }
+
+// PutEnv recycles an Env.
+func PutEnv(e *Env) {
+	e.Reset()
+	e.StepLimit = 0
+	envPool.Put(e)
+}

@@ -1,0 +1,38 @@
+// The staleness test lives in an external test package because the
+// compiler backend imports fscript: fscript_test may import both sides
+// of that edge, the in-package tests may not.
+package fscript_test
+
+import (
+	"go/format"
+	"os"
+	"testing"
+
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript"
+	"github.com/flux-lang/flux/internal/servers/webserver/fscript/compile"
+)
+
+// TestPagesCompiledNotStale regenerates the compiled pages from the
+// embedded templates and requires the checked-in pages_compiled.go to
+// match byte for byte — the loud failure behind the silent registry-miss
+// fallback. On failure: go generate ./internal/servers/webserver/fscript
+func TestPagesCompiledNotStale(t *testing.T) {
+	gen, err := compile.File("fscript", []compile.Template{
+		{FuncName: compile.FuncNameFor("bench_work.fs"), Source: fscript.BenchWorkPage},
+		{FuncName: compile.FuncNameFor("bench_ad.fs"), Source: fscript.BenchAdPage},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := format.Source([]byte(gen))
+	if err != nil {
+		t.Fatalf("regenerated source does not format: %v", err)
+	}
+	got, err := os.ReadFile("pages_compiled.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("pages_compiled.go is stale: run `go generate ./internal/servers/webserver/fscript`")
+	}
+}

@@ -135,6 +135,11 @@ type Config struct {
 	// ScriptWork is the loop bound handed to dynamic pages (default
 	// 2000), controlling per-request CPU like the paper's PHP pages.
 	ScriptWork int
+	// Dispatch selects how dynamic pages render. The zero value is
+	// compiled-first (native Go generated by fluxc -fscript, with the
+	// interpreter as fallback); experiments force the interpreter —
+	// with or without the fragment cache — to measure the tax.
+	Dispatch fscript.Dispatch
 	// AdmitWatermark, when > 0, bounds admission: once the engine's
 	// sampled queue depths sum past it, fresh connections are shed with
 	// a 503 and keep-alive responses announce Connection: close until
@@ -241,6 +246,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("webserver: dynamic templates: %w", err)
 	}
+	pages.SetDispatch(cfg.Dispatch)
 
 	s := &Server{
 		cfg:   cfg,
@@ -333,6 +339,10 @@ func New(cfg Config) (*Server, error) {
 			st := pl.Stats()
 			return telemetry.ConnStats{Accepted: st.Accepted, Admitted: st.Admitted, Shed: st.Shed, Live: st.Live}
 		})
+		cfg.Telemetry.RegisterDynPages("webserver", func() telemetry.DynPageStats {
+			st := pages.DynStats()
+			return telemetry.DynPageStats{Compiled: st.Compiled, Interpreted: st.Interpreted, FragHits: st.FragHits, FragMisses: st.FragMisses}
+		})
 	}
 	return s, nil
 }
@@ -343,6 +353,10 @@ func (s *Server) Addr() string { return s.cp.Addr() }
 // Program exposes the compiled Flux program (for DOT output, simulation,
 // and profiling reports).
 func (s *Server) Program() *core.Program { return s.prog }
+
+// Pages exposes the dynamic-page engine (dispatch mode and counters,
+// for the benchmark harness's compiled-path assertion).
+func (s *Server) Pages() *fscript.BenchPages { return s.pages }
 
 // Stats exposes the runtime's flow counters.
 func (s *Server) Stats() *runtime.Stats { return s.rt.Stats() }
@@ -497,14 +511,20 @@ func (s *Server) storeInCache(fl *runtime.Flow, in runtime.Record) (runtime.Reco
 
 // runScript renders a dynamic page through FScript: the CPU-burning
 // work page under /dynamic, the SPECweb99-style ad-rotation page under
-// /adrotate.
+// /adrotate. The page renders into a pooled buffer — compiled-first,
+// so the common case appends straight HTML with no interpreter in the
+// path and no per-request allocation beyond the response itself.
 func (s *Server) runScript(fl *runtime.Flow, in runtime.Record) (runtime.Record, error) {
 	req := in[2].(*Request)
-	out, err := s.pages.Render(req.Path, req.Query, int64(s.cfg.ScriptWork))
+	buf := fscript.GetBuf()
+	out, err := s.pages.RenderTo(buf.B, req.Path, req.Query, int64(s.cfg.ScriptWork))
+	buf.B = out[:0]
 	if err != nil {
+		fscript.PutBuf(buf)
 		return nil, err
 	}
-	req.response = renderResponse(200, "OK", "text/html", []byte(out))
+	req.response = renderResponse(200, "OK", "text/html", out)
+	fscript.PutBuf(buf)
 	return in, nil
 }
 

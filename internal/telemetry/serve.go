@@ -79,6 +79,10 @@ func Serve(addr string, t *Telemetry, opts ...ServeOption) (*Ops, error) {
 		s := t.snapshot(false, false)
 		return s.Conns
 	}))
+	mux.HandleFunc("/debug/flux/dynpages", o.handleJSON(func() any {
+		s := t.snapshot(false, false)
+		return s.DynPages
+	}))
 	mux.HandleFunc("/debug/flux/traces", o.handleJSON(func() any { return t.Traces() }))
 
 	o.srv = &http.Server{Handler: mux}
@@ -205,6 +209,18 @@ func (o *Ops) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&b, "flux_plane_connections_total{plane=%q,state=\"admitted\"} %d\n", c.Name, c.Stats.Admitted)
 		fmt.Fprintf(&b, "flux_plane_connections_total{plane=%q,state=\"shed\"} %d\n", c.Name, c.Stats.Shed)
 	}
+	// Dynamic-page dispatch counters.
+	if len(s.DynPages) > 0 {
+		fmt.Fprintf(&b, "# HELP flux_dynamic_pages_total Dynamic renders by server and dispatch path.\n")
+		fmt.Fprintf(&b, "# TYPE flux_dynamic_pages_total counter\n")
+		for _, d := range s.DynPages {
+			fmt.Fprintf(&b, "flux_dynamic_pages_total{server=%q,path=\"compiled\"} %d\n", d.Name, d.Stats.Compiled)
+			fmt.Fprintf(&b, "flux_dynamic_pages_total{server=%q,path=\"interpreted\"} %d\n", d.Name, d.Stats.Interpreted)
+			fmt.Fprintf(&b, "flux_dynamic_pages_total{server=%q,path=\"frag_hit\"} %d\n", d.Name, d.Stats.FragHits)
+			fmt.Fprintf(&b, "flux_dynamic_pages_total{server=%q,path=\"frag_miss\"} %d\n", d.Name, d.Stats.FragMisses)
+		}
+	}
+
 	fmt.Fprintf(&b, "# HELP flux_plane_live_connections Live connections tracked per plane.\n")
 	fmt.Fprintf(&b, "# TYPE flux_plane_live_connections gauge\n")
 	for _, c := range s.Conns {

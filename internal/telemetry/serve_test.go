@@ -44,6 +44,9 @@ func TestServeEndpoints(t *testing.T) {
 	tel.RegisterConns("webserver", func() ConnStats {
 		return ConnStats{Accepted: 10, Admitted: 8, Shed: 2, Live: 1}
 	})
+	tel.RegisterDynPages("webserver", func() DynPageStats {
+		return DynPageStats{Compiled: 40, Interpreted: 2, FragHits: 1, FragMisses: 1}
+	})
 	prof.FlowDone(g, 0, 3*time.Millisecond)
 
 	ops, err := Serve("127.0.0.1:0", tel, WithProfiler(prof))
@@ -72,6 +75,9 @@ func TestServeEndpoints(t *testing.T) {
 		`flux_conn_sheds_total{server="webserver",reason="overload"} 1`,
 		`flux_plane_connections_total{plane="webserver",state="accepted"} 10`,
 		`flux_plane_live_connections{plane="webserver"} 1`,
+		`flux_dynamic_pages_total{server="webserver",path="compiled"} 40`,
+		`flux_dynamic_pages_total{server="webserver",path="interpreted"} 2`,
+		`flux_dynamic_pages_total{server="webserver",path="frag_hit"} 1`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("/metrics missing %q", want)
@@ -113,7 +119,8 @@ func TestServeEndpoints(t *testing.T) {
 
 	for _, route := range []string{
 		"/debug/flux/nodes", "/debug/flux/ctrl", "/debug/flux/sheds",
-		"/debug/flux/conns", "/debug/flux/traces", "/debug/pprof/",
+		"/debug/flux/conns", "/debug/flux/dynpages", "/debug/flux/traces",
+		"/debug/pprof/",
 	} {
 		if code, _ := get(t, base+route); code != http.StatusOK {
 			t.Errorf("%s status %d", route, code)

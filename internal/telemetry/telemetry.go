@@ -99,6 +99,9 @@ type Telemetry struct {
 
 	connMu  sync.Mutex
 	connSrc []connSource
+
+	dynMu  sync.Mutex
+	dynSrc []dynSource
 }
 
 // ConnStats mirrors a connection plane's admission counters for the ops
@@ -113,6 +116,23 @@ type ConnStats struct {
 type connSource struct {
 	name string
 	fn   func() ConnStats
+}
+
+// DynPageStats mirrors a web server's dynamic-dispatch counters
+// (fscript.DynStats, without the import): how its FScript renders were
+// served. A healthy server shows Compiled racing ahead; Interpreted
+// climbing means the compiled path is stale or disabled and the
+// interpreter tax is being paid.
+type DynPageStats struct {
+	Compiled    uint64 `json:"compiled"`
+	Interpreted uint64 `json:"interpreted"`
+	FragHits    uint64 `json:"frag_hits"`
+	FragMisses  uint64 `json:"frag_misses"`
+}
+
+type dynSource struct {
+	name string
+	fn   func() DynPageStats
 }
 
 // New returns an empty telemetry plane sampling one flow trace per
@@ -274,6 +294,17 @@ func (t *Telemetry) RegisterConns(name string, fn func() ConnStats) {
 	t.connMu.Unlock()
 }
 
+// RegisterDynPages registers a server's dynamic-dispatch stats function
+// under a name; the ops endpoints poll it like RegisterConns.
+func (t *Telemetry) RegisterDynPages(name string, fn func() DynPageStats) {
+	if fn == nil {
+		return
+	}
+	t.dynMu.Lock()
+	t.dynSrc = append(t.dynSrc, dynSource{name: name, fn: fn})
+	t.dynMu.Unlock()
+}
+
 // ShedTotal returns the total sheds recorded across all servers.
 func (t *Telemetry) ShedTotal() uint64 { return t.shedTotal.Value() }
 
@@ -322,6 +353,12 @@ type ConnSnapshot struct {
 	Stats ConnStats `json:"stats"`
 }
 
+// DynPageSnapshot is one registered server's dynamic-dispatch counters.
+type DynPageSnapshot struct {
+	Name  string       `json:"name"`
+	Stats DynPageStats `json:"stats"`
+}
+
 // TraceSnapshot is one sampled flow trace, rendered for reading.
 type TraceSnapshot struct {
 	At      int64  `json:"at"`
@@ -335,13 +372,14 @@ type TraceSnapshot struct {
 // Snapshot is the full telemetry state at one instant — the payload of
 // /debug/flux/summary and the input to fluxtop's renderer.
 type Snapshot struct {
-	At            int64            `json:"at"`
-	UptimeSeconds float64          `json:"uptimeSeconds"`
-	Graphs        []GraphSnapshot  `json:"graphs"`
-	Streams       []StreamSnapshot `json:"streams"`
-	Sheds         []ShedSnapshot   `json:"sheds"`
-	Conns         []ConnSnapshot   `json:"conns"`
-	Traces        []TraceSnapshot  `json:"traces,omitempty"`
+	At            int64             `json:"at"`
+	UptimeSeconds float64           `json:"uptimeSeconds"`
+	Graphs        []GraphSnapshot   `json:"graphs"`
+	Streams       []StreamSnapshot  `json:"streams"`
+	Sheds         []ShedSnapshot    `json:"sheds"`
+	Conns         []ConnSnapshot    `json:"conns"`
+	DynPages      []DynPageSnapshot `json:"dynPages,omitempty"`
+	Traces        []TraceSnapshot   `json:"traces,omitempty"`
 }
 
 // withSeries controls whether a snapshot carries full series windows or
@@ -445,6 +483,29 @@ func (t *Telemetry) snapshot(withSeries, withTraces bool) Snapshot {
 	sort.Strings(connOrder)
 	for _, name := range connOrder {
 		s.Conns = append(s.Conns, *connByName[name])
+	}
+
+	// Dynamic-page dispatch, summed per name like the planes.
+	t.dynMu.Lock()
+	dynByName := make(map[string]*DynPageSnapshot)
+	var dynOrder []string
+	for _, src := range t.dynSrc {
+		ds := dynByName[src.name]
+		if ds == nil {
+			ds = &DynPageSnapshot{Name: src.name}
+			dynByName[src.name] = ds
+			dynOrder = append(dynOrder, src.name)
+		}
+		st := src.fn()
+		ds.Stats.Compiled += st.Compiled
+		ds.Stats.Interpreted += st.Interpreted
+		ds.Stats.FragHits += st.FragHits
+		ds.Stats.FragMisses += st.FragMisses
+	}
+	t.dynMu.Unlock()
+	sort.Strings(dynOrder)
+	for _, name := range dynOrder {
+		s.DynPages = append(s.DynPages, *dynByName[name])
 	}
 
 	if withTraces {
